@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: logical error rate vs code distance on the
+ * capacity-2 grid at 1X / 5X / 10X gate improvement, with projections of
+ * the distance needed for the 1e-9 target (the paper's quantum-advantage
+ * threshold).
+ *
+ * Paper headline: with 10X improvement, d = 13 reaches 1e-9; with 5X,
+ * d = 18 gives the same logical qubit quality.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tiqec;
+using core::ArchitectureConfig;
+
+void
+PrintFigure10()
+{
+    const std::vector<int> distances = {3, 5, 7, 9};
+    std::printf("\n=== Figure 10: logical error rate per shot vs distance "
+                "(grid, capacity 2, memory-Z, d rounds) ===\n");
+    std::printf("%-14s", "improvement");
+    for (const int d : distances) {
+        std::printf(" %12s", ("d=" + std::to_string(d)).c_str());
+    }
+    std::printf(" %18s\n", "d for LER<=1e-9");
+    tiqec::bench::Rule(14 + 13 * static_cast<int>(distances.size()) + 19);
+    for (const double improvement : {1.0, 5.0, 10.0}) {
+        ArchitectureConfig arch;
+        arch.gate_improvement = improvement;
+        const auto sweep = tiqec::bench::RunLerSweep(
+            "rotated", distances, arch, 1 << 17, 150);
+        std::printf("%-12.0fX ", improvement);
+        size_t k = 0;
+        for (const int d : distances) {
+            if (k < sweep.distances.size() && sweep.distances[k] == d) {
+                std::printf(" %12.3e", sweep.ler_per_shot[k]);
+                ++k;
+            } else {
+                std::printf(" %12s", "-");
+            }
+        }
+        const auto projection = sweep.ProjectPerRound();
+        if (projection.valid()) {
+            std::printf(" %18d\n",
+                        projection.DistanceForTarget(1e-9));
+        } else {
+            std::printf(" %18s\n", "no suppression");
+        }
+    }
+    std::printf("\n(paper: 10X improvement reaches 1e-9 at d=13; 5X needs "
+                "d=18; 1X shows little suppression)\n");
+}
+
+void
+BM_LerPointD5FiveX(benchmark::State& state)
+{
+    const qec::RotatedSurfaceCode code(5);
+    ArchitectureConfig arch;
+    arch.gate_improvement = 5.0;
+    core::EvaluationOptions opts;
+    opts.max_shots = 1 << 13;
+    opts.target_logical_errors = 1 << 30;
+    for (auto _ : state) {
+        auto m = core::Evaluate(code, arch, opts);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_LerPointD5FiveX);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintFigure10();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

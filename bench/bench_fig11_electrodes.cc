@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: the number of electrodes required to reach
+ * a target logical error rate under the 5X gate-improvement scenario,
+ * per trap capacity.
+ *
+ * Method (as in the paper): measure the LER-vs-distance curve per
+ * capacity, fit the exponential suppression, project the distance
+ * required for each target, and cost the minimal grid hardware for that
+ * distance with the §5.2 electrode model.
+ *
+ * Expected shape (paper §7.3): all capacities are electrode-hungry, but
+ * capacity 2 needs orders of magnitude fewer electrodes for a given
+ * target because its faster, lower-error rounds need much smaller code
+ * distances.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "resources/resource_model.h"
+
+namespace {
+
+using namespace tiqec;
+using core::ArchitectureConfig;
+
+struct CapacityProjection
+{
+    int capacity = 0;
+    core::LerProjection projection{{}, {}};
+    bool valid = false;
+};
+
+CapacityProjection
+ProjectCapacity(int capacity)
+{
+    ArchitectureConfig arch;
+    arch.trap_capacity = capacity;
+    arch.gate_improvement = 5.0;
+    const std::vector<int> distances =
+        capacity == 2 ? std::vector<int>{3, 5, 7, 9}
+                      : std::vector<int>{3, 5, 7};
+    const auto sweep = tiqec::bench::RunLerSweep("rotated", distances, arch,
+                                                 1 << 16, 120);
+    CapacityProjection out;
+    out.capacity = capacity;
+    out.projection = sweep.ProjectPerRound();
+    out.valid = out.projection.valid();
+    return out;
+}
+
+long long
+ElectrodesForDistance(int distance, int capacity)
+{
+    const int qubits = 2 * distance * distance - 1;
+    const int traps = (qubits + capacity - 2) / (capacity - 1);
+    const auto shape = resources::MinimalHardware(
+        qccd::TopologyKind::kGrid, traps, capacity);
+    return resources::EstimateResources(shape).num_electrodes;
+}
+
+void
+PrintFigure11()
+{
+    std::printf("\n=== Figure 11: electrodes required to reach a target "
+                "logical error rate (5X improvement, grid) ===\n");
+    const std::vector<double> targets = {1e-6, 1e-9, 1e-12};
+    std::printf("%-10s", "capacity");
+    for (const double t : targets) {
+        char header[32];
+        std::snprintf(header, sizeof(header), "LER<=%.0e", t);
+        std::printf(" %22s", header);
+    }
+    std::printf("\n%-10s", "");
+    for (size_t i = 0; i < targets.size(); ++i) {
+        std::printf(" %10s %11s", "dist", "electrodes");
+    }
+    std::printf("\n");
+    tiqec::bench::Rule(10 + 23 * static_cast<int>(targets.size()));
+    for (const int capacity : {2, 5, 12}) {
+        const CapacityProjection proj = ProjectCapacity(capacity);
+        std::printf("%-10d", capacity);
+        for (const double target : targets) {
+            if (!proj.valid) {
+                std::printf(" %10s %11s", "-", "no fit");
+                continue;
+            }
+            const int d = proj.projection.DistanceForTarget(target);
+            std::printf(" %10d %11lld", d,
+                        ElectrodesForDistance(d, capacity));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(paper: capacity 2 is the most hardware-efficient "
+                "design point by orders of magnitude)\n");
+}
+
+void
+BM_ResourceEstimate(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto est = resources::EstimateResources(
+            resources::MinimalHardware(qccd::TopologyKind::kGrid, 337, 2));
+        benchmark::DoNotOptimize(est);
+    }
+}
+BENCHMARK(BM_ResourceEstimate);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintFigure11();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

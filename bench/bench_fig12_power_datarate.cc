@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: controller-to-QPU data rate and power
+ * dissipation required per logical qubit to achieve a target logical
+ * error rate, across trap capacities, under standard wiring and a 5X
+ * gate improvement.
+ *
+ * Paper headline: even at the optimal capacity 2, the 1e-9 target needs
+ * on the order of a Tbit/s link and hundreds of watts, so the standard
+ * one-DAC-per-electrode scheme does not scale.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "resources/resource_model.h"
+
+namespace {
+
+using namespace tiqec;
+using core::ArchitectureConfig;
+
+void
+PrintFigure12()
+{
+    std::printf("\n=== Figure 12: data rate and power per logical qubit to "
+                "reach a target LER (standard wiring, 5X) ===\n");
+    const std::vector<double> targets = {1e-6, 1e-9, 1e-12};
+    std::printf("%-10s %8s %14s %12s %12s\n", "capacity", "target",
+                "distance", "Gbit/s", "power (W)");
+    tiqec::bench::Rule(62);
+    for (const int capacity : {2, 5, 12}) {
+        ArchitectureConfig arch;
+        arch.trap_capacity = capacity;
+        arch.gate_improvement = 5.0;
+        const std::vector<int> distances =
+            capacity == 2 ? std::vector<int>{3, 5, 7, 9}
+                          : std::vector<int>{3, 5, 7};
+        const auto sweep = tiqec::bench::RunLerSweep(
+            "rotated", distances, arch, 1 << 16, 120);
+        const auto projection = sweep.ProjectPerRound();
+        for (const double target : targets) {
+            if (!projection.valid()) {
+                std::printf("%-10d %8.0e %14s %12s %12s\n", capacity,
+                            target, "no fit", "-", "-");
+                continue;
+            }
+            const int d = projection.DistanceForTarget(target);
+            const int qubits = 2 * d * d - 1;
+            const int traps = (qubits + capacity - 2) / (capacity - 1);
+            const auto est = resources::EstimateResources(
+                resources::MinimalHardware(qccd::TopologyKind::kGrid,
+                                           traps, capacity));
+            std::printf("%-10d %8.0e %14d %12.1f %12.1f\n", capacity,
+                        target, d, est.standard_data_rate_gbps,
+                        est.standard_power_w);
+        }
+    }
+    std::printf("\n(paper: ~1.3 Tbit/s and ~780 W for 1e-9 even at the "
+                "optimal capacity 2)\n");
+}
+
+void
+BM_ProjectionFit(benchmark::State& state)
+{
+    const std::vector<int> ds = {3, 5, 7, 9};
+    const std::vector<double> lers = {1e-2, 1e-3, 1e-4, 1e-5};
+    for (auto _ : state) {
+        core::LerProjection proj(ds, lers);
+        benchmark::DoNotOptimize(proj);
+    }
+}
+BENCHMARK(BM_ProjectionFit);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintFigure12();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

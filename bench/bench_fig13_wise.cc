@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: the power / cycle-time trade-off between
+ * the standard one-DAC-per-electrode wiring and the WISE demultiplexed
+ * wiring [24].
+ *
+ * (a) data rate required vs achieved logical error rate: standard wiring
+ *     at capacity 2 (no cooling) against WISE with cooling at capacities
+ *     2, 5, 12 - WISE improves the data-rate scaling by around two
+ *     orders of magnitude.
+ * (b) elapsed QEC shot time vs target logical error rate: WISE's
+ *     same-kind-transport-only restriction plus per-gate cooling
+ *     stretches the logical clock by an order of magnitude or more.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "resources/resource_model.h"
+
+namespace {
+
+using namespace tiqec;
+using core::ArchitectureConfig;
+using core::WiringKind;
+
+struct WiseRow
+{
+    int capacity;
+    WiringKind wiring;
+};
+
+void
+PrintFigure13()
+{
+    std::printf("\n=== Figure 13(a): data rate (Gbit/s) vs achieved LER "
+                "per wiring scheme (5X improvement) ===\n");
+    std::printf("%-26s %6s %14s %14s %12s\n", "scheme", "d",
+                "LER/shot", "round (us)", "Gbit/s");
+    tiqec::bench::Rule(78);
+    const std::vector<WiseRow> rows = {
+        {2, WiringKind::kStandard},
+        {2, WiringKind::kWise},
+        {5, WiringKind::kWise},
+        {12, WiringKind::kWise},
+    };
+    for (const WiseRow& row : rows) {
+        for (const int d : {3, 5, 7}) {
+            ArchitectureConfig arch;
+            arch.trap_capacity = row.capacity;
+            arch.wiring = row.wiring;
+            arch.gate_improvement = 5.0;
+            const auto code = qec::MakeCode("rotated", d);
+            core::EvaluationOptions opts;
+            opts.max_shots = 1 << 15;
+            opts.target_logical_errors = 100;
+            const auto m = core::Evaluate(*code, arch, opts);
+            char scheme[40];
+            std::snprintf(scheme, sizeof(scheme), "%s cap %d%s",
+                          core::WiringKindName(row.wiring).c_str(),
+                          row.capacity,
+                          row.wiring == WiringKind::kWise ? " (cooled)"
+                                                          : "");
+            if (!m.ok) {
+                std::printf("%-26s %6d %14s\n", scheme, d, "NaN");
+                continue;
+            }
+            const double rate = row.wiring == WiringKind::kWise
+                                    ? m.resources.wise_data_rate_gbps
+                                    : m.resources.standard_data_rate_gbps;
+            std::printf("%-26s %6d %14.3e %14.0f %12.2f\n", scheme, d,
+                        m.ler_per_shot.rate, m.round_time, rate);
+        }
+    }
+
+    std::printf("\n=== Figure 13(b): elapsed QEC shot time (us, d rounds) "
+                "vs target LER, standard vs WISE (capacity 2, 5X) ===\n");
+    std::printf("%-10s %16s %16s %10s\n", "target", "standard (us)",
+                "wise (us)", "slowdown");
+    tiqec::bench::Rule(56);
+    // Project distance-for-target per scheme from compile-only timing and
+    // the measured LER fits.
+    for (const WiringKind wiring :
+         {WiringKind::kStandard, WiringKind::kWise}) {
+        ArchitectureConfig arch;
+        arch.wiring = wiring;
+        arch.gate_improvement = 5.0;
+        const auto sweep = tiqec::bench::RunLerSweep("rotated", {3, 5, 7},
+                                                     arch, 1 << 15, 100);
+        const auto projection = sweep.ProjectPerRound();
+        if (wiring == WiringKind::kStandard) {
+            std::printf("(standard fit valid: %s; wise fit follows)\n",
+                        projection.valid() ? "yes" : "no");
+        }
+    }
+    for (const double target : {1e-6, 1e-9, 1e-12}) {
+        double shot_us[2] = {0.0, 0.0};
+        int idx = 0;
+        for (const WiringKind wiring :
+             {WiringKind::kStandard, WiringKind::kWise}) {
+            ArchitectureConfig arch;
+            arch.wiring = wiring;
+            arch.gate_improvement = 5.0;
+            const auto sweep = tiqec::bench::RunLerSweep(
+                "rotated", {3, 5, 7}, arch, 1 << 14, 80);
+            const auto projection = sweep.ProjectPerRound();
+            int d = projection.valid()
+                        ? projection.DistanceForTarget(target)
+                        : 0;
+            if (d <= 0) {
+                shot_us[idx++] = -1.0;
+                continue;
+            }
+            const auto code = qec::MakeCode("rotated", d);
+            core::EvaluationOptions opts;
+            opts.compile_only = true;
+            const auto m = core::Evaluate(*code, arch, opts);
+            shot_us[idx++] = m.ok ? m.shot_time : -1.0;
+        }
+        std::printf("%-10.0e %16s %16s %10s\n", target,
+                    tiqec::bench::NumOrNan(shot_us[0], shot_us[0] > 0)
+                        .c_str(),
+                    tiqec::bench::NumOrNan(shot_us[1], shot_us[1] > 0)
+                        .c_str(),
+                    shot_us[0] > 0 && shot_us[1] > 0
+                        ? tiqec::bench::NumOrNan(
+                              shot_us[1] / shot_us[0], true, "%.1fx")
+                              .c_str()
+                        : "-");
+    }
+    std::printf("\n(paper: WISE trades up to ~25x logical clock slowdown "
+                "for ~2 orders of magnitude less data rate / power)\n");
+}
+
+void
+BM_WiseCompileD3(benchmark::State& state)
+{
+    const qec::RotatedSurfaceCode code(3);
+    ArchitectureConfig arch;
+    arch.wiring = WiringKind::kWise;
+    core::EvaluationOptions opts;
+    opts.compile_only = true;
+    for (auto _ : state) {
+        auto m = core::Evaluate(code, arch, opts);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_WiseCompileD3);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintFigure13();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces paper Figure 8(a): elapsed time per QEC round as a function
+ * of code distance for linear, grid, and all-to-all switch communication
+ * topologies at trap capacities 2, 5, and 12.
+ *
+ * Expected shapes (paper §7.2): linear blows up with distance (routing
+ * congestion); grid and switch stay close; only capacity 2 gives a
+ * distance-independent round time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "compiler/compiler.h"
+
+namespace {
+
+using namespace tiqec;
+using qccd::TimingModel;
+using qccd::TopologyKind;
+
+void
+PrintFigure8a()
+{
+    const TimingModel timing;
+    const std::vector<int> capacities = {2, 5, 12};
+    const std::vector<TopologyKind> topologies = {
+        TopologyKind::kLinear, TopologyKind::kGrid, TopologyKind::kSwitch};
+
+    std::printf("\n=== Figure 8(a): QEC round time (us) vs code distance "
+                "per topology and capacity ===\n");
+    for (const TopologyKind topology : topologies) {
+        // Linear routing congestion grows steeply; cap the sweep so the
+        // bench binary stays interactive (the trend is unambiguous).
+        const std::vector<int> distances =
+            topology == TopologyKind::kLinear
+                ? std::vector<int>{2, 3, 4, 5}
+                : std::vector<int>{2, 3, 5, 7, 9, 11, 13};
+        std::printf("\n-- topology: %s\n",
+                    qccd::TopologyKindName(topology).c_str());
+        std::printf("%-6s", "d");
+        for (const int cap : capacities) {
+            std::printf(" %12s", ("cap " + std::to_string(cap)).c_str());
+        }
+        std::printf("\n");
+        tiqec::bench::Rule(6 + 13 * static_cast<int>(capacities.size()));
+        for (const int d : distances) {
+            std::printf("%-6d", d);
+            for (const int cap : capacities) {
+                const auto code = qec::MakeCode("rotated", d);
+                const auto graph =
+                    compiler::MakeDeviceFor(*code, topology, cap);
+                const auto result = compiler::CompileParityCheckRounds(
+                    *code, 1, graph, timing);
+                std::printf(" %12s",
+                            tiqec::bench::NumOrNan(
+                                result.schedule.makespan, result.ok)
+                                .c_str());
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n(paper: linear ~12x slower than grid/switch at d=5 "
+                "cap 2; grid ~= switch; only cap 2 is flat in d)\n");
+}
+
+void
+BM_RoundTimeByTopology(benchmark::State& state)
+{
+    const auto topology = static_cast<TopologyKind>(state.range(0));
+    const qec::RotatedSurfaceCode code(3);
+    const TimingModel timing;
+    const auto graph = compiler::MakeDeviceFor(code, topology, 2);
+    for (auto _ : state) {
+        auto result =
+            compiler::CompileParityCheckRounds(code, 1, graph, timing);
+        benchmark::DoNotOptimize(result);
+        state.counters["round_us"] = result.schedule.makespan;
+    }
+}
+BENCHMARK(BM_RoundTimeByTopology)
+    ->Arg(static_cast<int>(TopologyKind::kLinear))
+    ->Arg(static_cast<int>(TopologyKind::kGrid))
+    ->Arg(static_cast<int>(TopologyKind::kSwitch));
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintFigure8a();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces paper Figure 8(b): logical error rate vs code distance for
+ * the grid and all-to-all switch topologies at trap capacities 2, 5, and
+ * 12 (5X gate improvement, memory-Z, d rounds).
+ *
+ * Expected shape (paper §7.2): grid and switch are statistically
+ * indistinguishable; capacity 2 dominates.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tiqec;
+using core::ArchitectureConfig;
+using qccd::TopologyKind;
+
+void
+PrintFigure8b()
+{
+    const std::vector<int> capacities = {2, 5, 12};
+    const std::vector<int> distances = {3, 5, 7};
+    std::printf("\n=== Figure 8(b): logical error rate per shot (memory-Z, "
+                "d rounds, 5X improvement) ===\n");
+    for (const TopologyKind topology :
+         {TopologyKind::kGrid, TopologyKind::kSwitch}) {
+        std::printf("\n-- topology: %s\n",
+                    qccd::TopologyKindName(topology).c_str());
+        std::printf("%-6s", "d");
+        for (const int cap : capacities) {
+            std::printf(" %14s", ("cap " + std::to_string(cap)).c_str());
+        }
+        std::printf("\n");
+        tiqec::bench::Rule(6 + 15 * static_cast<int>(capacities.size()));
+        for (const int d : distances) {
+            std::printf("%-6d", d);
+            for (const int cap : capacities) {
+                ArchitectureConfig arch;
+                arch.topology = topology;
+                arch.trap_capacity = cap;
+                arch.gate_improvement = 5.0;
+                const auto code = qec::MakeCode("rotated", d);
+                core::EvaluationOptions opts;
+                opts.max_shots = 1 << 15;
+                opts.target_logical_errors = 100;
+                const auto m = core::Evaluate(*code, arch, opts);
+                if (m.ok) {
+                    std::printf(" %14.3e", m.ler_per_shot.rate);
+                } else {
+                    std::printf(" %14s", "NaN");
+                }
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n(paper: grid ~= switch within error bars; "
+                "capacity 2 lowest)\n");
+}
+
+void
+BM_LerEvaluationGridD3(benchmark::State& state)
+{
+    const qec::RotatedSurfaceCode code(3);
+    ArchitectureConfig arch;
+    arch.gate_improvement = 5.0;
+    core::EvaluationOptions opts;
+    opts.max_shots = 1 << 12;
+    opts.target_logical_errors = 1 << 30;
+    for (auto _ : state) {
+        auto m = core::Evaluate(code, arch, opts);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_LerEvaluationGridD3);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintFigure8b();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: QEC shot time (five parity-check rounds) as
+ * a function of trap capacity and code distance on the grid topology,
+ * with the figure's lower bound (full parallelism, no reconfiguration)
+ * and upper bound (single fully-serialised chain).
+ *
+ * Expected shapes (paper §7.3): capacity 2 is near the lower bound and
+ * flat in distance; larger capacities grow with distance towards the
+ * serialised bound.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "compiler/bounds.h"
+#include "compiler/compiler.h"
+
+namespace {
+
+using namespace tiqec;
+using qccd::TimingModel;
+using qccd::TopologyKind;
+
+void
+PrintFigure9()
+{
+    const TimingModel timing;
+    const int rounds = 5;
+    const std::vector<int> capacities = {2, 3, 5, 8, 12, 20, 30};
+    const std::vector<int> distances = {3, 5, 7, 9, 11};
+
+    std::printf("\n=== Figure 9: QEC shot time (us, %d rounds) vs trap "
+                "capacity and code distance (grid) ===\n",
+                rounds);
+    std::printf("%-6s %12s", "d", "lower(us)");
+    for (const int cap : capacities) {
+        std::printf(" %10s", ("cap" + std::to_string(cap)).c_str());
+    }
+    std::printf(" %12s\n", "upper(us)");
+    tiqec::bench::Rule(32 + 11 * static_cast<int>(capacities.size()));
+    for (const int d : distances) {
+        const auto code = qec::MakeCode("rotated", d);
+        const double lower =
+            rounds * compiler::ParallelLowerBoundRoundTime(*code, timing);
+        const double upper =
+            rounds * compiler::SerialUpperBoundRoundTime(*code, timing);
+        std::printf("%-6d %12.0f", d, lower);
+        for (const int cap : capacities) {
+            const auto graph =
+                compiler::MakeDeviceFor(*code, TopologyKind::kGrid, cap);
+            const auto result = compiler::CompileParityCheckRounds(
+                *code, rounds, graph, timing);
+            std::printf(" %10s",
+                        tiqec::bench::NumOrNan(result.schedule.makespan,
+                                               result.ok)
+                            .c_str());
+        }
+        std::printf(" %12.0f\n", upper);
+    }
+    std::printf("\n(paper: capacity 2 flat and near the lower bound; "
+                "larger capacities approach the serialised bound)\n");
+}
+
+void
+BM_FiveRoundCompile(benchmark::State& state)
+{
+    const int cap = static_cast<int>(state.range(0));
+    const qec::RotatedSurfaceCode code(5);
+    const TimingModel timing;
+    const auto graph =
+        compiler::MakeDeviceFor(code, TopologyKind::kGrid, cap);
+    for (auto _ : state) {
+        auto result =
+            compiler::CompileParityCheckRounds(code, 5, graph, timing);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_FiveRoundCompile)->Arg(2)->Arg(5)->Arg(12);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintFigure9();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

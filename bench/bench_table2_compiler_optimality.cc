@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Reproduces paper Table 2: the QEC compiler against hand-optimised
+ * (theoretical-minimum) compilation for a set of QEC-code / QCCD-device
+ * pairs - elapsed time for one parity-check round and the number of
+ * routing operations, theoretical vs measured.
+ *
+ * Also registers google-benchmark timings of the end-to-end compile for
+ * representative configurations.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "compiler/bounds.h"
+#include "compiler/compiler.h"
+
+namespace {
+
+using namespace tiqec;
+using compiler::CompileParityCheckRounds;
+using qccd::DeviceGraph;
+using qccd::TimingModel;
+using qccd::TopologyKind;
+
+struct Table2Case
+{
+    const char* label;
+    std::string family;
+    int distance;
+    /** Device factory; a null topology means "single ion chain". */
+    enum class Device { kLinear, kGrid, kSwitch, kSingleChain, kTwoChains };
+    Device device;
+    int capacity;
+};
+
+DeviceGraph
+BuildDevice(const Table2Case& c, const qec::StabilizerCode& code)
+{
+    switch (c.device) {
+      case Table2Case::Device::kLinear:
+        return compiler::MakeDeviceFor(code, TopologyKind::kLinear,
+                                       c.capacity);
+      case Table2Case::Device::kGrid:
+        return compiler::MakeDeviceFor(code, TopologyKind::kGrid,
+                                       c.capacity);
+      case Table2Case::Device::kSwitch:
+        return compiler::MakeDeviceFor(code, TopologyKind::kSwitch,
+                                       c.capacity);
+      case Table2Case::Device::kSingleChain:
+        return DeviceGraph::MakeLinear(1, code.num_qubits() + 1);
+      case Table2Case::Device::kTwoChains:
+        return DeviceGraph::MakeLinear(2, code.num_qubits() / 2 + 2);
+    }
+    return DeviceGraph::MakeLinear(1, code.num_qubits() + 1);
+}
+
+void
+PrintTable2()
+{
+    const std::vector<Table2Case> cases = {
+        {"Repetition d=3 / linear cap 2", "repetition", 3,
+         Table2Case::Device::kLinear, 2},
+        {"Repetition d=3 / linear cap 3", "repetition", 3,
+         Table2Case::Device::kLinear, 3},
+        {"Repetition d=3 / linear cap 4", "repetition", 3,
+         Table2Case::Device::kLinear, 4},
+        {"Repetition d=3 / single ion chain", "repetition", 3,
+         Table2Case::Device::kSingleChain, 0},
+        {"Repetition d=6 / linear cap 2", "repetition", 6,
+         Table2Case::Device::kLinear, 2},
+        {"Repetition d=6 / linear cap 3", "repetition", 6,
+         Table2Case::Device::kLinear, 3},
+        {"Repetition d=6 / linear cap 4", "repetition", 6,
+         Table2Case::Device::kLinear, 4},
+        {"Repetition d=6 / single ion chain", "repetition", 6,
+         Table2Case::Device::kSingleChain, 0},
+        {"Rotated surface d=2 / grid cap 2", "rotated", 2,
+         Table2Case::Device::kGrid, 2},
+        {"Rotated surface d=2 / two ion chains", "rotated", 2,
+         Table2Case::Device::kTwoChains, 0},
+        {"Unrotated surface d=2 / grid cap 3", "unrotated", 2,
+         Table2Case::Device::kGrid, 3},
+        {"Rotated surface d=3 / grid cap 2", "rotated", 3,
+         Table2Case::Device::kGrid, 2},
+        {"Rotated surface d=3 / two ion chains", "rotated", 3,
+         Table2Case::Device::kTwoChains, 0},
+        {"Rotated surface d=3 / switch cap 2", "rotated", 3,
+         Table2Case::Device::kSwitch, 2},
+        {"Rotated surface d=6 / grid cap 2", "rotated", 6,
+         Table2Case::Device::kGrid, 2},
+        {"Rotated surface d=12 / grid cap 2", "rotated", 12,
+         Table2Case::Device::kGrid, 2},
+    };
+
+    std::printf("\n=== Table 2: QEC compiler vs hand-optimised "
+                "(theoretical minimum) compilation ===\n");
+    std::printf("%-38s %12s %12s %7s %14s\n", "configuration",
+                "min time(us)", "measured(us)", "ratio",
+                "ops thr/meas");
+    tiqec::bench::Rule(88);
+    const TimingModel timing;
+    double ratio_sum = 0.0;
+    double worst = 0.0;
+    int matched = 0;
+    int count = 0;
+    for (const auto& c : cases) {
+        const auto code = qec::MakeCode(c.family, c.distance);
+        const DeviceGraph graph = BuildDevice(c, *code);
+        const auto result =
+            CompileParityCheckRounds(*code, 1, graph, timing);
+        if (!result.ok) {
+            std::printf("%-38s %12s\n", c.label, "FAILED");
+            continue;
+        }
+        const auto bound = compiler::ComputeTheoreticalMin(
+            *code, graph, result.partition, result.placement, timing);
+        const double ratio =
+            result.schedule.makespan / std::max(1.0, bound.round_time);
+        ratio_sum += ratio;
+        worst = std::max(worst, ratio);
+        matched += ratio < 1.005 ? 1 : 0;
+        ++count;
+        char ops[48];
+        std::snprintf(ops, sizeof(ops), "%d / %d", bound.routing_ops,
+                      result.routing.num_movement_ops);
+        std::printf("%-38s %12.0f %12.0f %7.2f %14s\n", c.label,
+                    bound.round_time, result.schedule.makespan, ratio, ops);
+    }
+    tiqec::bench::Rule(88);
+    std::printf("matched the bound in %d/%d cases; mean ratio %.2f, "
+                "worst %.2f\n",
+                matched, count, ratio_sum / std::max(1, count), worst);
+    std::printf("(paper: 10/16 matched, mean 1.09X, worst 1.11X; our bound "
+                "assumes zero junction contention, see EXPERIMENTS.md)\n");
+}
+
+void
+BM_CompileRotatedGridCap2(benchmark::State& state)
+{
+    const int d = static_cast<int>(state.range(0));
+    const qec::RotatedSurfaceCode code(d);
+    const TimingModel timing;
+    const auto graph =
+        compiler::MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    for (auto _ : state) {
+        auto result = CompileParityCheckRounds(code, 1, graph, timing);
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["qubits"] = code.num_qubits();
+}
+BENCHMARK(BM_CompileRotatedGridCap2)->Arg(3)->Arg(7)->Arg(11);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    PrintTable2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

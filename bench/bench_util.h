@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries: aligned
+ * table printing and cached logical-error-rate sweeps.
+ *
+ * Every binary regenerates one table or figure from the paper's
+ * evaluation (§7); the printed rows mirror the paper's and EXPERIMENTS.md
+ * records the paper-vs-measured comparison.
+ */
+#ifndef TIQEC_BENCH_BENCH_UTIL_H
+#define TIQEC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/projection.h"
+#include "core/toolflow.h"
+#include "qec/code.h"
+
+namespace tiqec::bench {
+
+/** Prints a horizontal rule sized to `width`. */
+inline void
+Rule(int width)
+{
+    for (int i = 0; i < width; ++i) {
+        std::putchar('-');
+    }
+    std::putchar('\n');
+}
+
+/** Formats a double as "NaN" when invalid (the paper's failed cells). */
+inline std::string
+NumOrNan(double value, bool ok, const char* fmt = "%.0f")
+{
+    if (!ok) {
+        return "NaN";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    return buf;
+}
+
+/** LER sweep over code distances for one architecture. */
+struct LerSweep
+{
+    std::vector<int> distances;
+    std::vector<double> ler_per_shot;
+    std::vector<double> ler_per_round;
+    std::vector<double> round_time;
+    std::vector<std::int64_t> errors;
+
+    /** Statistically usable points only: at least `min_errors` observed
+     *  logical failures (undersampled points flatten the fit). */
+    core::LerProjection
+    ProjectPerRound(std::int64_t min_errors = 10) const
+    {
+        std::vector<int> ds;
+        std::vector<double> ys;
+        for (size_t i = 0; i < distances.size(); ++i) {
+            if (errors[i] >= min_errors) {
+                ds.push_back(distances[i]);
+                ys.push_back(ler_per_round[i]);
+            }
+        }
+        return core::LerProjection(ds, ys);
+    }
+};
+
+inline LerSweep
+RunLerSweep(const std::string& family, const std::vector<int>& distances,
+            const core::ArchitectureConfig& arch, std::int64_t max_shots,
+            std::int64_t target_errors = 100, std::uint64_t seed = 0x5EED)
+{
+    LerSweep sweep;
+    for (const int d : distances) {
+        const auto code = qec::MakeCode(family, d);
+        core::EvaluationOptions opts;
+        opts.max_shots = max_shots;
+        opts.target_logical_errors = target_errors;
+        opts.seed = seed + d;
+        const core::Metrics m = core::Evaluate(*code, arch, opts);
+        if (!m.ok) {
+            continue;
+        }
+        sweep.distances.push_back(d);
+        sweep.ler_per_shot.push_back(m.ler_per_shot.rate);
+        sweep.ler_per_round.push_back(m.ler_per_round);
+        sweep.round_time.push_back(m.round_time);
+        sweep.errors.push_back(m.logical_errors);
+    }
+    return sweep;
+}
+
+}  // namespace tiqec::bench
+
+#endif  // TIQEC_BENCH_BENCH_UTIL_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Logical-memory lifetime study: run the memory-Z experiment at
+ * increasing code distance and gate quality and report per-round logical
+ * error rates and the projected distance needed for the paper's 1e-9
+ * practical-application target (paper Figure 10 methodology, using the
+ * in-house frame simulator + union-find decoder).
+ *
+ * Run: ./build/examples/logical_memory_simulation [shots]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/projection.h"
+#include "core/toolflow.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tiqec;
+    const std::int64_t shots = argc > 1 ? std::atoll(argv[1]) : 40000;
+    std::printf("memory-Z lifetime on the capacity-2 grid (d rounds per "
+                "shot, %lld shots/point)\n\n",
+                static_cast<long long>(shots));
+
+    for (const double improvement : {1.0, 5.0, 10.0}) {
+        std::printf("-- gate improvement %.0fX\n", improvement);
+        std::printf("%6s %12s %12s %14s %14s\n", "d", "shots", "errors",
+                    "LER/shot", "LER/round");
+        std::vector<int> distances;
+        std::vector<double> lers;
+        for (const int d : {3, 5, 7}) {
+            const qec::RotatedSurfaceCode code(d);
+            core::ArchitectureConfig arch;
+            arch.gate_improvement = improvement;
+            core::EvaluationOptions opts;
+            opts.max_shots = shots;
+            opts.target_logical_errors = 1 << 30;  // fixed-shot run
+            opts.seed = 0xFEED + d;
+            const auto m = core::Evaluate(code, arch, opts);
+            if (!m.ok) {
+                std::printf("%6d FAILED: %s\n", d, m.error.c_str());
+                continue;
+            }
+            std::printf("%6d %12lld %12lld %14.3e %14.3e\n", d,
+                        static_cast<long long>(m.shots),
+                        static_cast<long long>(m.logical_errors),
+                        m.ler_per_shot.rate, m.ler_per_round);
+            distances.push_back(d);
+            lers.push_back(m.ler_per_shot.rate);
+        }
+        const core::LerProjection projection(distances, lers);
+        if (projection.valid()) {
+            std::printf("   suppression fit: LER ~ 10^(%.2f d %+.2f); "
+                        "1e-9 target reached at d = %d\n\n",
+                        projection.fit().slope, projection.fit().intercept,
+                        projection.DistanceForTarget(1e-9));
+        } else {
+            std::printf("   no exponential suppression at this gate "
+                        "quality (at or above threshold)\n\n");
+        }
+    }
+    std::printf("(paper: d=13 at 10X or d=18 at 5X reaches the 1e-9 "
+                "quantum-advantage target)\n");
+    return 0;
+}

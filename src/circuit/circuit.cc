@@ -1,0 +1,116 @@
+#include "circuit/circuit.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace tiqec::circuit {
+
+std::string
+GateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kH: return "H";
+      case GateKind::kCnot: return "CNOT";
+      case GateKind::kMs: return "MS";
+      case GateKind::kRx: return "RX";
+      case GateKind::kRy: return "RY";
+      case GateKind::kRz: return "RZ";
+      case GateKind::kMeasure: return "M";
+      case GateKind::kReset: return "R";
+    }
+    return "?";
+}
+
+GateId
+Circuit::Append(const Gate& gate)
+{
+    assert(gate.q0.valid() && gate.q0.value < num_qubits_);
+    assert(!gate.IsTwoQubit() ||
+           (gate.q1.valid() && gate.q1.value < num_qubits_ &&
+            gate.q1 != gate.q0));
+    if (gate.kind == GateKind::kMeasure) {
+        ++num_measurements_;
+    }
+    gates_.push_back(gate);
+    return GateId(static_cast<std::int32_t>(gates_.size()) - 1);
+}
+
+GateId
+Circuit::AddH(QubitId q)
+{
+    return Append({.kind = GateKind::kH, .q0 = q});
+}
+
+GateId
+Circuit::AddCnot(QubitId control, QubitId target)
+{
+    return Append({.kind = GateKind::kCnot, .q0 = control, .q1 = target});
+}
+
+GateId
+Circuit::AddMs(QubitId a, QubitId b, double angle)
+{
+    return Append({.kind = GateKind::kMs, .q0 = a, .q1 = b, .angle = angle});
+}
+
+GateId
+Circuit::AddRx(QubitId q, double angle)
+{
+    return Append({.kind = GateKind::kRx, .q0 = q, .angle = angle});
+}
+
+GateId
+Circuit::AddRy(QubitId q, double angle)
+{
+    return Append({.kind = GateKind::kRy, .q0 = q, .angle = angle});
+}
+
+GateId
+Circuit::AddRz(QubitId q, double angle)
+{
+    return Append({.kind = GateKind::kRz, .q0 = q, .angle = angle});
+}
+
+GateId
+Circuit::AddMeasure(QubitId q)
+{
+    return Append({.kind = GateKind::kMeasure, .q0 = q});
+}
+
+GateId
+Circuit::AddReset(QubitId q)
+{
+    return Append({.kind = GateKind::kReset, .q0 = q});
+}
+
+bool
+Circuit::IsNative() const
+{
+    for (const Gate& g : gates_) {
+        if (!circuit::IsNative(g.kind)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Circuit::ToString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < gates_.size(); ++i) {
+        const Gate& g = gates_[i];
+        os << i << ": " << GateKindName(g.kind) << " q" << g.q0;
+        if (g.IsTwoQubit()) {
+            os << " q" << g.q1;
+        }
+        if (g.kind == GateKind::kRx || g.kind == GateKind::kRy ||
+            g.kind == GateKind::kRz || g.kind == GateKind::kMs) {
+            os << " (" << g.angle << ")";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace tiqec::circuit

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A quantum circuit: an ordered list of gates over a fixed qubit register.
+ */
+#ifndef TIQEC_CIRCUIT_CIRCUIT_H
+#define TIQEC_CIRCUIT_CIRCUIT_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "common/types.h"
+
+namespace tiqec::circuit {
+
+class Circuit
+{
+  public:
+    Circuit() = default;
+    explicit Circuit(int num_qubits) : num_qubits_(num_qubits) {}
+
+    int num_qubits() const { return num_qubits_; }
+    const std::vector<Gate>& gates() const { return gates_; }
+    const Gate& gate(GateId id) const { return gates_[id.value]; }
+    int size() const { return static_cast<int>(gates_.size()); }
+    bool empty() const { return gates_.empty(); }
+
+    /** Appends a gate and returns its id. */
+    GateId Append(const Gate& gate);
+
+    GateId AddH(QubitId q);
+    GateId AddCnot(QubitId control, QubitId target);
+    GateId AddMs(QubitId a, QubitId b, double angle);
+    GateId AddRx(QubitId q, double angle);
+    GateId AddRy(QubitId q, double angle);
+    GateId AddRz(QubitId q, double angle);
+    GateId AddMeasure(QubitId q);
+    GateId AddReset(QubitId q);
+
+    /** Number of measurement gates (defines the measurement record size). */
+    int num_measurements() const { return num_measurements_; }
+
+    /** True if every gate is in the native trapped-ion set. */
+    bool IsNative() const;
+
+    /** Multi-line dump, one gate per line, for debugging and goldens. */
+    std::string ToString() const;
+
+  private:
+    int num_qubits_ = 0;
+    int num_measurements_ = 0;
+    std::vector<Gate> gates_;
+};
+
+}  // namespace tiqec::circuit
+
+#endif  // TIQEC_CIRCUIT_CIRCUIT_H

@@ -1,0 +1,93 @@
+#include "circuit/dag.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tiqec::circuit {
+
+Dag::Dag(const Circuit& circuit)
+    : preds_(circuit.size()), succs_(circuit.size()), depth_(circuit.size(), 0)
+{
+    std::vector<GateId> last_on_qubit(circuit.num_qubits());
+    for (int i = 0; i < circuit.size(); ++i) {
+        const Gate& g = circuit.gates()[i];
+        const GateId id(i);
+        auto link = [&](QubitId q) {
+            const GateId prev = last_on_qubit[q.value];
+            if (prev.valid() && prev != id) {
+                // Avoid duplicate edges when both operands last touched the
+                // same predecessor.
+                auto& p = preds_[id.value];
+                if (std::find(p.begin(), p.end(), prev) == p.end()) {
+                    p.push_back(prev);
+                    succs_[prev.value].push_back(id);
+                }
+            }
+            last_on_qubit[q.value] = id;
+        };
+        link(g.q0);
+        if (g.IsTwoQubit()) {
+            link(g.q1);
+        }
+        if (preds_[i].empty()) {
+            roots_.push_back(id);
+        }
+    }
+    // Reverse topological sweep (program order is a topological order).
+    for (int i = circuit.size() - 1; i >= 0; --i) {
+        int best = 0;
+        for (const GateId s : succs_[i]) {
+            best = std::max(best, depth_[s.value]);
+        }
+        depth_[i] = best + 1;
+        critical_path_ = std::max(critical_path_, depth_[i]);
+    }
+}
+
+std::vector<double>
+Dag::WeightedCriticality(const std::vector<double>& durations) const
+{
+    assert(durations.size() == preds_.size());
+    std::vector<double> crit(preds_.size(), 0.0);
+    for (int i = static_cast<int>(preds_.size()) - 1; i >= 0; --i) {
+        double best = 0.0;
+        for (const GateId s : succs_[i]) {
+            best = std::max(best, crit[s.value]);
+        }
+        crit[i] = best + durations[i];
+    }
+    return crit;
+}
+
+DagFrontier::DagFrontier(const Dag& dag)
+    : dag_(&dag),
+      pending_preds_(dag.size()),
+      ready_mask_(dag.size(), 0),
+      retired_(dag.size(), 0)
+{
+    for (int i = 0; i < dag.size(); ++i) {
+        pending_preds_[i] = static_cast<int>(dag.Predecessors(GateId(i)).size());
+        if (pending_preds_[i] == 0) {
+            ready_mask_[i] = 1;
+            ready_.push_back(GateId(i));
+        }
+    }
+}
+
+void
+DagFrontier::Retire(GateId g)
+{
+    assert(ready_mask_[g.value] && !retired_[g.value]);
+    retired_[g.value] = 1;
+    ready_mask_[g.value] = 0;
+    ready_.erase(std::find(ready_.begin(), ready_.end(), g));
+    ++num_retired_;
+    for (const GateId s : dag_->Successors(g)) {
+        if (--pending_preds_[s.value] == 0) {
+            ready_mask_[s.value] = 1;
+            ready_.push_back(s);
+        }
+    }
+}
+
+}  // namespace tiqec::circuit

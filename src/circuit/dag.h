@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Dependency DAG over a circuit: gate B depends on gate A iff they share a
+ * qubit and A precedes B in program order (only the most recent writer per
+ * qubit is kept, giving the transitive reduction along each qubit line).
+ *
+ * The router consumes the DAG frontier ("ready" gates); the scheduler uses
+ * the same structure plus time-weighted critical-path priorities.
+ */
+#ifndef TIQEC_CIRCUIT_DAG_H
+#define TIQEC_CIRCUIT_DAG_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/types.h"
+
+namespace tiqec::circuit {
+
+class Dag
+{
+  public:
+    explicit Dag(const Circuit& circuit);
+
+    int size() const { return static_cast<int>(preds_.size()); }
+
+    /** Gates that must complete before `g` may start. */
+    const std::vector<GateId>& Predecessors(GateId g) const
+    {
+        return preds_[g.value];
+    }
+
+    /** Gates unblocked by the completion of `g`. */
+    const std::vector<GateId>& Successors(GateId g) const
+    {
+        return succs_[g.value];
+    }
+
+    /** Gates with no predecessors. */
+    const std::vector<GateId>& Roots() const { return roots_; }
+
+    /**
+     * Longest path (in gate count) from `g` to any sink, inclusive.
+     * Useful as a time-free criticality measure.
+     */
+    int DepthFrom(GateId g) const { return depth_[g.value]; }
+
+    /** Length of the longest chain in the DAG (circuit depth). */
+    int CriticalPathLength() const { return critical_path_; }
+
+    /**
+     * Longest downstream path weighted by per-gate durations, inclusive of
+     * the gate itself. `durations[i]` is the duration of gate i.
+     */
+    std::vector<double>
+    WeightedCriticality(const std::vector<double>& durations) const;
+
+  private:
+    std::vector<std::vector<GateId>> preds_;
+    std::vector<std::vector<GateId>> succs_;
+    std::vector<GateId> roots_;
+    std::vector<int> depth_;
+    int critical_path_ = 0;
+};
+
+/**
+ * Mutable frontier tracker for consuming a DAG in topological order.
+ * Gates become "ready" when all predecessors have been retired.
+ */
+class DagFrontier
+{
+  public:
+    explicit DagFrontier(const Dag& dag);
+
+    /** Currently ready, unretired gates (unspecified order). */
+    const std::vector<GateId>& Ready() const { return ready_; }
+
+    bool IsReady(GateId g) const { return ready_mask_[g.value]; }
+    bool IsRetired(GateId g) const { return retired_[g.value]; }
+
+    /** Marks `g` complete and promotes newly unblocked successors. */
+    void Retire(GateId g);
+
+    int num_retired() const { return num_retired_; }
+    bool AllRetired() const { return num_retired_ == dag_->size(); }
+
+  private:
+    const Dag* dag_;
+    std::vector<int> pending_preds_;
+    std::vector<char> ready_mask_;
+    std::vector<char> retired_;
+    std::vector<GateId> ready_;
+    int num_retired_ = 0;
+};
+
+}  // namespace tiqec::circuit
+
+#endif  // TIQEC_CIRCUIT_DAG_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Gate-level intermediate representation.
+ *
+ * Parity-check circuits are first expressed with H / CNOT / measure / reset
+ * (the "QEC IR"), then lowered to the native trapped-ion gate set
+ * (Mølmer-Sørensen + single-qubit rotations, paper §4.1) before routing and
+ * scheduling.
+ */
+#ifndef TIQEC_CIRCUIT_GATE_H
+#define TIQEC_CIRCUIT_GATE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace tiqec::circuit {
+
+/** Gate kinds across both IR levels. */
+enum class GateKind : std::uint8_t {
+    // QEC-level gates.
+    kH,
+    kCnot,
+    // Native trapped-ion gates (paper §2, t1-t4).
+    kMs,    ///< two-qubit Mølmer-Sørensen entangling gate (t1)
+    kRx,    ///< single-qubit X rotation (t2)
+    kRy,    ///< single-qubit Y rotation (t3)
+    kRz,    ///< single-qubit Z rotation (t4)
+    // Common to both levels (t5, t6).
+    kMeasure,
+    kReset,
+};
+
+/** True for two-qubit gate kinds. */
+constexpr bool
+IsTwoQubit(GateKind kind)
+{
+    return kind == GateKind::kCnot || kind == GateKind::kMs;
+}
+
+/** True for gates in the native trapped-ion set (plus measure/reset). */
+constexpr bool
+IsNative(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kMs:
+      case GateKind::kRx:
+      case GateKind::kRy:
+      case GateKind::kRz:
+      case GateKind::kMeasure:
+      case GateKind::kReset:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Human-readable mnemonic, e.g. "CNOT". */
+std::string GateKindName(GateKind kind);
+
+/**
+ * One gate application.
+ *
+ * For two-qubit gates, q0 is the control (CNOT) or first operand (MS) and
+ * q1 the target / second operand. Single-qubit gates leave q1 invalid.
+ */
+struct Gate
+{
+    GateKind kind = GateKind::kH;
+    QubitId q0;
+    QubitId q1;
+    /** Rotation angle in radians (rotations only). */
+    double angle = 0.0;
+    /**
+     * Id of the QEC-level gate this native gate was lowered from;
+     * invalid for gates that were not produced by lowering.
+     */
+    GateId source;
+
+    bool IsTwoQubit() const { return circuit::IsTwoQubit(kind); }
+};
+
+}  // namespace tiqec::circuit
+
+#endif  // TIQEC_CIRCUIT_GATE_H

@@ -1,0 +1,48 @@
+#include "circuit/native_translation.h"
+
+#include <numbers>
+
+namespace tiqec::circuit {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kHalfPi = kPi / 2.0;
+
+}  // namespace
+
+Circuit
+TranslateToNative(const Circuit& input)
+{
+    Circuit out(input.num_qubits());
+    for (int i = 0; i < input.size(); ++i) {
+        const GateId src(i);
+        const Gate& g = input.gates()[i];
+        auto emit = [&](Gate native) {
+            native.source = src;
+            out.Append(native);
+        };
+        switch (g.kind) {
+          case GateKind::kH:
+            emit({.kind = GateKind::kRy, .q0 = g.q0, .angle = kHalfPi});
+            emit({.kind = GateKind::kRx, .q0 = g.q0, .angle = kPi});
+            break;
+          case GateKind::kCnot:
+            emit({.kind = GateKind::kRy, .q0 = g.q0, .angle = kHalfPi});
+            emit({.kind = GateKind::kMs,
+                  .q0 = g.q0,
+                  .q1 = g.q1,
+                  .angle = kPi / 4.0});
+            emit({.kind = GateKind::kRx, .q0 = g.q0, .angle = -kHalfPi});
+            emit({.kind = GateKind::kRx, .q0 = g.q1, .angle = -kHalfPi});
+            emit({.kind = GateKind::kRy, .q0 = g.q0, .angle = -kHalfPi});
+            break;
+          default:
+            emit(g);
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace tiqec::circuit

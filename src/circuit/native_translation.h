@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lowering from the QEC IR (H, CNOT) to the native trapped-ion gate set
+ * (paper §4.1): Mølmer-Sørensen gates plus single-qubit rotations, using
+ * the standard gate identities from Figgatt's thesis [8].
+ *
+ * Identities used (up to global phase):
+ *   H        = RY(pi/2) . RX(pi)
+ *   CNOT c,t = RY(c, pi/2) . MS(c, t, pi/4) . RX(c, -pi/2)
+ *              . RX(t, -pi/2) . RY(c, -pi/2)
+ *
+ * so a CNOT costs one MS gate plus four rotations (three on the control,
+ * one on the target), i.e. 40 + 4*5 = 60 us when serialised within a trap.
+ */
+#ifndef TIQEC_CIRCUIT_NATIVE_TRANSLATION_H
+#define TIQEC_CIRCUIT_NATIVE_TRANSLATION_H
+
+#include "circuit/circuit.h"
+
+namespace tiqec::circuit {
+
+/** Rotations emitted per lowered CNOT (used by timing bound calculators). */
+inline constexpr int kRotationsPerCnot = 4;
+/** Rotations emitted per lowered H. */
+inline constexpr int kRotationsPerH = 2;
+
+/**
+ * Lowers `input` to native gates. Native gates pass through unchanged;
+ * each emitted native gate records the GateId of the QEC-level gate it
+ * came from in `Gate::source` (self for pass-through gates).
+ */
+Circuit TranslateToNative(const Circuit& input);
+
+}  // namespace tiqec::circuit
+
+#endif  // TIQEC_CIRCUIT_NATIVE_TRANSLATION_H

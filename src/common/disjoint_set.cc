@@ -1,0 +1,52 @@
+#include "common/disjoint_set.h"
+
+#include <numeric>
+
+namespace tiqec {
+
+DisjointSet::DisjointSet(int n)
+    : parent_(n), rank_(n, 0), size_(n, 1), num_sets_(n)
+{
+    std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int
+DisjointSet::Find(int x)
+{
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];  // path halving
+        x = parent_[x];
+    }
+    return x;
+}
+
+int
+DisjointSet::Union(int a, int b)
+{
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) {
+        return ra;
+    }
+    if (rank_[ra] < rank_[rb]) {
+        std::swap(ra, rb);
+    }
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    if (rank_[ra] == rank_[rb]) {
+        ++rank_[ra];
+    }
+    --num_sets_;
+    return ra;
+}
+
+void
+DisjointSet::Reset()
+{
+    std::iota(parent_.begin(), parent_.end(), 0);
+    std::fill(rank_.begin(), rank_.end(), 0);
+    std::fill(size_.begin(), size_.end(), 1);
+    num_sets_ = static_cast<int>(parent_.size());
+}
+
+}  // namespace tiqec

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Disjoint-set (union-find) forest with union by rank and path compression.
+ *
+ * Used by the union-find decoder's cluster bookkeeping and by graph
+ * connectivity checks in the device model.
+ */
+#ifndef TIQEC_COMMON_DISJOINT_SET_H
+#define TIQEC_COMMON_DISJOINT_SET_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tiqec {
+
+class DisjointSet
+{
+  public:
+    /** Creates `n` singleton sets, elements 0..n-1. */
+    explicit DisjointSet(int n);
+
+    /** Root representative of the set containing `x`. */
+    int Find(int x);
+
+    /**
+     * Merges the sets containing `a` and `b`.
+     * @return the root of the merged set.
+     */
+    int Union(int a, int b);
+
+    /** True if `a` and `b` are in the same set. */
+    bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+    /** Number of elements in the set containing `x`. */
+    int SetSize(int x) { return size_[Find(x)]; }
+
+    /** Number of distinct sets remaining. */
+    int NumSets() const { return num_sets_; }
+
+    /** Resets to all-singletons without reallocating. */
+    void Reset();
+
+  private:
+    std::vector<std::int32_t> parent_;
+    std::vector<std::int32_t> rank_;
+    std::vector<std::int32_t> size_;
+    int num_sets_;
+};
+
+}  // namespace tiqec
+
+#endif  // TIQEC_COMMON_DISJOINT_SET_H

@@ -1,0 +1,88 @@
+#include "common/hungarian.h"
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace tiqec {
+
+std::vector<int>
+SolveAssignment(const std::vector<double>& cost, int rows, int cols)
+{
+    assert(rows >= 0 && cols >= rows);
+    assert(static_cast<int>(cost.size()) == rows * cols);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    // Classic O(n^2 m) shortest augmenting path formulation with potentials,
+    // 1-indexed internally (index 0 is the virtual root).
+    std::vector<double> u(rows + 1, 0.0);   // row potentials
+    std::vector<double> v(cols + 1, 0.0);   // column potentials
+    std::vector<int> match(cols + 1, 0);    // match[col] = row (1-based)
+    std::vector<int> way(cols + 1, 0);
+
+    for (int i = 1; i <= rows; ++i) {
+        match[0] = i;
+        int j0 = 0;
+        std::vector<double> minv(cols + 1, kInf);
+        std::vector<char> used(cols + 1, 0);
+        do {
+            used[j0] = 1;
+            const int i0 = match[j0];
+            double delta = kInf;
+            int j1 = -1;
+            for (int j = 1; j <= cols; ++j) {
+                if (used[j]) {
+                    continue;
+                }
+                const double cur =
+                    cost[(i0 - 1) * cols + (j - 1)] - u[i0] - v[j];
+                if (cur < minv[j]) {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if (minv[j] < delta) {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for (int j = 0; j <= cols; ++j) {
+                if (used[j]) {
+                    u[match[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+        } while (match[j0] != 0);
+        // Augment along the found path.
+        do {
+            const int j1 = way[j0];
+            match[j0] = match[j1];
+            j0 = j1;
+        } while (j0 != 0);
+    }
+
+    std::vector<int> assignment(rows, -1);
+    for (int j = 1; j <= cols; ++j) {
+        if (match[j] > 0) {
+            assignment[match[j] - 1] = j - 1;
+        }
+    }
+    return assignment;
+}
+
+double
+AssignmentCost(const std::vector<double>& cost, int cols,
+               const std::vector<int>& assignment)
+{
+    double total = 0.0;
+    for (std::size_t r = 0; r < assignment.size(); ++r) {
+        if (assignment[r] >= 0) {
+            total += cost[r * cols + assignment[r]];
+        }
+    }
+    return total;
+}
+
+}  // namespace tiqec

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Hungarian (Kuhn-Munkres) algorithm for minimum-cost assignment.
+ *
+ * Used by the compiler's placer to match qubit clusters to hardware traps
+ * (paper §4.2, "minimum edge-weight, maximum cardinality matching").
+ * Supports rectangular problems (rows <= cols) in O(rows^2 * cols).
+ */
+#ifndef TIQEC_COMMON_HUNGARIAN_H
+#define TIQEC_COMMON_HUNGARIAN_H
+
+#include <vector>
+
+namespace tiqec {
+
+/**
+ * Solves min-cost assignment of each row to a distinct column.
+ *
+ * @param cost Row-major cost matrix, `rows * cols` entries, rows <= cols.
+ * @param rows Number of rows (agents).
+ * @param cols Number of columns (tasks).
+ * @return assignment[r] = column assigned to row r.
+ */
+std::vector<int> SolveAssignment(const std::vector<double>& cost, int rows,
+                                 int cols);
+
+/** Total cost of an assignment under the given cost matrix. */
+double AssignmentCost(const std::vector<double>& cost, int cols,
+                      const std::vector<int>& assignment);
+
+}  // namespace tiqec
+
+#endif  // TIQEC_COMMON_HUNGARIAN_H

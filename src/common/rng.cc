@@ -1,0 +1,137 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace tiqec {
+
+namespace {
+
+std::uint64_t
+SplitMix64(std::uint64_t& x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+        s = SplitMix64(x);
+    }
+    // Avoid the all-zero state (cannot occur from splitmix in practice,
+    // but guard anyway).
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+        s_[0] = 1;
+    }
+}
+
+std::uint64_t
+Rng::Next()
+{
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::NextDouble()
+{
+    // 53 high bits -> [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::NextBelow(std::uint64_t bound)
+{
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (l < threshold) {
+            x = Next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::NextBinomial(std::uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0) {
+        return 0;
+    }
+    if (p >= 1.0) {
+        return n;
+    }
+    const double mean = static_cast<double>(n) * p;
+    if (n <= 64) {
+        // Exact per-trial sampling.
+        std::uint64_t k = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            k += NextDouble() < p ? 1 : 0;
+        }
+        return k;
+    }
+    if (mean < 32.0) {
+        // Inversion by sequential search over the pmf; numerically stable
+        // for small means, which dominate error sampling workloads.
+        const double q = 1.0 - p;
+        const double ratio = p / q;
+        double pmf = std::pow(q, static_cast<double>(n));
+        if (pmf <= 0.0) {
+            // Underflow guard: fall through to the normal approximation.
+        } else {
+            double u = NextDouble();
+            std::uint64_t k = 0;
+            double cdf = pmf;
+            while (u > cdf && k < n) {
+                ++k;
+                pmf *= ratio * static_cast<double>(n - k + 1) /
+                       static_cast<double>(k);
+                cdf += pmf;
+                if (pmf < 1e-300) {
+                    break;
+                }
+            }
+            return k;
+        }
+    }
+    // Normal approximation with continuity correction for large means.
+    const double sigma = std::sqrt(mean * (1.0 - p));
+    // Box-Muller.
+    const double u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(6.283185307179586 * u2);
+    double k = mean + sigma * z + 0.5;
+    if (k < 0.0) {
+        k = 0.0;
+    }
+    if (k > static_cast<double>(n)) {
+        k = static_cast<double>(n);
+    }
+    return static_cast<std::uint64_t>(k);
+}
+
+}  // namespace tiqec

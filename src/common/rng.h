@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for Monte-Carlo sampling.
+ *
+ * We use xoshiro256** (Blackman & Vigna) rather than std::mt19937 because
+ * the frame simulator consumes random 64-bit words in bulk and xoshiro is
+ * roughly 4x faster with better statistical quality per bit.
+ */
+#ifndef TIQEC_COMMON_RNG_H
+#define TIQEC_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace tiqec {
+
+/** xoshiro256** generator. Satisfies UniformRandomBitGenerator. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seeds the four state words from a single seed via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit word. */
+    result_type operator()() { return Next(); }
+
+    /** Next raw 64-bit word. */
+    std::uint64_t Next();
+
+    /** Uniform double in [0, 1). */
+    double NextDouble();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t NextBelow(std::uint64_t bound);
+
+    /**
+     * Number of successes in `n` Bernoulli(p) trials.
+     *
+     * Uses exact per-trial sampling for tiny n and a BTRS-free
+     * inversion/normal hybrid otherwise; accurate enough for Monte-Carlo
+     * error sampling where n*p spans 1e-3 .. 1e4.
+     */
+    std::uint64_t NextBinomial(std::uint64_t n, double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace tiqec
+
+#endif  // TIQEC_COMMON_RNG_H

@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tiqec {
+
+void
+RunningStats::Add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::Variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStats::StdDev() const
+{
+    return std::sqrt(Variance());
+}
+
+BinomialEstimate
+WilsonInterval(std::uint64_t k, std::uint64_t n, double z)
+{
+    BinomialEstimate est;
+    if (n == 0) {
+        return est;
+    }
+    const double nn = static_cast<double>(n);
+    const double p = static_cast<double>(k) / nn;
+    est.rate = p;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    const double centre = p + z2 / (2.0 * nn);
+    const double margin =
+        z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+    est.low = (centre - margin) / denom;
+    est.high = (centre + margin) / denom;
+    if (est.low < 0.0) {
+        est.low = 0.0;
+    }
+    if (est.high > 1.0) {
+        est.high = 1.0;
+    }
+    return est;
+}
+
+LineFit
+FitLine(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    assert(xs.size() == ys.size());
+    assert(xs.size() >= 2);
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    LineFit fit;
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0.0) {
+        fit.intercept = sy / n;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    const double ss_tot = syy - sy * sy / n;
+    if (ss_tot > 0.0) {
+        double ss_res = 0.0;
+        for (size_t i = 0; i < xs.size(); ++i) {
+            const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+            ss_res += e * e;
+        }
+        fit.r_squared = 1.0 - ss_res / ss_tot;
+    }
+    return fit;
+}
+
+}  // namespace tiqec

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small statistics helpers: mean / stddev accumulation, Wilson confidence
+ * intervals for Monte-Carlo failure rates, and least-squares line fits used
+ * for logical-error-rate projections (paper Figure 10).
+ */
+#ifndef TIQEC_COMMON_STATS_H
+#define TIQEC_COMMON_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tiqec {
+
+/** Streaming mean/variance accumulator (Welford). */
+class RunningStats
+{
+  public:
+    void Add(double x);
+
+    std::int64_t Count() const { return n_; }
+    double Mean() const { return mean_; }
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double Variance() const;
+    double StdDev() const;
+
+  private:
+    std::int64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** Result of a binomial estimate with a confidence interval. */
+struct BinomialEstimate
+{
+    double rate = 0.0;  ///< point estimate k/n
+    double low = 0.0;   ///< lower bound of the Wilson interval
+    double high = 0.0;  ///< upper bound of the Wilson interval
+};
+
+/**
+ * Wilson score interval for `k` successes in `n` trials.
+ * @param z Normal quantile; 1.96 gives a 95% interval.
+ */
+BinomialEstimate WilsonInterval(std::uint64_t k, std::uint64_t n,
+                                double z = 1.96);
+
+/** Least-squares fit y = intercept + slope * x. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r_squared = 0.0;
+};
+
+/** Fits a line to (x, y) pairs. Requires xs.size() == ys.size() >= 2. */
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace tiqec
+
+#endif  // TIQEC_COMMON_STATS_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Strong identifier types and basic physical quantities shared by all
+ * tiqec modules.
+ *
+ * Qubit / trap / junction / segment indices are all plain integers in the
+ * underlying data structures; the strong wrappers below exist so that a
+ * qubit index can never be silently passed where a trap index is expected.
+ */
+#ifndef TIQEC_COMMON_TYPES_H
+#define TIQEC_COMMON_TYPES_H
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace tiqec {
+
+/** Time durations and timestamps are doubles in microseconds. */
+using Microseconds = double;
+
+/**
+ * CRTP-free strong integer id. `Tag` disambiguates unrelated id spaces.
+ */
+template <typename Tag>
+struct StrongId
+{
+    /** Sentinel for "no value". */
+    static constexpr std::int32_t kInvalid = -1;
+
+    std::int32_t value = kInvalid;
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(std::int32_t v) : value(v) {}
+
+    constexpr bool valid() const { return value >= 0; }
+    constexpr auto operator<=>(const StrongId&) const = default;
+};
+
+template <typename Tag>
+std::ostream&
+operator<<(std::ostream& os, StrongId<Tag> id)
+{
+    return os << id.value;
+}
+
+/** A physical qubit (ion) in the device, or a code qubit, per context. */
+using QubitId = StrongId<struct QubitTag>;
+/** A node (trap or junction) in the QCCD device graph. */
+using NodeId = StrongId<struct NodeTag>;
+/** A shuttling segment (edge) in the QCCD device graph. */
+using SegmentId = StrongId<struct SegmentTag>;
+/** A cluster produced by the partitioner. */
+using ClusterId = StrongId<struct ClusterTag>;
+/** A gate (operation) index within a circuit. */
+using GateId = StrongId<struct GateTag>;
+
+/** 2-D coordinate used for both code layouts and device layouts. */
+struct Coord
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr auto operator<=>(const Coord&) const = default;
+
+    constexpr Coord operator+(const Coord& o) const { return {x + o.x, y + o.y}; }
+    constexpr Coord operator-(const Coord& o) const { return {x - o.x, y - o.y}; }
+    constexpr Coord operator*(double s) const { return {x * s, y * s}; }
+};
+
+/** Squared Euclidean distance (cheap, monotone in distance). */
+constexpr double
+DistanceSquared(const Coord& a, const Coord& b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy;
+}
+
+/** Manhattan distance, the natural metric on grid devices. */
+constexpr double
+ManhattanDistance(const Coord& a, const Coord& b)
+{
+    const double dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+    const double dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+    return dx + dy;
+}
+
+inline std::ostream&
+operator<<(std::ostream& os, const Coord& c)
+{
+    return os << "(" << c.x << ", " << c.y << ")";
+}
+
+}  // namespace tiqec
+
+namespace std {
+
+template <typename Tag>
+struct hash<tiqec::StrongId<Tag>>
+{
+    size_t
+    operator()(const tiqec::StrongId<Tag>& id) const noexcept
+    {
+        return std::hash<std::int32_t>{}(id.value);
+    }
+};
+
+}  // namespace std
+
+#endif  // TIQEC_COMMON_TYPES_H

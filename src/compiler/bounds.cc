@@ -1,0 +1,193 @@
+#include "compiler/bounds.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "circuit/dag.h"
+#include "circuit/native_translation.h"
+#include "qec/parity_check.h"
+
+namespace tiqec::compiler {
+
+namespace {
+
+using qccd::NodeKind;
+
+/** Per-edge traversal cost and primitive count for a path hop. */
+struct HopCost
+{
+    Microseconds time = 0.0;
+    int ops = 0;
+};
+
+/**
+ * Cost of traversing the edge (u, v): leaving u (split or junction exit),
+ * shuttling, and entering v (merge or junction entry).
+ */
+HopCost
+EdgeCost(const qccd::DeviceGraph& graph, NodeId u, NodeId v,
+         const qccd::TimingModel& timing)
+{
+    HopCost c;
+    c.time += graph.node(u).kind == NodeKind::kTrap ? timing.split
+                                                    : timing.junction_exit;
+    c.time += timing.shuttle;
+    c.time += graph.node(v).kind == NodeKind::kTrap ? timing.merge
+                                                    : timing.junction_entry;
+    c.ops = 3;
+    return c;
+}
+
+/** BFS path (node sequence) ignoring capacities; empty if disconnected. */
+std::vector<NodeId>
+ShortestPath(const qccd::DeviceGraph& graph, NodeId src, NodeId dst)
+{
+    if (src == dst) {
+        return {src};
+    }
+    std::vector<NodeId> parent(graph.num_nodes());
+    std::vector<char> seen(graph.num_nodes(), 0);
+    std::deque<NodeId> queue{src};
+    seen[src.value] = 1;
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (const SegmentId seg : graph.node(u).segments) {
+            const NodeId v = graph.Neighbor(u, seg);
+            if (seen[v.value]) {
+                continue;
+            }
+            seen[v.value] = 1;
+            parent[v.value] = u;
+            if (v == dst) {
+                std::vector<NodeId> path;
+                for (NodeId w = dst; w != src; w = parent[w.value]) {
+                    path.push_back(w);
+                }
+                path.push_back(src);
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            queue.push_back(v);
+        }
+    }
+    return {};
+}
+
+}  // namespace
+
+TheoreticalBound
+ComputeTheoreticalMin(const qec::StabilizerCode& code,
+                      const qccd::DeviceGraph& graph,
+                      const Partition& partition, const Placement& placement,
+                      const qccd::TimingModel& timing)
+{
+    TheoreticalBound bound;
+    // Serial in-trap CNOT cost: one MS plus its lowered rotations.
+    const Microseconds cnot_time =
+        timing.ms_gate + circuit::kRotationsPerCnot * timing.rotation;
+    const Microseconds h_time = circuit::kRotationsPerH * timing.rotation;
+
+    // Per-check critical chains, assuming cross-check parallelism.
+    Microseconds max_check = 0.0;
+    // Per-trap serial gate load (gates within a trap serialise).
+    std::vector<Microseconds> trap_load(graph.num_nodes(), 0.0);
+
+    for (const auto& chk : code.checks()) {
+        const NodeId home = placement.qubit_trap[chk.ancilla.value];
+        Microseconds chain = timing.reset + timing.measurement;
+        trap_load[home.value] += timing.reset + timing.measurement;
+        if (chk.type == qec::CheckType::kX) {
+            chain += 2.0 * h_time;
+            trap_load[home.value] += 2.0 * h_time;
+        }
+        for (const QubitId data : chk.data_order) {
+            if (!data.valid()) {
+                continue;
+            }
+            const NodeId dst = placement.qubit_trap[data.value];
+            chain += cnot_time;
+            trap_load[dst.value] += cnot_time;
+            if (dst == home) {
+                continue;
+            }
+            const std::vector<NodeId> path = ShortestPath(graph, home, dst);
+            for (size_t i = 0; i + 1 < path.size(); ++i) {
+                const HopCost hop =
+                    EdgeCost(graph, path[i], path[i + 1], timing);
+                // Out and back (the ancilla must return so every trap ends
+                // the cycle at least one ion below capacity).
+                chain += 2.0 * hop.time;
+                bound.routing_ops += 2 * hop.ops;
+            }
+        }
+        max_check = std::max(max_check, chain);
+    }
+    const Microseconds max_trap_load =
+        *std::max_element(trap_load.begin(), trap_load.end());
+    bound.round_time = std::max(max_check, max_trap_load);
+    (void)partition;
+    return bound;
+}
+
+Microseconds
+ParallelLowerBoundRoundTime(const qec::StabilizerCode& code,
+                            const qccd::TimingModel& timing)
+{
+    const circuit::Circuit native =
+        circuit::TranslateToNative(qec::BuildParityCheckRound(code));
+    const circuit::Dag dag(native);
+    std::vector<double> durations;
+    durations.reserve(native.size());
+    for (const auto& g : native.gates()) {
+        switch (g.kind) {
+          case circuit::GateKind::kMs:
+            durations.push_back(timing.ms_gate);
+            break;
+          case circuit::GateKind::kMeasure:
+            durations.push_back(timing.measurement);
+            break;
+          case circuit::GateKind::kReset:
+            durations.push_back(timing.reset);
+            break;
+          default:
+            durations.push_back(timing.rotation);
+            break;
+        }
+    }
+    const std::vector<double> crit = dag.WeightedCriticality(durations);
+    double best = 0.0;
+    for (const double c : crit) {
+        best = std::max(best, c);
+    }
+    return best;
+}
+
+Microseconds
+SerialUpperBoundRoundTime(const qec::StabilizerCode& code,
+                          const qccd::TimingModel& timing)
+{
+    const circuit::Circuit native =
+        circuit::TranslateToNative(qec::BuildParityCheckRound(code));
+    Microseconds total = 0.0;
+    for (const auto& g : native.gates()) {
+        switch (g.kind) {
+          case circuit::GateKind::kMs:
+            total += timing.ms_gate;
+            break;
+          case circuit::GateKind::kMeasure:
+            total += timing.measurement;
+            break;
+          case circuit::GateKind::kReset:
+            total += timing.reset;
+            break;
+          default:
+            total += timing.rotation;
+            break;
+        }
+    }
+    return total;
+}
+
+}  // namespace tiqec::compiler

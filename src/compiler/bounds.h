@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Theoretical bound calculators (paper §6.3, Table 2 and Figure 9).
+ *
+ * `TheoreticalMin*` reproduce the paper's "hand-optimised compilation"
+ * reference: assuming perfect parallelism across checks, each check's
+ * ancilla pays its serial chain of reset / H / CNOTs / measure plus a
+ * shortest-path round trip for every data partner outside its cluster
+ * (ancillas must return so traps end each cycle below capacity). The
+ * bound also respects per-trap gate serialisation, so it degenerates to
+ * the fully-serial sum for single-chain configurations.
+ *
+ * `ParallelLowerBoundRoundTime` is Figure 9's grey lower bound: the
+ * dependence-only critical path with no reconfiguration and unlimited
+ * parallelism. `SerialUpperBoundRoundTime` is the figure's upper bound:
+ * every ion in one trap, fully serialised.
+ */
+#ifndef TIQEC_COMPILER_BOUNDS_H
+#define TIQEC_COMPILER_BOUNDS_H
+
+#include "compiler/placer.h"
+#include "qccd/timing.h"
+#include "qccd/topology.h"
+#include "qec/code.h"
+
+namespace tiqec::compiler {
+
+struct TheoreticalBound
+{
+    Microseconds round_time = 0.0;
+    int routing_ops = 0;
+};
+
+/**
+ * Movement-aware hand-optimal bound for one parity-check round under a
+ * concrete partition/placement.
+ */
+TheoreticalBound ComputeTheoreticalMin(const qec::StabilizerCode& code,
+                                       const qccd::DeviceGraph& graph,
+                                       const Partition& partition,
+                                       const Placement& placement,
+                                       const qccd::TimingModel& timing);
+
+/** Figure 9 lower bound: critical path, no movement, full parallelism. */
+Microseconds ParallelLowerBoundRoundTime(const qec::StabilizerCode& code,
+                                         const qccd::TimingModel& timing);
+
+/** Figure 9 upper bound: all ions in one trap, fully serialised. */
+Microseconds SerialUpperBoundRoundTime(const qec::StabilizerCode& code,
+                                       const qccd::TimingModel& timing);
+
+}  // namespace tiqec::compiler
+
+#endif  // TIQEC_COMPILER_BOUNDS_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Qubit clustering (paper §4.2, step 1): top-down regular partitioning of
+ * the code's planar qubit layout into balanced clusters of size
+ * `capacity - 1`, by recursive bisection along the wider layout axis.
+ *
+ * Because the surface code's interaction graph is grid-local, recursive
+ * geometric bisection approximates the NP-complete balanced-graph-
+ * partitioning objective well: qubit neighbourhoods are preserved, so few
+ * high-priority entanglement edges are cut (paper Figure 6).
+ */
+#ifndef TIQEC_COMPILER_PARTITIONER_H
+#define TIQEC_COMPILER_PARTITIONER_H
+
+#include <vector>
+
+#include "qec/code.h"
+
+namespace tiqec::compiler {
+
+/** Result of clustering: cluster index per qubit plus summary stats. */
+struct Partition
+{
+    /** cluster index (0-based) for each code qubit. */
+    std::vector<int> cluster_of;
+    int num_clusters = 0;
+    /** Size of the largest / smallest cluster (balance check). */
+    int max_cluster_size = 0;
+    int min_cluster_size = 0;
+
+    /** Members of each cluster, in layout order. */
+    std::vector<std::vector<QubitId>> Members() const;
+
+    /**
+     * Total weight of interaction edges cut by the partition (the
+     * balanced-graph-partitioning objective; used in tests/benches).
+     */
+    double CutWeight(const qec::StabilizerCode& code) const;
+};
+
+/**
+ * Partitions the code's qubits into clusters of at most `cluster_size`.
+ *
+ * @param cluster_size Maximum qubits per cluster (= trap capacity - 1).
+ */
+Partition PartitionQubits(const qec::StabilizerCode& code, int cluster_size);
+
+}  // namespace tiqec::compiler
+
+#endif  // TIQEC_COMPILER_PARTITIONER_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cluster-to-trap placement (paper §4.2, step 2): a geometry-based
+ * minimum-cost matching between qubit clusters and hardware traps.
+ *
+ * Cluster centroids (in code-layout coordinates) are affinely rescaled
+ * into the device layout's bounding box; the cost of placing cluster c in
+ * trap t is the squared distance between the rescaled centroid and the
+ * trap position. The rectangular assignment problem is solved exactly
+ * with the Hungarian algorithm in polynomial time, which subsumes the
+ * paper's pruned subset enumeration: the minimum-cost matching over all
+ * traps is the minimum over every subset of the same cardinality.
+ */
+#ifndef TIQEC_COMPILER_PLACER_H
+#define TIQEC_COMPILER_PLACER_H
+
+#include <vector>
+
+#include "compiler/partitioner.h"
+#include "qccd/topology.h"
+#include "qec/code.h"
+
+namespace tiqec::compiler {
+
+/** Qubit-to-trap and cluster-to-trap maps. */
+struct Placement
+{
+    /** Home trap per code qubit. */
+    std::vector<NodeId> qubit_trap;
+    /** Trap per cluster. */
+    std::vector<NodeId> cluster_trap;
+    /** Total matching cost (for diagnostics and tests). */
+    double cost = 0.0;
+};
+
+/**
+ * Places the clusters of `partition` onto traps of `graph`.
+ * Requires partition.num_clusters <= graph.num_traps().
+ */
+Placement PlaceClusters(const qec::StabilizerCode& code,
+                        const Partition& partition,
+                        const qccd::DeviceGraph& graph);
+
+}  // namespace tiqec::compiler
+
+#endif  // TIQEC_COMPILER_PLACER_H

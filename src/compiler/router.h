@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-pass capacity-aware ion routing (paper §4.3, Figure 7).
+ *
+ * Each pass:
+ *  (1) sequences every ready gate that needs no ion movement,
+ *  (2) finds the destination trap of each blocked two-qubit gate's mobile
+ *      (ancilla) ion and computes a shortest path through components with
+ *      remaining capacity, allocating one slot per component on the path,
+ *  (3-6) removes saturated components and repeats for remaining ancillas,
+ *  (7) sequences the movement primitives along every allocated path,
+ *  (8) sequences the gates that required routing,
+ *  (9) re-routes visiting ancillas so that at the pass boundary every trap
+ *      is at most one ion below capacity and every junction/segment is
+ *      empty (the invariants that make per-pass allocation sound).
+ *
+ * The emitted instruction stream is sequentially valid: replaying it
+ * through qccd::DeviceState never violates a hardware constraint, which
+ * the test suite verifies for every configuration it compiles.
+ */
+#ifndef TIQEC_COMPILER_ROUTER_H
+#define TIQEC_COMPILER_ROUTER_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "compiler/placer.h"
+#include "qccd/device_state.h"
+#include "qccd/topology.h"
+
+namespace tiqec::compiler {
+
+/** Router output: a pass-annotated primitive instruction stream. */
+struct RouteResult
+{
+    bool ok = false;
+    std::string error;
+    std::vector<qccd::PrimitiveOp> ops;
+    int num_passes = 0;
+    /** t7-t11 primitives plus gate swaps (paper §6.3). */
+    int num_movement_ops = 0;
+};
+
+/** Ablatable routing policies (see bench_ablation_compiler). */
+struct RouterOptions
+{
+    /**
+     * Step (9) preference: return a displaced ancilla towards its next
+     * partner or its home trap. Disabling falls back to nearest-free
+     * parking, which lets ancillas drift away from their checks.
+     */
+    bool prefer_home = true;
+    /**
+     * Reject allocation-blocked detours and defer the gate a pass
+     * instead of dragging the ion through occupied traps.
+     */
+    bool reject_detours = true;
+};
+
+/**
+ * Routes a native-gate circuit on a placed device.
+ *
+ * @param native Circuit of native gates (see circuit::TranslateToNative).
+ * @param mobile Per-qubit flag: true if the qubit may be shuttled
+ *        (ancillas). For a gate between a mobile and an immobile qubit the
+ *        mobile one moves; between two mobile qubits the second operand
+ *        moves.
+ * @param graph Device topology.
+ * @param placement Home trap per qubit.
+ */
+RouteResult RouteCircuit(const circuit::Circuit& native,
+                         const std::vector<char>& mobile,
+                         const qccd::DeviceGraph& graph,
+                         const Placement& placement,
+                         const RouterOptions& options = {});
+
+/**
+ * Emits the primitive sequence that walks `ion` along `path` (a node
+ * sequence starting at the ion's current trap), applying each primitive
+ * to `state` and appending to `out`: gate swaps to reach the chain end,
+ * split / shuttle / junction entry / exit / merge per hop.
+ *
+ * Shared by the QEC router and the baseline compilers so every backend
+ * pays identical movement costs.
+ *
+ * @return the number of movement ops emitted (including gate swaps).
+ */
+int EmitMovementPath(qccd::DeviceState& state,
+                     const qccd::DeviceGraph& graph, QubitId ion,
+                     const std::vector<NodeId>& path, int pass,
+                     std::vector<qccd::PrimitiveOp>& out);
+
+}  // namespace tiqec::compiler
+
+#endif  // TIQEC_COMPILER_ROUTER_H

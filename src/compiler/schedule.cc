@@ -1,0 +1,40 @@
+#include "compiler/schedule.h"
+
+#include <algorithm>
+
+namespace tiqec::compiler {
+
+void
+Schedule::RecomputeStats()
+{
+    makespan = 0.0;
+    num_movement_ops = 0;
+    movement_time = 0.0;
+    std::vector<std::pair<Microseconds, Microseconds>> intervals;
+    for (const TimedOp& t : ops) {
+        makespan = std::max(makespan, t.end());
+        if (qccd::IsMovement(t.op.kind)) {
+            ++num_movement_ops;
+            intervals.emplace_back(t.start, t.end());
+        }
+    }
+    std::sort(intervals.begin(), intervals.end());
+    Microseconds cur_start = 0.0;
+    Microseconds cur_end = -1.0;
+    for (const auto& [s, e] : intervals) {
+        if (s > cur_end) {
+            if (cur_end >= 0.0) {
+                movement_time += cur_end - cur_start;
+            }
+            cur_start = s;
+            cur_end = e;
+        } else {
+            cur_end = std::max(cur_end, e);
+        }
+    }
+    if (cur_end >= 0.0) {
+        movement_time += cur_end - cur_start;
+    }
+}
+
+}  // namespace tiqec::compiler

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Timed execution schedule produced by the compiler: the primitive
+ * instruction stream with physical timestamps (paper Figure 5, bottom
+ * right) plus the metrics used throughout the evaluation (paper §6.3):
+ * elapsed/QEC-round time, number of movement operations, movement time.
+ */
+#ifndef TIQEC_COMPILER_SCHEDULE_H
+#define TIQEC_COMPILER_SCHEDULE_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "qccd/primitives.h"
+
+namespace tiqec::compiler {
+
+/** One primitive with its scheduled execution window and chain context. */
+struct TimedOp
+{
+    qccd::PrimitiveOp op;
+    Microseconds start = 0.0;
+    Microseconds duration = 0.0;
+    /**
+     * Ions sharing the trap while a gate executes (annotated by the
+     * heating tracker; 1 until annotated). Gates only.
+     */
+    int chain_size = 1;
+    /** Chain vibrational energy n-bar at gate time (gates only). */
+    double nbar = 0.0;
+
+    Microseconds end() const { return start + duration; }
+};
+
+/** A complete schedule in instruction-stream order. */
+struct Schedule
+{
+    std::vector<TimedOp> ops;
+    /** Total elapsed time (QEC round time for one-round inputs). */
+    Microseconds makespan = 0.0;
+    /**
+     * Count of ion reconfiguration primitives t7-t11 plus in-trap gate
+     * swaps (paper §6.3 "Number of Movement / Routing Operations").
+     */
+    int num_movement_ops = 0;
+    /**
+     * Wall-clock time during which at least one reconfiguration primitive
+     * is active (union of movement intervals; paper Table 3 "movement
+     * time").
+     */
+    Microseconds movement_time = 0.0;
+    /** Number of router passes used. */
+    int num_passes = 0;
+
+    /** Recomputes makespan / movement metrics from `ops`. */
+    void RecomputeStats();
+};
+
+}  // namespace tiqec::compiler
+
+#endif  // TIQEC_COMPILER_SCHEDULE_H

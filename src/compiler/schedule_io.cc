@@ -1,0 +1,61 @@
+#include "compiler/schedule_io.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace tiqec::compiler {
+
+void
+WriteScheduleCsv(const Schedule& schedule, std::ostream& os)
+{
+    os << "index,pass,kind,ion0,ion1,node,segment,start_us,end_us,chain,"
+          "nbar\n";
+    for (size_t i = 0; i < schedule.ops.size(); ++i) {
+        const TimedOp& t = schedule.ops[i];
+        os << i << ',' << t.op.pass << ','
+           << qccd::OpKindName(t.op.kind) << ',' << t.op.ion0.value << ','
+           << t.op.ion1.value << ',' << t.op.node.value << ','
+           << t.op.segment.value << ',' << t.start << ',' << t.end() << ','
+           << t.chain_size << ',' << t.nbar << '\n';
+    }
+}
+
+std::string
+ScheduleCsv(const Schedule& schedule)
+{
+    std::ostringstream os;
+    WriteScheduleCsv(schedule, os);
+    return os.str();
+}
+
+std::string
+ScheduleSummary(const Schedule& schedule)
+{
+    struct PassInfo
+    {
+        Microseconds lo = 1e300;
+        Microseconds hi = 0.0;
+        int gates = 0;
+        int moves = 0;
+    };
+    std::map<std::int32_t, PassInfo> passes;
+    for (const TimedOp& t : schedule.ops) {
+        PassInfo& p = passes[t.op.pass];
+        p.lo = std::min(p.lo, t.start);
+        p.hi = std::max(p.hi, t.end());
+        (qccd::IsMovement(t.op.kind) ? p.moves : p.gates) += 1;
+    }
+    std::ostringstream os;
+    os << "makespan " << schedule.makespan << " us, movement "
+       << schedule.num_movement_ops << " ops / " << schedule.movement_time
+       << " us busy\n";
+    for (const auto& [pass, info] : passes) {
+        os << "pass " << pass << ": [" << info.lo << ", " << info.hi
+           << "] us, " << info.gates << " gates, " << info.moves
+           << " movement ops\n";
+    }
+    return os.str();
+}
+
+}  // namespace tiqec::compiler

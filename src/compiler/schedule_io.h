@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Schedule serialisation: CSV export of a timed instruction stream for
+ * offline analysis and visualisation (Gantt charts of trap / junction /
+ * segment occupancy), and a compact per-pass summary. These are the
+ * artefacts a hardware team would hand to the control-system generator.
+ */
+#ifndef TIQEC_COMPILER_SCHEDULE_IO_H
+#define TIQEC_COMPILER_SCHEDULE_IO_H
+
+#include <ostream>
+#include <string>
+
+#include "compiler/schedule.h"
+
+namespace tiqec::compiler {
+
+/**
+ * Writes one row per operation:
+ * `index,pass,kind,ion0,ion1,node,segment,start_us,end_us,chain,nbar`.
+ */
+void WriteScheduleCsv(const Schedule& schedule, std::ostream& os);
+
+/** Returns the CSV as a string (convenience for tests and tools). */
+std::string ScheduleCsv(const Schedule& schedule);
+
+/**
+ * Per-pass summary: pass index, time window, gate and movement op
+ * counts. One line per pass, human-readable.
+ */
+std::string ScheduleSummary(const Schedule& schedule);
+
+}  // namespace tiqec::compiler
+
+#endif  // TIQEC_COMPILER_SCHEDULE_IO_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * List scheduler (paper §4.4): assigns physical timestamps to the routed
+ * instruction stream under precedence and resource constraints, using the
+ * operation timings of Table 1.
+ *
+ * Precedence: per-ion program order plus the router's per-pass movement
+ * barriers (movement in pass p starts only after all movement in earlier
+ * passes has finished, which is what makes per-pass path allocation a
+ * sound concurrency argument).
+ *
+ * Resources: one gate/measurement unit per trap (gates within a trap are
+ * serial, paper §3.1); exclusive segments; junctions with capacity-many
+ * concurrent crossings (1 for grid/linear junctions, trap count for the
+ * optimistic switch hub).
+ *
+ * WISE mode (paper §3.3): transport primitives of different kinds may not
+ * overlap in time - only same-kind transport executes simultaneously,
+ * modelling the shared demultiplexed DAC bus.
+ */
+#ifndef TIQEC_COMPILER_SCHEDULER_H
+#define TIQEC_COMPILER_SCHEDULER_H
+
+#include <vector>
+
+#include "compiler/schedule.h"
+#include "qccd/timing.h"
+#include "qccd/topology.h"
+
+namespace tiqec::compiler {
+
+struct SchedulerOptions
+{
+    /** Enforce the WISE same-kind transport restriction. */
+    bool wise = false;
+    /**
+     * Extra per-two-qubit-gate cooling time (WISE cooling model,
+     * paper §5.1); applied when > 0.
+     */
+    Microseconds cooling_per_two_qubit_gate = 0.0;
+};
+
+/**
+ * Schedules `ops` (a sequentially valid instruction stream in priority
+ * order, as produced by the router) as-soon-as-possible.
+ */
+Schedule ScheduleStream(const std::vector<qccd::PrimitiveOp>& ops,
+                        const qccd::DeviceGraph& graph,
+                        const qccd::TimingModel& timing,
+                        const SchedulerOptions& options = {});
+
+}  // namespace tiqec::compiler
+
+#endif  // TIQEC_COMPILER_SCHEDULER_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Candidate QCCD architecture description (paper Figure 2, left input):
+ * trap capacity, communication topology, control wiring, and the
+ * gate-improvement scenario.
+ */
+#ifndef TIQEC_CORE_ARCHITECTURE_H
+#define TIQEC_CORE_ARCHITECTURE_H
+
+#include <string>
+
+#include "qccd/topology.h"
+
+namespace tiqec::core {
+
+/** Control-system wiring choices (paper §3.3). */
+enum class WiringKind
+{
+    kStandard,  ///< one DAC per electrode
+    kWise,      ///< switch-based demultiplexing network [24]
+};
+
+std::string WiringKindName(WiringKind kind);
+
+struct ArchitectureConfig
+{
+    qccd::TopologyKind topology = qccd::TopologyKind::kGrid;
+    int trap_capacity = 2;
+    WiringKind wiring = WiringKind::kStandard;
+    /** Physical gate improvement factor (1X .. 10X, paper §6.2). */
+    double gate_improvement = 1.0;
+
+    std::string Name() const;
+};
+
+}  // namespace tiqec::core
+
+#endif  // TIQEC_CORE_ARCHITECTURE_H

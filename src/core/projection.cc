@@ -1,0 +1,47 @@
+#include "core/projection.h"
+
+#include <cmath>
+
+namespace tiqec::core {
+
+LerProjection::LerProjection(const std::vector<int>& distances,
+                             const std::vector<double>& lers)
+{
+    std::vector<double> xs, ys;
+    for (size_t i = 0; i < distances.size() && i < lers.size(); ++i) {
+        if (lers[i] > 0.0) {
+            xs.push_back(static_cast<double>(distances[i]));
+            ys.push_back(std::log10(lers[i]));
+        }
+    }
+    if (xs.size() >= 2) {
+        fit_ = FitLine(xs, ys);
+        valid_ = fit_.slope < 0.0;
+    }
+}
+
+double
+LerProjection::LerAt(double distance) const
+{
+    return std::pow(10.0, fit_.intercept + fit_.slope * distance);
+}
+
+int
+LerProjection::DistanceForTarget(double target) const
+{
+    if (!valid_ || target <= 0.0) {
+        return 0;
+    }
+    const double d =
+        (std::log10(target) - fit_.intercept) / fit_.slope;
+    int odd = static_cast<int>(std::ceil(d));
+    if (odd < 3) {
+        odd = 3;
+    }
+    if (odd % 2 == 0) {
+        ++odd;
+    }
+    return odd;
+}
+
+}  // namespace tiqec::core

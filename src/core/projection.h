@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Logical-error-rate projections (paper Figure 10): below the code
+ * threshold, log p_L is linear in the code distance, so a least-squares
+ * fit on Monte-Carlo-measurable distances extrapolates the distance at
+ * which a target such as 1e-9 is reached. Monte-Carlo alone cannot
+ * sample 1e-9 directly - neither could the paper's Stim runs; the
+ * figure's curves are projections of exactly this kind.
+ */
+#ifndef TIQEC_CORE_PROJECTION_H
+#define TIQEC_CORE_PROJECTION_H
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace tiqec::core {
+
+class LerProjection
+{
+  public:
+    /**
+     * Fits log10(ler) = intercept + slope * distance. Points with
+     * ler <= 0 (no observed errors) are skipped. Requires >= 2 usable
+     * points; `valid()` reports whether the fit exists and suppresses
+     * (slope < 0).
+     */
+    LerProjection(const std::vector<int>& distances,
+                  const std::vector<double>& lers);
+
+    bool valid() const { return valid_; }
+    const LineFit& fit() const { return fit_; }
+
+    /** Projected logical error rate at (possibly fractional) distance. */
+    double LerAt(double distance) const;
+
+    /**
+     * Smallest odd distance whose projected LER is at or below `target`
+     * (surface-code distances are conventionally odd); 0 if the fit is
+     * invalid or non-suppressing.
+     */
+    int DistanceForTarget(double target) const;
+
+  private:
+    LineFit fit_;
+    bool valid_ = false;
+};
+
+}  // namespace tiqec::core
+
+#endif  // TIQEC_CORE_PROJECTION_H

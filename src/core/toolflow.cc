@@ -1,0 +1,118 @@
+#include "core/toolflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compiler/compiler.h"
+#include "decoder/union_find_decoder.h"
+#include "noise/annotator.h"
+#include "sim/dem.h"
+#include "sim/frame_simulator.h"
+#include "sim/memory_experiment.h"
+
+namespace tiqec::core {
+
+std::string
+WiringKindName(WiringKind kind)
+{
+    switch (kind) {
+      case WiringKind::kStandard: return "standard";
+      case WiringKind::kWise: return "wise";
+    }
+    return "?";
+}
+
+std::string
+ArchitectureConfig::Name() const
+{
+    return qccd::TopologyKindName(topology) + "_c" +
+           std::to_string(trap_capacity) + "_" + WiringKindName(wiring) +
+           "_" + std::to_string(static_cast<int>(gate_improvement)) + "x";
+}
+
+noise::NoiseParams
+NoiseParamsFor(const ArchitectureConfig& arch)
+{
+    noise::NoiseParams params;
+    params.gate_improvement = arch.gate_improvement;
+    params.cooled = arch.wiring == WiringKind::kWise;
+    return params;
+}
+
+Metrics
+Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
+         const EvaluationOptions& options)
+{
+    Metrics metrics;
+    const qccd::TimingModel timing;
+    const qccd::DeviceGraph graph =
+        compiler::MakeDeviceFor(code, arch.topology, arch.trap_capacity);
+
+    compiler::CompilerOptions copts;
+    copts.wise = arch.wiring == WiringKind::kWise;
+    if (copts.wise) {
+        copts.cooling_per_two_qubit_gate =
+            timing.cooling_per_two_qubit_gate;
+    }
+    auto compiled =
+        compiler::CompileParityCheckRounds(code, 1, graph, timing, copts);
+    if (!compiled.ok) {
+        metrics.error = compiled.error;
+        return metrics;
+    }
+    const int rounds = options.rounds > 0 ? options.rounds : code.distance();
+    metrics.round_time = compiled.schedule.makespan;
+    metrics.shot_time = rounds * compiled.schedule.makespan;
+    metrics.movement_ops_per_round = compiled.routing.num_movement_ops;
+    metrics.movement_time_per_round = compiled.schedule.movement_time;
+    metrics.num_traps_used = compiled.partition.num_clusters;
+
+    const noise::NoiseParams params = NoiseParamsFor(arch);
+    const noise::RoundNoiseProfile profile =
+        noise::AnnotateRound(code, graph, compiled, params, timing);
+    metrics.mean_two_qubit_error = profile.mean_two_qubit_error;
+    metrics.max_two_qubit_error = profile.max_two_qubit_error;
+    if (!code.data_qubits().empty()) {
+        metrics.idle_dephasing_data_qubit =
+            profile.idle_z[code.data_qubits().front().value];
+    }
+    metrics.resources = resources::EstimateResources(
+        resources::MinimalHardware(arch.topology, metrics.num_traps_used,
+                                   arch.trap_capacity));
+    if (options.compile_only) {
+        metrics.ok = true;
+        return metrics;
+    }
+
+    const sim::NoisyCircuit experiment =
+        sim::BuildMemory(code, compiled.qec_circuit, profile, params,
+                         rounds, options.basis);
+    const sim::DetectorErrorModel dem = sim::BuildDem(experiment);
+    decoder::UnionFindDecoder uf(dem);
+    sim::FrameSimulator simulator(experiment, options.seed);
+
+    const int batch = static_cast<int>(
+        std::min<std::int64_t>(options.max_shots, 1 << 14));
+    while (metrics.shots < options.max_shots &&
+           metrics.logical_errors < options.target_logical_errors) {
+        const sim::SampleBatch samples = simulator.Sample(batch);
+        for (int s = 0; s < samples.shots(); ++s) {
+            const std::uint32_t predicted =
+                uf.Decode(samples.SyndromeOf(s));
+            const std::uint32_t actual =
+                samples.Observable(0, s) ? 1u : 0u;
+            metrics.logical_errors += (predicted ^ actual) & 1u;
+        }
+        metrics.shots += samples.shots();
+    }
+    metrics.ler_per_shot = WilsonInterval(
+        static_cast<std::uint64_t>(metrics.logical_errors),
+        static_cast<std::uint64_t>(metrics.shots));
+    const double p = metrics.ler_per_shot.rate;
+    metrics.ler_per_round =
+        p < 1.0 ? 1.0 - std::pow(1.0 - p, 1.0 / rounds) : 1.0;
+    metrics.ok = true;
+    return metrics;
+}
+
+}  // namespace tiqec::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The end-to-end evaluation tool flow (paper Figure 2): candidate QEC
+ * code + candidate QCCD architecture -> compiled schedule -> QEC round
+ * time, logical error rate (Monte-Carlo frame simulation + union-find
+ * decoding), and control-hardware resource estimates.
+ *
+ * This is the library's primary public entry point; the benchmark
+ * binaries in bench/ are thin drivers over `Evaluate` and
+ * `EstimateLogicalErrorRate`.
+ */
+#ifndef TIQEC_CORE_TOOLFLOW_H
+#define TIQEC_CORE_TOOLFLOW_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "core/architecture.h"
+#include "noise/noise_model.h"
+#include "qec/code.h"
+#include "resources/resource_model.h"
+#include "sim/memory_experiment.h"
+
+namespace tiqec::core {
+
+struct EvaluationOptions
+{
+    /** Parity-check rounds per memory shot; -1 means the code distance. */
+    int rounds = -1;
+    /** Monte-Carlo budget. Sampling stops at whichever comes first. */
+    std::int64_t max_shots = 1 << 20;
+    std::int64_t target_logical_errors = 100;
+    std::uint64_t seed = 0x5EED;
+    /** Skip the (expensive) logical-error simulation. */
+    bool compile_only = false;
+    /** Protected logical memory (paper evaluates memory-Z). */
+    sim::MemoryBasis basis = sim::MemoryBasis::kZ;
+};
+
+struct Metrics
+{
+    bool ok = false;
+    std::string error;
+
+    // Compiler outputs (paper §6.3).
+    Microseconds round_time = 0.0;
+    Microseconds shot_time = 0.0;  ///< rounds * round_time
+    int movement_ops_per_round = 0;
+    Microseconds movement_time_per_round = 0.0;
+    int num_traps_used = 0;
+
+    // Noise profile diagnostics.
+    double mean_two_qubit_error = 0.0;
+    double max_two_qubit_error = 0.0;
+    double idle_dephasing_data_qubit = 0.0;
+
+    // Logical error rate (per shot of `rounds` rounds, and per round).
+    std::int64_t shots = 0;
+    std::int64_t logical_errors = 0;
+    BinomialEstimate ler_per_shot;
+    double ler_per_round = 0.0;
+
+    // Control-hardware estimate for the minimal device (paper §5.2).
+    resources::ResourceEstimate resources;
+};
+
+/** Runs the full tool flow for one (code, architecture) pair. */
+Metrics Evaluate(const qec::StabilizerCode& code,
+                 const ArchitectureConfig& arch,
+                 const EvaluationOptions& options = {});
+
+/** Noise parameters implied by an architecture (wiring + improvement). */
+noise::NoiseParams NoiseParamsFor(const ArchitectureConfig& arch);
+
+}  // namespace tiqec::core
+
+#endif  // TIQEC_CORE_TOOLFLOW_H

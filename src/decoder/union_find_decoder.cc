@@ -1,0 +1,246 @@
+#include "decoder/union_find_decoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace tiqec::decoder {
+
+UnionFindDecoder::UnionFindDecoder(const sim::DetectorErrorModel& dem)
+    : num_detectors_(dem.num_detectors)
+{
+    edges_.reserve(dem.edges.size());
+    incident_.resize(num_detectors_ + 1);
+    for (const auto& e : dem.edges) {
+        const std::int32_t v =
+            e.d1 == sim::DemEdge::kBoundary ? BoundaryNode() : e.d1;
+        const auto idx = static_cast<std::int32_t>(edges_.size());
+        edges_.push_back({e.d0, v, e.obs_mask});
+        incident_[e.d0].push_back(idx);
+        if (v != BoundaryNode()) {
+            incident_[v].push_back(idx);
+        } else {
+            incident_[BoundaryNode()].push_back(idx);
+        }
+    }
+    const int n = num_detectors_ + 1;
+    parent_.resize(n);
+    for (int i = 0; i < n; ++i) {
+        parent_[i] = i;
+    }
+    defect_.assign(n, 0);
+    in_cluster_.assign(n, 0);
+    edge_grown_.assign(edges_.size(), 0);
+}
+
+int
+UnionFindDecoder::Find(int x)
+{
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];
+        x = parent_[x];
+    }
+    return x;
+}
+
+void
+UnionFindDecoder::Union(int a, int b)
+{
+    parent_[Find(a)] = Find(b);
+}
+
+std::uint32_t
+UnionFindDecoder::Decode(const std::vector<int>& syndrome)
+{
+    if (syndrome.empty()) {
+        return 0;
+    }
+    // Per-decode cluster state, keyed by current root.
+    struct Cluster
+    {
+        int parity = 0;
+        bool boundary = false;
+        std::vector<std::int32_t> frontier;
+    };
+    std::vector<std::int32_t> touched_nodes;
+    std::vector<std::int32_t> grown_edges;
+    std::vector<Cluster> clusters(syndrome.size());
+    std::vector<std::int32_t> cluster_of_root(num_detectors_ + 1, -1);
+
+    auto touch = [&](int node) {
+        if (!in_cluster_[node]) {
+            in_cluster_[node] = 1;
+            touched_nodes.push_back(node);
+        }
+    };
+
+    for (size_t i = 0; i < syndrome.size(); ++i) {
+        const int d = syndrome[i];
+        assert(d >= 0 && d < num_detectors_);
+        touch(d);
+        defect_[d] = 1;
+        clusters[i].parity = 1;
+        clusters[i].frontier.push_back(d);
+        cluster_of_root[d] = static_cast<std::int32_t>(i);
+    }
+
+    // ---- Growth ----------------------------------------------------------
+    bool any_odd = true;
+    int guard = 0;
+    while (any_odd && ++guard < 4 * (num_detectors_ + 2)) {
+        any_odd = false;
+        for (size_t ci = 0; ci < clusters.size(); ++ci) {
+            // Find the live cluster record for this seed.
+            const int root = Find(syndrome[ci]);
+            const std::int32_t live = cluster_of_root[root];
+            if (live != static_cast<std::int32_t>(ci)) {
+                continue;  // merged into another cluster
+            }
+            Cluster& c = clusters[ci];
+            if (c.parity % 2 == 0 || c.boundary) {
+                continue;
+            }
+            any_odd = true;
+            std::vector<std::int32_t> frontier;
+            frontier.swap(c.frontier);
+            for (const std::int32_t node : frontier) {
+                for (const std::int32_t ei : incident_[node]) {
+                    if (edge_grown_[ei]) {
+                        continue;
+                    }
+                    edge_grown_[ei] = 1;
+                    grown_edges.push_back(ei);
+                    const Edge& e = edges_[ei];
+                    const int other = e.u == node ? e.v : e.u;
+                    if (other == BoundaryNode()) {
+                        c.boundary = true;
+                        continue;
+                    }
+                    if (!in_cluster_[other]) {
+                        touch(other);
+                        parent_[other] = root;
+                        c.frontier.push_back(other);
+                        continue;
+                    }
+                    const int other_root = Find(other);
+                    if (other_root == root) {
+                        continue;
+                    }
+                    // Merge the other cluster into this one.
+                    const std::int32_t oc = cluster_of_root[other_root];
+                    if (oc >= 0) {
+                        Cluster& o = clusters[oc];
+                        c.parity += o.parity;
+                        c.boundary = c.boundary || o.boundary;
+                        c.frontier.insert(c.frontier.end(),
+                                          o.frontier.begin(),
+                                          o.frontier.end());
+                        o.frontier.clear();
+                        cluster_of_root[other_root] = -1;
+                    }
+                    parent_[other_root] = root;
+                }
+            }
+            // The union operations above may have moved the root.
+            const int new_root = Find(root);
+            if (new_root != root) {
+                cluster_of_root[root] = -1;
+            }
+            cluster_of_root[new_root] = static_cast<std::int32_t>(ci);
+            if (c.parity % 2 == 0 || c.boundary) {
+                any_odd = any_odd;  // cluster settled this round
+            }
+        }
+    }
+
+    // ---- Peeling ---------------------------------------------------------
+    // Spanning forest over grown edges; boundary-touching clusters root at
+    // the boundary so leftover defects can drain into it.
+    std::uint32_t correction = 0;
+    std::vector<std::int32_t> order;           // BFS order of nodes
+    std::vector<std::int32_t> parent_edge(num_detectors_ + 1, -1);
+    std::vector<char> visited(num_detectors_ + 1, 0);
+
+    // Adjacency restricted to grown edges.
+    std::vector<std::vector<std::int32_t>> grown_adj(num_detectors_ + 1);
+    for (const std::int32_t ei : grown_edges) {
+        const Edge& e = edges_[ei];
+        grown_adj[e.u].push_back(ei);
+        if (e.v != BoundaryNode()) {
+            grown_adj[e.v].push_back(ei);
+        }
+    }
+    // Trees must root at the boundary where possible, so each BFS runs to
+    // exhaustion before any new root is seeded; otherwise every cluster
+    // node would become its own parentless root and defects could never
+    // drain along tree edges.
+    auto bfs_from = [&](std::int32_t start) {
+        std::deque<std::int32_t> queue{start};
+        while (!queue.empty()) {
+            const std::int32_t node = queue.front();
+            queue.pop_front();
+            order.push_back(node);
+            for (const std::int32_t ei : grown_adj[node]) {
+                const Edge& e = edges_[ei];
+                const int other = e.u == node ? e.v : e.u;
+                if (other == BoundaryNode() || visited[other]) {
+                    continue;
+                }
+                visited[other] = 1;
+                parent_edge[other] = ei;
+                queue.push_back(other);
+            }
+        }
+    };
+    for (const std::int32_t ei : grown_edges) {
+        const Edge& e = edges_[ei];
+        if (e.v == BoundaryNode() && !visited[e.u]) {
+            visited[e.u] = 1;
+            parent_edge[e.u] = ei;  // parent is the boundary
+            bfs_from(e.u);
+        }
+    }
+    for (const std::int32_t node : touched_nodes) {
+        if (!visited[node]) {
+            visited[node] = 1;
+            parent_edge[node] = -1;  // interior forest root
+            bfs_from(node);
+        }
+    }
+    // Peel from the leaves (reverse BFS order).
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const std::int32_t node = *it;
+        if (!defect_[node]) {
+            continue;
+        }
+        const std::int32_t ei = parent_edge[node];
+        if (ei < 0) {
+            // Root of an even (non-boundary) cluster: parity guarantees
+            // the defect was consumed, so reaching here with a defect
+            // means the cluster was odd without boundary access; the
+            // growth loop's guard makes this unreachable in practice.
+            continue;
+        }
+        const Edge& e = edges_[ei];
+        correction ^= e.obs_mask;
+        defect_[node] = 0;
+        const int other = e.u == node ? e.v : e.u;
+        if (other != BoundaryNode()) {
+            defect_[other] ^= 1;
+        }
+    }
+
+    // ---- Reset scratch ----------------------------------------------------
+    for (const std::int32_t node : touched_nodes) {
+        parent_[node] = node;
+        defect_[node] = 0;
+        in_cluster_[node] = 0;
+        cluster_of_root[node] = -1;
+    }
+    for (const std::int32_t ei : grown_edges) {
+        edge_grown_[ei] = 0;
+    }
+    return correction;
+}
+
+}  // namespace tiqec::decoder

@@ -1,0 +1,59 @@
+#include "noise/noise_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tiqec::noise {
+
+namespace {
+
+double
+Clamp01(double p)
+{
+    return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+double
+NoiseParams::ThermalFactor(int chain_size) const
+{
+    const double n = std::max(chain_size, 2);
+    return a0 * std::log(n) / n;
+}
+
+double
+NoiseParams::SingleQubitError(Microseconds tau, int chain_size,
+                              double nbar) const
+{
+    if (cooled) {
+        return Clamp01(cooled_p1 / gate_improvement);
+    }
+    const double p =
+        gamma_per_us * tau + ThermalFactor(chain_size) * (2.0 * nbar + 1.0);
+    return Clamp01(single_qubit_error_factor * p / gate_improvement);
+}
+
+double
+NoiseParams::TwoQubitError(Microseconds tau, int chain_size,
+                           double nbar) const
+{
+    if (cooled) {
+        return Clamp01(cooled_p2 / gate_improvement);
+    }
+    const double p =
+        gamma_per_us * tau + ThermalFactor(chain_size) * (2.0 * nbar + 1.0);
+    return Clamp01(p / gate_improvement);
+}
+
+double
+NoiseParams::IdleDephasing(Microseconds t) const
+{
+    if (t <= 0.0) {
+        return 0.0;
+    }
+    const double t2 = t2_us * gate_improvement;
+    return Clamp01((1.0 - std::exp(-t / t2)) / 2.0);
+}
+
+}  // namespace tiqec::noise

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Trapped-ion noise model (paper §5.1, Table 1): five stochastic Pauli
+ * channels with heating-dependent gate fidelities.
+ *
+ *  e1: collective dephasing - Pauli Z with p = (1 - exp(-t / T2)) / 2
+ *      during idling and reconfiguration, T2 = 2.2 s.
+ *  e2: depolarising noise after single-qubit gates.
+ *  e3: depolarising noise after two-qubit gates.
+ *  e4: imperfect reset - X flip with p = 5e-3.
+ *  e5: imperfect measurement - recorded-bit flip with p = 1e-3.
+ *
+ * Gate infidelity follows the thermal model of Murali et al. [28]:
+ *   p(e2), p(e3) = Gamma * tau + A(N) * (2 n-bar + 1),
+ * where Gamma is the trap's background heating rate, tau the gate
+ * duration, A(N) = A0 * ln(max(N,2)) / max(N,2) captures laser-beam
+ * thermal instability in an N-ion chain, and n-bar is the chain's
+ * vibrational energy in motional quanta. Movement primitives raise n-bar
+ * to the Table 1 bounds; Doppler cooling during measurement/reset
+ * restores the cooled baseline.
+ *
+ * Calibration: Gamma = 1e-6 / us, A0 = 1.0e-3, chosen so that a 5X gate
+ * improvement corresponds to ~1e-3 two-qubit depolarising error in the
+ * post-movement steady state (paper §5.1: "A 5X improvement in our setup
+ * corresponds to ~1e-3 depolarising error rates per qubit gate").
+ *
+ * The gate-improvement factor k divides e2..e5 and multiplies T2
+ * (paper §6.2).
+ */
+#ifndef TIQEC_NOISE_NOISE_MODEL_H
+#define TIQEC_NOISE_NOISE_MODEL_H
+
+#include "common/types.h"
+
+namespace tiqec::noise {
+
+struct NoiseParams
+{
+    /** Qubit coherence time in microseconds (2.2 s). */
+    double t2_us = 2.2e6;
+    /** Imperfect reset X-flip probability (e4). */
+    double p_reset = 5e-3;
+    /** Imperfect measurement flip probability (e5). */
+    double p_measure = 1e-3;
+    /** Background heating rate Gamma, per microsecond. */
+    double gamma_per_us = 1e-6;
+    /** Thermal scaling prefactor A0. */
+    double a0 = 1.0e-3;
+    /**
+     * Single-qubit gates on trapped ions are roughly an order of
+     * magnitude more faithful than two-qubit gates (laser-addressing
+     * rather than motional-bus mediated), so e2 is scaled down relative
+     * to the shared thermal expression. This keeps the total error of a
+     * lowered CNOT (one MS + four rotations) at the paper's "5X
+     * improvement ~= 1e-3 depolarising error per qubit gate" calibration.
+     */
+    double single_qubit_error_factor = 0.1;
+    /** Physical gate improvement factor (1X .. 10X, paper §6.2). */
+    double gate_improvement = 1.0;
+
+    /**
+     * WISE cooling model (paper §5.1): fixed gate errors that ignore
+     * heating, paid for with +850 us per two-qubit gate.
+     */
+    bool cooled = false;
+    double cooled_p1 = 3e-3;
+    double cooled_p2 = 2e-3;
+
+    /** A(N) = A0 ln(max(N,2)) / max(N,2). */
+    double ThermalFactor(int chain_size) const;
+
+    /** Depolarising probability after a single-qubit gate (e2). */
+    double SingleQubitError(Microseconds tau, int chain_size,
+                            double nbar) const;
+
+    /** Depolarising probability after a two-qubit gate (e3). */
+    double TwoQubitError(Microseconds tau, int chain_size, double nbar) const;
+
+    /** Z-dephasing probability for an idle window of length t (e1). */
+    double IdleDephasing(Microseconds t) const;
+
+    /** Reset error scaled by the gate improvement (e4). */
+    double ResetError() const { return p_reset / gate_improvement; }
+
+    /** Measurement error scaled by the gate improvement (e5). */
+    double MeasureError() const { return p_measure / gate_improvement; }
+};
+
+}  // namespace tiqec::noise
+
+#endif  // TIQEC_NOISE_NOISE_MODEL_H

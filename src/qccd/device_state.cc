@@ -1,0 +1,330 @@
+#include "qccd/device_state.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tiqec::qccd {
+
+namespace {
+
+[[noreturn]] void
+Fail(const std::string& msg)
+{
+    std::cerr << "DeviceState constraint violation: " << msg << "\n";
+    std::abort();
+}
+
+}  // namespace
+
+DeviceState::DeviceState(const DeviceGraph& graph, int num_ions)
+    : graph_(&graph),
+      place_(num_ions, IonPlace::kTrap),
+      node_(num_ions),
+      segment_(num_ions),
+      chains_(graph.num_nodes()),
+      segment_ion_(graph.num_segments()),
+      junction_ions_(graph.num_nodes())
+{
+}
+
+void
+DeviceState::LoadIon(QubitId ion, NodeId trap)
+{
+    assert(!node_[ion.value].valid() && !segment_[ion.value].valid());
+    const DeviceNode& n = graph_->node(trap);
+    assert(n.kind == NodeKind::kTrap);
+    if (static_cast<int>(chains_[trap.value].size()) >= n.capacity) {
+        Fail("loading ion into a full trap");
+    }
+    place_[ion.value] = IonPlace::kTrap;
+    node_[ion.value] = trap;
+    chains_[trap.value].push_back(ion);
+}
+
+int
+DeviceState::Occupancy(NodeId node) const
+{
+    const DeviceNode& n = graph_->node(node);
+    if (n.kind == NodeKind::kTrap) {
+        return static_cast<int>(chains_[node.value].size());
+    }
+    return static_cast<int>(junction_ions_[node.value].size());
+}
+
+int
+DeviceState::SwapsToEnd(QubitId ion, SegmentId seg) const
+{
+    const NodeId trap = node_[ion.value];
+    assert(trap.valid() && place_[ion.value] == IonPlace::kTrap);
+    const auto& chain = chains_[trap.value];
+    const auto it = std::find(chain.begin(), chain.end(), ion);
+    assert(it != chain.end());
+    const int idx = static_cast<int>(it - chain.begin());
+    const int n = static_cast<int>(chain.size());
+    // Side 0 (first incident segment) is the chain front; any other side
+    // is the back. Single-segment traps split from the front.
+    const auto& segs = graph_->node(trap).segments;
+    const bool front = segs.empty() || segs.front() == seg;
+    return front ? idx : n - 1 - idx;
+}
+
+void
+DeviceState::RemoveFromChain(NodeId trap, QubitId ion)
+{
+    auto& chain = chains_[trap.value];
+    const auto it = std::find(chain.begin(), chain.end(), ion);
+    assert(it != chain.end());
+    chain.erase(it);
+}
+
+void
+DeviceState::ApplySwapTowardEnd(QubitId ion, SegmentId seg)
+{
+    const NodeId trap = node_[ion.value];
+    auto& chain = chains_[trap.value];
+    const auto it = std::find(chain.begin(), chain.end(), ion);
+    assert(it != chain.end());
+    const auto& segs = graph_->node(trap).segments;
+    const bool front = segs.empty() || segs.front() == seg;
+    if (front) {
+        if (it == chain.begin()) {
+            Fail("swap toward front from front position");
+        }
+        std::iter_swap(it, it - 1);
+    } else {
+        if (it + 1 == chain.end()) {
+            Fail("swap toward back from back position");
+        }
+        std::iter_swap(it, it + 1);
+    }
+}
+
+void
+DeviceState::ApplySplit(QubitId ion, SegmentId seg)
+{
+    if (auto err = TryApply({.kind = OpKind::kSplit,
+                             .ion0 = ion,
+                             .segment = seg})) {
+        Fail(*err);
+    }
+}
+
+void
+DeviceState::ApplyMerge(QubitId ion, NodeId trap)
+{
+    if (auto err = TryApply({.kind = OpKind::kMerge,
+                             .ion0 = ion,
+                             .node = trap})) {
+        Fail(*err);
+    }
+}
+
+void
+DeviceState::ApplyShuttle(QubitId ion, SegmentId seg)
+{
+    if (auto err = TryApply({.kind = OpKind::kShuttle,
+                             .ion0 = ion,
+                             .segment = seg})) {
+        Fail(*err);
+    }
+}
+
+void
+DeviceState::ApplyJunctionEnter(QubitId ion, NodeId junction)
+{
+    if (auto err = TryApply({.kind = OpKind::kJunctionEnter,
+                             .ion0 = ion,
+                             .node = junction})) {
+        Fail(*err);
+    }
+}
+
+void
+DeviceState::ApplyJunctionExit(QubitId ion, SegmentId seg)
+{
+    if (auto err = TryApply({.kind = OpKind::kJunctionExit,
+                             .ion0 = ion,
+                             .segment = seg})) {
+        Fail(*err);
+    }
+}
+
+std::optional<std::string>
+DeviceState::TryApply(const PrimitiveOp& op)
+{
+    const QubitId ion = op.ion0;
+    auto err = [&](const std::string& what) {
+        std::ostringstream os;
+        os << OpKindName(op.kind) << " ion " << ion << ": " << what;
+        return std::optional<std::string>(os.str());
+    };
+    switch (op.kind) {
+      case OpKind::kSplit: {
+        if (place_[ion.value] != IonPlace::kTrap) {
+            return err("ion not in a trap");
+        }
+        const NodeId trap = node_[ion.value];
+        const DeviceSegment& s = graph_->segment(op.segment);
+        if (s.a != trap && s.b != trap) {
+            return err("segment not adjacent to ion's trap");
+        }
+        if (segment_ion_[op.segment.value].valid()) {
+            return err("segment occupied");
+        }
+        if (SwapsToEnd(ion, op.segment) != 0) {
+            return err("ion not at the chain end facing the segment");
+        }
+        RemoveFromChain(trap, ion);
+        place_[ion.value] = IonPlace::kSegment;
+        node_[ion.value] = NodeId();
+        segment_[ion.value] = op.segment;
+        segment_ion_[op.segment.value] = ion;
+        return std::nullopt;
+      }
+      case OpKind::kShuttle: {
+        if (place_[ion.value] != IonPlace::kSegment ||
+            segment_[ion.value] != op.segment) {
+            return err("ion not in the named segment");
+        }
+        return std::nullopt;  // traversal affects timing only
+      }
+      case OpKind::kMerge: {
+        if (place_[ion.value] != IonPlace::kSegment) {
+            return err("ion not in a segment");
+        }
+        const SegmentId seg = segment_[ion.value];
+        const DeviceSegment& s = graph_->segment(seg);
+        if (s.a != op.node && s.b != op.node) {
+            return err("trap not adjacent to ion's segment");
+        }
+        const DeviceNode& n = graph_->node(op.node);
+        if (n.kind != NodeKind::kTrap) {
+            return err("merge target is not a trap");
+        }
+        if (Occupancy(op.node) >= n.capacity) {
+            return err("trap at capacity");
+        }
+        segment_ion_[seg.value] = QubitId();
+        place_[ion.value] = IonPlace::kTrap;
+        segment_[ion.value] = SegmentId();
+        node_[ion.value] = op.node;
+        // Enter the chain at the end facing the segment we came from.
+        const auto& segs = n.segments;
+        const bool front = segs.empty() || segs.front() == seg;
+        auto& chain = chains_[op.node.value];
+        if (front) {
+            chain.insert(chain.begin(), ion);
+        } else {
+            chain.push_back(ion);
+        }
+        return std::nullopt;
+      }
+      case OpKind::kJunctionEnter: {
+        if (place_[ion.value] != IonPlace::kSegment) {
+            return err("ion not in a segment");
+        }
+        const SegmentId seg = segment_[ion.value];
+        const DeviceSegment& s = graph_->segment(seg);
+        if (s.a != op.node && s.b != op.node) {
+            return err("junction not adjacent to ion's segment");
+        }
+        const DeviceNode& n = graph_->node(op.node);
+        if (n.kind != NodeKind::kJunction) {
+            return err("junction-enter target is not a junction");
+        }
+        if (Occupancy(op.node) >= n.capacity) {
+            return err("junction occupied");
+        }
+        segment_ion_[seg.value] = QubitId();
+        place_[ion.value] = IonPlace::kJunction;
+        segment_[ion.value] = SegmentId();
+        node_[ion.value] = op.node;
+        junction_ions_[op.node.value].push_back(ion);
+        return std::nullopt;
+      }
+      case OpKind::kJunctionExit: {
+        if (place_[ion.value] != IonPlace::kJunction) {
+            return err("ion not in a junction");
+        }
+        const NodeId jxn = node_[ion.value];
+        const DeviceSegment& s = graph_->segment(op.segment);
+        if (s.a != jxn && s.b != jxn) {
+            return err("segment not adjacent to ion's junction");
+        }
+        if (segment_ion_[op.segment.value].valid()) {
+            return err("segment occupied");
+        }
+        auto& ions = junction_ions_[jxn.value];
+        ions.erase(std::find(ions.begin(), ions.end(), ion));
+        place_[ion.value] = IonPlace::kSegment;
+        node_[ion.value] = NodeId();
+        segment_[ion.value] = op.segment;
+        segment_ion_[op.segment.value] = ion;
+        return std::nullopt;
+      }
+      case OpKind::kGateSwap: {
+        if (place_[ion.value] != IonPlace::kTrap ||
+            place_[op.ion1.value] != IonPlace::kTrap ||
+            node_[ion.value] != node_[op.ion1.value]) {
+            return err("gate swap requires co-located ions");
+        }
+        auto& chain = chains_[node_[ion.value].value];
+        const auto i0 = std::find(chain.begin(), chain.end(), ion);
+        const auto i1 = std::find(chain.begin(), chain.end(), op.ion1);
+        if (std::abs(static_cast<long>(i0 - i1)) != 1) {
+            return err("gate swap requires neighbouring chain positions");
+        }
+        std::iter_swap(i0, i1);
+        return std::nullopt;
+      }
+      case OpKind::kMs: {
+        if (place_[ion.value] != IonPlace::kTrap ||
+            place_[op.ion1.value] != IonPlace::kTrap ||
+            node_[ion.value] != node_[op.ion1.value]) {
+            return err("two-qubit gate requires co-located ions");
+        }
+        return std::nullopt;
+      }
+      case OpKind::kRotation:
+      case OpKind::kMeasure:
+      case OpKind::kReset: {
+        if (place_[ion.value] != IonPlace::kTrap) {
+            return err("gate on an ion outside a trap");
+        }
+        return std::nullopt;
+      }
+    }
+    return err("unknown op kind");
+}
+
+bool
+DeviceState::TransportComponentsEmpty() const
+{
+    for (const QubitId ion : segment_ion_) {
+        if (ion.valid()) {
+            return false;
+        }
+    }
+    for (const auto& ions : junction_ions_) {
+        if (!ions.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+DeviceState::AllTrapsBelowCapacity() const
+{
+    for (const NodeId t : graph_->traps()) {
+        if (Occupancy(t) > graph_->node(t).capacity - 1) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace tiqec::qccd

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Mutable ion-position state for a QCCD device, with hardware-constraint
+ * checking (paper §4.3): trap capacity, junction exclusivity, segment
+ * exclusivity. Ions in a trap form an ordered linear chain; splitting is
+ * only possible from a chain end, which is what forces in-trap gate swaps.
+ *
+ * Used by the router to track positions while emitting primitives, and by
+ * the stream validator (replaying a full instruction stream) in tests and
+ * baseline comparisons.
+ */
+#ifndef TIQEC_QCCD_DEVICE_STATE_H
+#define TIQEC_QCCD_DEVICE_STATE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qccd/primitives.h"
+#include "qccd/topology.h"
+
+namespace tiqec::qccd {
+
+/** Where an ion currently resides. */
+enum class IonPlace : std::uint8_t {
+    kTrap,
+    kSegment,
+    kJunction,
+};
+
+class DeviceState
+{
+  public:
+    /**
+     * @param graph Device to track (must outlive the state).
+     * @param num_ions Number of ions; all start unplaced.
+     */
+    DeviceState(const DeviceGraph& graph, int num_ions);
+
+    const DeviceGraph& graph() const { return *graph_; }
+    int num_ions() const { return static_cast<int>(place_.size()); }
+
+    /** Places an ion into a trap (initial loading). */
+    void LoadIon(QubitId ion, NodeId trap);
+
+    IonPlace PlaceOf(QubitId ion) const { return place_[ion.value]; }
+    /** Node (trap/junction) holding the ion; invalid if in a segment. */
+    NodeId NodeOf(QubitId ion) const { return node_[ion.value]; }
+    /** Segment holding the ion; invalid if in a node. */
+    SegmentId SegmentOf(QubitId ion) const { return segment_[ion.value]; }
+
+    /** Ions in `trap`, in chain order. */
+    const std::vector<QubitId>& ChainOf(NodeId trap) const
+    {
+        return chains_[trap.value];
+    }
+
+    int Occupancy(NodeId node) const;
+    bool SegmentOccupied(SegmentId seg) const
+    {
+        return segment_ion_[seg.value].valid();
+    }
+
+    /**
+     * Number of in-trap swaps needed to bring `ion` to the chain end
+     * adjacent to `seg` before a split. Chain ends map to segments by
+     * geometric order of the neighbouring nodes.
+     */
+    int SwapsToEnd(QubitId ion, SegmentId seg) const;
+
+    // -- Primitive applications (abort with a failure message on any
+    //    constraint violation; see TryApply for non-fatal checking). ------
+
+    void ApplySwapTowardEnd(QubitId ion, SegmentId seg);
+    void ApplySplit(QubitId ion, SegmentId seg);
+    void ApplyMerge(QubitId ion, NodeId trap);
+    void ApplyShuttle(QubitId ion, SegmentId seg);
+    void ApplyJunctionEnter(QubitId ion, NodeId junction);
+    void ApplyJunctionExit(QubitId ion, SegmentId seg);
+
+    /**
+     * Applies one primitive from an instruction stream; returns an error
+     * description on constraint violation instead of aborting, leaving the
+     * state untouched. Gate ops only verify co-location.
+     */
+    std::optional<std::string> TryApply(const PrimitiveOp& op);
+
+    /** True if no junction or segment currently holds an ion. */
+    bool TransportComponentsEmpty() const;
+
+    /** True if every trap holds at most capacity - 1 ions. */
+    bool AllTrapsBelowCapacity() const;
+
+  private:
+    void RemoveFromChain(NodeId trap, QubitId ion);
+
+    const DeviceGraph* graph_;
+    std::vector<IonPlace> place_;
+    std::vector<NodeId> node_;
+    std::vector<SegmentId> segment_;
+    std::vector<std::vector<QubitId>> chains_;    // per trap node id
+    std::vector<QubitId> segment_ion_;            // per segment
+    std::vector<std::vector<QubitId>> junction_ions_;  // per node id
+};
+
+}  // namespace tiqec::qccd
+
+#endif  // TIQEC_QCCD_DEVICE_STATE_H

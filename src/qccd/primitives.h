@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The primitive QCCD instruction set (paper §2, t1-t11) plus the in-trap
+ * gate swap (3 sequential MS gates) used to bring an ion to a trap end
+ * before splitting.
+ *
+ * A `PrimitiveOp` is one element of the compiler's output instruction
+ * stream; `TimedOp` (compiler/schedule.h) adds physical timestamps.
+ */
+#ifndef TIQEC_QCCD_PRIMITIVES_H
+#define TIQEC_QCCD_PRIMITIVES_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace tiqec::qccd {
+
+/** Primitive operation kinds. */
+enum class OpKind : std::uint8_t {
+    // Gates (t1-t6).
+    kMs,            ///< t1: two-qubit Mølmer-Sørensen gate
+    kRotation,      ///< t2-t4: single-qubit rotation (axis irrelevant to timing)
+    kMeasure,       ///< t5
+    kReset,         ///< t6
+    // Ion reconfiguration (t7-t11).
+    kShuttle,       ///< t7: traverse a transport segment
+    kSplit,         ///< t8: trap -> segment
+    kMerge,         ///< t9: segment -> trap
+    kJunctionEnter, ///< t10: segment -> junction
+    kJunctionExit,  ///< t11: junction -> segment
+    // Composite movement helper.
+    kGateSwap,      ///< swap two neighbouring ions in a trap (3 MS gates)
+};
+
+/** True for the reconfiguration primitives t7-t11. */
+constexpr bool
+IsTransport(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kShuttle:
+      case OpKind::kSplit:
+      case OpKind::kMerge:
+      case OpKind::kJunctionEnter:
+      case OpKind::kJunctionExit:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for movement bookkeeping (transport or in-trap gate swap). */
+constexpr bool
+IsMovement(OpKind kind)
+{
+    return IsTransport(kind) || kind == OpKind::kGateSwap;
+}
+
+/** Mnemonic, e.g. "SPLIT". */
+std::string OpKindName(OpKind kind);
+
+/**
+ * One primitive operation in the output instruction stream.
+ *
+ * Gates name the trap they execute in (`node`); transport primitives name
+ * the component being entered: the segment for split/shuttle/junction-exit,
+ * the junction for junction-enter, the trap for merge. `ion1` is only used
+ * by two-qubit gates and swaps.
+ */
+struct PrimitiveOp
+{
+    OpKind kind = OpKind::kRotation;
+    QubitId ion0;
+    QubitId ion1;
+    NodeId node;
+    SegmentId segment;
+    /** QEC-IR gate this op implements; invalid for movement. */
+    GateId source_gate;
+    /** Router pass that emitted the op (barrier group). */
+    std::int32_t pass = 0;
+
+    bool IsGate() const { return !IsMovement(kind); }
+};
+
+}  // namespace tiqec::qccd
+
+#endif  // TIQEC_QCCD_PRIMITIVES_H

@@ -1,0 +1,54 @@
+#include "qccd/timing.h"
+
+namespace tiqec::qccd {
+
+std::string
+OpKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kMs: return "MS";
+      case OpKind::kRotation: return "ROT";
+      case OpKind::kMeasure: return "MEAS";
+      case OpKind::kReset: return "RESET";
+      case OpKind::kShuttle: return "SHUTTLE";
+      case OpKind::kSplit: return "SPLIT";
+      case OpKind::kMerge: return "MERGE";
+      case OpKind::kJunctionEnter: return "JXN_ENTER";
+      case OpKind::kJunctionExit: return "JXN_EXIT";
+      case OpKind::kGateSwap: return "GATESWAP";
+    }
+    return "?";
+}
+
+Microseconds
+TimingModel::DurationOf(OpKind kind) const
+{
+    switch (kind) {
+      case OpKind::kMs: return ms_gate;
+      case OpKind::kRotation: return rotation;
+      case OpKind::kMeasure: return measurement;
+      case OpKind::kReset: return reset;
+      case OpKind::kShuttle: return shuttle;
+      case OpKind::kSplit: return split;
+      case OpKind::kMerge: return merge;
+      case OpKind::kJunctionEnter: return junction_entry;
+      case OpKind::kJunctionExit: return junction_exit;
+      case OpKind::kGateSwap: return 3.0 * ms_gate;
+    }
+    return 0.0;
+}
+
+double
+TimingModel::HeatingOf(OpKind kind) const
+{
+    switch (kind) {
+      case OpKind::kShuttle: return nbar_shuttle;
+      case OpKind::kSplit:
+      case OpKind::kMerge: return nbar_split_merge;
+      case OpKind::kJunctionEnter:
+      case OpKind::kJunctionExit: return nbar_junction;
+      default: return 0.0;
+    }
+}
+
+}  // namespace tiqec::qccd

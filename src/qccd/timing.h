@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Operating parameters for QCCD systems (paper Table 1, derived from
+ * Gutiérrez et al. [14]): durations of every primitive operation and the
+ * vibrational-energy bounds induced by reconfiguration primitives.
+ */
+#ifndef TIQEC_QCCD_TIMING_H
+#define TIQEC_QCCD_TIMING_H
+
+#include "common/types.h"
+#include "qccd/primitives.h"
+
+namespace tiqec::qccd {
+
+/** Durations and heating bounds for the QCCD primitive toolbox. */
+struct TimingModel
+{
+    Microseconds ms_gate = 40.0;          ///< t1: two-qubit MS gate
+    Microseconds rotation = 5.0;          ///< t2-t4: single-ion rotations
+    Microseconds measurement = 400.0;     ///< t5
+    Microseconds reset = 50.0;            ///< t6
+    Microseconds shuttle = 5.0;           ///< t7: segment traversal
+    Microseconds split = 80.0;            ///< t8
+    Microseconds merge = 80.0;            ///< t9
+    Microseconds junction_entry = 100.0;  ///< t10
+    Microseconds junction_exit = 100.0;   ///< t11
+    /** WISE cooling model: extra time per two-qubit gate (paper §5.1). */
+    Microseconds cooling_per_two_qubit_gate = 850.0;
+
+    /**
+     * Vibrational-energy bounds n-bar reached by reconfiguration primitives
+     * (Table 1, pessimistic upper bounds): shuttle < 0.1, split/merge < 6,
+     * junction crossing < 3.
+     */
+    double nbar_shuttle = 0.1;
+    double nbar_split_merge = 6.0;
+    double nbar_junction = 3.0;
+    /** Baseline n-bar after Doppler cooling (state prep / readout). */
+    double nbar_cooled = 0.1;
+
+    /** Duration of a primitive op (gate swap = 3 sequential MS gates). */
+    Microseconds DurationOf(OpKind kind) const;
+
+    /** n-bar bound reached by a movement primitive (0 for gates). */
+    double HeatingOf(OpKind kind) const;
+};
+
+}  // namespace tiqec::qccd
+
+#endif  // TIQEC_QCCD_TIMING_H

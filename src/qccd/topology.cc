@@ -1,0 +1,196 @@
+#include "qccd/topology.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/disjoint_set.h"
+
+namespace tiqec::qccd {
+
+std::string
+TopologyKindName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::kLinear: return "linear";
+      case TopologyKind::kGrid: return "grid";
+      case TopologyKind::kSwitch: return "switch";
+    }
+    return "?";
+}
+
+NodeId
+DeviceGraph::AddNode(NodeKind kind, int capacity, Coord coord)
+{
+    const NodeId id(static_cast<std::int32_t>(nodes_.size()));
+    nodes_.push_back(
+        {.id = id, .kind = kind, .capacity = capacity, .coord = coord});
+    if (kind == NodeKind::kTrap) {
+        traps_.push_back(id);
+    }
+    return id;
+}
+
+SegmentId
+DeviceGraph::AddSegment(NodeId a, NodeId b)
+{
+    assert(a.valid() && b.valid() && a != b);
+    const SegmentId id(static_cast<std::int32_t>(segments_.size()));
+    segments_.push_back({.id = id, .a = a, .b = b});
+    nodes_[a.value].segments.push_back(id);
+    nodes_[b.value].segments.push_back(id);
+    return id;
+}
+
+NodeId
+DeviceGraph::Neighbor(NodeId from, SegmentId seg) const
+{
+    const DeviceSegment& s = segments_[seg.value];
+    assert(s.a == from || s.b == from);
+    return s.a == from ? s.b : s.a;
+}
+
+SegmentId
+DeviceGraph::SegmentBetween(NodeId a, NodeId b) const
+{
+    for (const SegmentId seg : nodes_[a.value].segments) {
+        if (Neighbor(a, seg) == b) {
+            return seg;
+        }
+    }
+    return SegmentId();
+}
+
+bool
+DeviceGraph::IsConnected() const
+{
+    if (nodes_.empty()) {
+        return true;
+    }
+    DisjointSet ds(num_nodes());
+    for (const DeviceSegment& s : segments_) {
+        ds.Union(s.a.value, s.b.value);
+    }
+    return ds.NumSets() == 1;
+}
+
+DeviceGraph
+DeviceGraph::MakeLinear(int num_traps, int trap_capacity)
+{
+    if (num_traps < 1 || trap_capacity < 1) {
+        throw std::invalid_argument("invalid linear device parameters");
+    }
+    DeviceGraph g;
+    g.topology_ = TopologyKind::kLinear;
+    g.trap_capacity_ = trap_capacity;
+    NodeId prev;
+    for (int i = 0; i < num_traps; ++i) {
+        const NodeId t = g.AddNode(NodeKind::kTrap, trap_capacity,
+                                   {2.0 * i, 0.0});
+        if (prev.valid()) {
+            g.AddSegment(prev, t);
+        }
+        prev = t;
+    }
+    return g;
+}
+
+DeviceGraph
+DeviceGraph::MakeGrid(int junction_rows, int junction_cols, int trap_capacity)
+{
+    if (junction_rows < 1 || junction_cols < 1 || trap_capacity < 1) {
+        throw std::invalid_argument("invalid grid device parameters");
+    }
+    DeviceGraph g;
+    g.topology_ = TopologyKind::kGrid;
+    g.trap_capacity_ = trap_capacity;
+    // Junctions at (2x, 2y).
+    std::vector<NodeId> jxn(junction_rows * junction_cols);
+    for (int y = 0; y < junction_rows; ++y) {
+        for (int x = 0; x < junction_cols; ++x) {
+            jxn[y * junction_cols + x] =
+                g.AddNode(NodeKind::kJunction, 1, {2.0 * x, 2.0 * y});
+        }
+    }
+    auto at = [&](int x, int y) { return jxn[y * junction_cols + x]; };
+    // One trap on every lattice edge, joined to both end junctions.
+    for (int y = 0; y < junction_rows; ++y) {
+        for (int x = 0; x + 1 < junction_cols; ++x) {
+            const NodeId t = g.AddNode(NodeKind::kTrap, trap_capacity,
+                                       {2.0 * x + 1.0, 2.0 * y});
+            g.AddSegment(at(x, y), t);
+            g.AddSegment(t, at(x + 1, y));
+        }
+    }
+    for (int y = 0; y + 1 < junction_rows; ++y) {
+        for (int x = 0; x < junction_cols; ++x) {
+            const NodeId t = g.AddNode(NodeKind::kTrap, trap_capacity,
+                                       {2.0 * x, 2.0 * y + 1.0});
+            g.AddSegment(at(x, y), t);
+            g.AddSegment(t, at(x, y + 1));
+        }
+    }
+    return g;
+}
+
+DeviceGraph
+DeviceGraph::MakeGridForTraps(int min_traps, int trap_capacity)
+{
+    if (min_traps < 1) {
+        throw std::invalid_argument("min_traps must be positive");
+    }
+    // An n x n junction grid has 2n(n-1) traps. Stay square: the placer's
+    // geometric matching relies on the device lattice having the same
+    // aspect ratio as the (square) code layout, so distorting the grid to
+    // shave a few traps would cost far more in routing locality than it
+    // saves in hardware.
+    int n = 2;
+    while (2 * n * (n - 1) < min_traps) {
+        ++n;
+    }
+    // One ring of slack: with an exactly-sized grid the boundary qubits
+    // spill into leftover traps far from their neighbourhood, and the
+    // displacement chains destroy the locality of the whole embedding.
+    ++n;
+    return MakeGrid(n, n, trap_capacity);
+}
+
+DeviceGraph
+DeviceGraph::MakeSwitch(int num_traps, int trap_capacity)
+{
+    if (num_traps < 1 || trap_capacity < 1) {
+        throw std::invalid_argument("invalid switch device parameters");
+    }
+    DeviceGraph g;
+    g.topology_ = TopologyKind::kSwitch;
+    g.trap_capacity_ = trap_capacity;
+    const NodeId hub =
+        g.AddNode(NodeKind::kJunction, num_traps, {0.0, 0.0});
+    // Traps on a circle around the crossbar hub; coordinates only matter
+    // for the placer's geometric matching.
+    const double radius = std::max(2.0, num_traps / 3.14159);
+    for (int i = 0; i < num_traps; ++i) {
+        const double theta = 2.0 * 3.14159265358979 * i / num_traps;
+        const NodeId t =
+            g.AddNode(NodeKind::kTrap, trap_capacity,
+                      {radius * std::cos(theta), radius * std::sin(theta)});
+        g.AddSegment(hub, t);
+    }
+    return g;
+}
+
+DeviceGraph
+DeviceGraph::Make(TopologyKind kind, int min_traps, int trap_capacity)
+{
+    switch (kind) {
+      case TopologyKind::kLinear:
+        return MakeLinear(min_traps, trap_capacity);
+      case TopologyKind::kGrid:
+        return MakeGridForTraps(min_traps, trap_capacity);
+      case TopologyKind::kSwitch:
+        return MakeSwitch(min_traps, trap_capacity);
+    }
+    throw std::invalid_argument("unknown topology kind");
+}
+
+}  // namespace tiqec::qccd

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * QCCD device graph (paper Figure 1c, abstract view): traps and junctions
+ * are nodes, shuttling segments are edges. Three communication topologies
+ * (paper §3.2):
+ *
+ *  - linear: traps in a chain, adjacent traps joined directly by a segment
+ *    (Quantinuum H-series style, the pessimistic case);
+ *  - grid: an R x C lattice of junctions with one trap on every lattice
+ *    edge (Lekitsch et al. blueprint style);
+ *  - switch: every trap attached to a single optimistic crossbar junction
+ *    that admits simultaneous crossings (MUSIQC style, the optimistic
+ *    case). Crossings still pay junction entry/exit time.
+ *
+ * Capacity semantics: a trap holds at most `trap_capacity` ions; an
+ * ordinary junction holds at most one ion (paper §4.3); a segment holds at
+ * most one ion. The switch junction's capacity equals the trap count.
+ */
+#ifndef TIQEC_QCCD_TOPOLOGY_H
+#define TIQEC_QCCD_TOPOLOGY_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tiqec::qccd {
+
+/** Communication topology families (paper §3.2). */
+enum class TopologyKind : std::uint8_t {
+    kLinear,
+    kGrid,
+    kSwitch,
+};
+
+std::string TopologyKindName(TopologyKind kind);
+
+/** Node species in the device graph. */
+enum class NodeKind : std::uint8_t {
+    kTrap,
+    kJunction,
+};
+
+struct DeviceNode
+{
+    NodeId id;
+    NodeKind kind = NodeKind::kTrap;
+    /** Maximum simultaneous ion occupancy. */
+    int capacity = 1;
+    /** Physical layout position (electrode-pitch units). */
+    Coord coord;
+    /** Incident segments. */
+    std::vector<SegmentId> segments;
+};
+
+struct DeviceSegment
+{
+    SegmentId id;
+    NodeId a;
+    NodeId b;
+};
+
+/** Immutable device graph plus topology metadata. */
+class DeviceGraph
+{
+  public:
+    TopologyKind topology() const { return topology_; }
+    int trap_capacity() const { return trap_capacity_; }
+
+    int num_nodes() const { return static_cast<int>(nodes_.size()); }
+    int num_segments() const { return static_cast<int>(segments_.size()); }
+    int num_traps() const { return static_cast<int>(traps_.size()); }
+    int num_junctions() const { return num_nodes() - num_traps(); }
+
+    const DeviceNode& node(NodeId id) const { return nodes_[id.value]; }
+    const DeviceSegment& segment(SegmentId id) const
+    {
+        return segments_[id.value];
+    }
+    const std::vector<DeviceNode>& nodes() const { return nodes_; }
+    const std::vector<DeviceSegment>& segments() const { return segments_; }
+    /** Trap node ids in construction order. */
+    const std::vector<NodeId>& traps() const { return traps_; }
+
+    /** The node on the far side of `seg` from `from`. */
+    NodeId Neighbor(NodeId from, SegmentId seg) const;
+
+    /** Segment joining `a` and `b`, or invalid if not adjacent. */
+    SegmentId SegmentBetween(NodeId a, NodeId b) const;
+
+    /** True if the graph is connected (sanity check for builders). */
+    bool IsConnected() const;
+
+    /**
+     * Linear chain of `num_traps` traps with direct trap-trap segments.
+     */
+    static DeviceGraph MakeLinear(int num_traps, int trap_capacity);
+
+    /**
+     * Junction lattice with `junction_rows` x `junction_cols` junctions and
+     * a trap on every lattice edge. Junctions sit at doubled coordinates
+     * (2x, 2y); traps at edge midpoints.
+     */
+    static DeviceGraph MakeGrid(int junction_rows, int junction_cols,
+                                int trap_capacity);
+
+    /**
+     * Smallest roughly-square grid providing at least `min_traps` traps.
+     */
+    static DeviceGraph MakeGridForTraps(int min_traps, int trap_capacity);
+
+    /**
+     * `num_traps` traps around one crossbar junction whose capacity equals
+     * the trap count (optimistic all-to-all switch).
+     */
+    static DeviceGraph MakeSwitch(int num_traps, int trap_capacity);
+
+    /**
+     * Convenience dispatcher: builds `kind` with at least `min_traps`
+     * traps.
+     */
+    static DeviceGraph Make(TopologyKind kind, int min_traps,
+                            int trap_capacity);
+
+  private:
+    NodeId AddNode(NodeKind kind, int capacity, Coord coord);
+    SegmentId AddSegment(NodeId a, NodeId b);
+
+    TopologyKind topology_ = TopologyKind::kLinear;
+    int trap_capacity_ = 1;
+    std::vector<DeviceNode> nodes_;
+    std::vector<DeviceSegment> segments_;
+    std::vector<NodeId> traps_;
+};
+
+}  // namespace tiqec::qccd
+
+#endif  // TIQEC_QCCD_TOPOLOGY_H

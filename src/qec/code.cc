@@ -1,0 +1,247 @@
+#include "qec/code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tiqec::qec {
+
+int
+Check::Weight() const
+{
+    int w = 0;
+    for (const QubitId q : data_order) {
+        w += q.valid() ? 1 : 0;
+    }
+    return w;
+}
+
+QubitId
+StabilizerCode::AddQubit(QubitRole role, Coord coord)
+{
+    const QubitId id(static_cast<std::int32_t>(qubits_.size()));
+    qubits_.push_back({.id = id, .role = role, .coord = coord});
+    if (role == QubitRole::kData) {
+        ++num_data_;
+        data_qubits_.push_back(id);
+    }
+    return id;
+}
+
+void
+StabilizerCode::AddCheck(QubitId ancilla, CheckType type,
+                         std::vector<QubitId> data_order)
+{
+    assert(ancilla.valid());
+    assert(qubits_[ancilla.value].role == QubitRole::kAncilla);
+    checks_.push_back(
+        {.ancilla = ancilla, .type = type, .data_order = std::move(data_order)});
+}
+
+int
+StabilizerCode::NumDanceSteps() const
+{
+    int steps = 0;
+    for (const Check& c : checks_) {
+        steps = std::max<int>(steps, static_cast<int>(c.data_order.size()));
+    }
+    return steps;
+}
+
+std::vector<StabilizerCode::InteractionEdge>
+StabilizerCode::InteractionGraph() const
+{
+    std::vector<InteractionEdge> edges;
+    const int steps = NumDanceSteps();
+    for (const Check& c : checks_) {
+        for (size_t s = 0; s < c.data_order.size(); ++s) {
+            const QubitId d = c.data_order[s];
+            if (d.valid()) {
+                // Earlier dance steps get higher weight (paper §4.2: "edge
+                // weight proportional to the order of operations, early
+                // operations have high weight").
+                const double w = static_cast<double>(steps - s);
+                edges.push_back({.a = c.ancilla, .b = d, .weight = w});
+            }
+        }
+    }
+    return edges;
+}
+
+// ---------------------------------------------------------------------------
+// Repetition code
+// ---------------------------------------------------------------------------
+
+RepetitionCode::RepetitionCode(int distance)
+    : StabilizerCode("repetition", distance)
+{
+    if (distance < 2) {
+        throw std::invalid_argument("repetition code requires distance >= 2");
+    }
+    std::vector<QubitId> data(distance);
+    for (int i = 0; i < distance; ++i) {
+        data[i] = AddQubit(QubitRole::kData, {2.0 * i, 0.0});
+    }
+    for (int i = 0; i + 1 < distance; ++i) {
+        const QubitId anc = AddQubit(QubitRole::kAncilla, {2.0 * i + 1.0, 0.0});
+        AddCheck(anc, CheckType::kZ, {data[i], data[i + 1]});
+    }
+    // Bit-flip code: Z_L is a single data qubit, X_L spans all data.
+    logical_z_ = {data[0]};
+    logical_x_ = data;
+}
+
+// ---------------------------------------------------------------------------
+// Rotated surface code
+// ---------------------------------------------------------------------------
+
+RectangularSurfaceCode::RectangularSurfaceCode(int distance_x,
+                                               int distance_y)
+    : StabilizerCode(distance_x == distance_y ? "rotated_surface"
+                                              : "rectangular_surface",
+                     std::min(distance_x, distance_y)),
+      distance_x_(distance_x),
+      distance_y_(distance_y)
+{
+    if (distance_x < 2 || distance_y < 2) {
+        throw std::invalid_argument(
+            "surface code requires both patch dimensions >= 2");
+    }
+    const int dx = distance_x;
+    const int dy = distance_y;
+    // Data qubit (i, j) at doubled coordinate (2i+1, 2j+1).
+    std::vector<QubitId> data(dx * dy);
+    auto data_at = [&](int i, int j) -> QubitId {
+        if (i < 0 || i >= dx || j < 0 || j >= dy) {
+            return QubitId();
+        }
+        return data[j * dx + i];
+    };
+    for (int j = 0; j < dy; ++j) {
+        for (int i = 0; i < dx; ++i) {
+            data[j * dx + i] =
+                AddQubit(QubitRole::kData, {2.0 * i + 1.0, 2.0 * j + 1.0});
+        }
+    }
+    // Plaquette (a, b) at doubled coordinate (2a, 2b), a in [0, dx],
+    // b in [0, dy]. Type: X when (a + b) is odd, Z when even. Boundary
+    // rule: left/right boundaries host only Z checks, top/bottom only X
+    // checks; corners are weight-1 and always excluded. This yields
+    // exactly dx * dy - 1 checks.
+    for (int b = 0; b <= dy; ++b) {
+        for (int a = 0; a <= dx; ++a) {
+            const bool is_x = ((a + b) % 2) != 0;
+            const QubitId nw = data_at(a - 1, b - 1);
+            const QubitId ne = data_at(a, b - 1);
+            const QubitId sw = data_at(a - 1, b);
+            const QubitId se = data_at(a, b);
+            const int weight = (nw.valid() ? 1 : 0) + (ne.valid() ? 1 : 0) +
+                               (sw.valid() ? 1 : 0) + (se.valid() ? 1 : 0);
+            if (weight < 2) {
+                continue;
+            }
+            const bool left_right = (a == 0 || a == dx);
+            const bool top_bottom = (b == 0 || b == dy);
+            if (left_right && is_x) {
+                continue;
+            }
+            if (top_bottom && !is_x) {
+                continue;
+            }
+            const QubitId anc =
+                AddQubit(QubitRole::kAncilla, {2.0 * a, 2.0 * b});
+            // Standard hook-fault-tolerant dance: X checks sweep
+            // NW, NE, SW, SE ("N" pattern); Z checks sweep NW, SW, NE, SE
+            // ("Z" pattern). Absent boundary neighbours keep their slots.
+            if (is_x) {
+                AddCheck(anc, CheckType::kX, {nw, ne, sw, se});
+            } else {
+                AddCheck(anc, CheckType::kZ, {nw, sw, ne, se});
+            }
+        }
+    }
+    assert(num_ancillas() == dx * dy - 1);
+    // Logical Z: horizontal data row j = 0. Logical X: vertical column
+    // i = 0.
+    for (int i = 0; i < dx; ++i) {
+        logical_z_.push_back(data_at(i, 0));
+    }
+    for (int j = 0; j < dy; ++j) {
+        logical_x_.push_back(data_at(0, j));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unrotated surface code
+// ---------------------------------------------------------------------------
+
+UnrotatedSurfaceCode::UnrotatedSurfaceCode(int distance)
+    : StabilizerCode("unrotated_surface", distance)
+{
+    if (distance < 2) {
+        throw std::invalid_argument("surface code requires distance >= 2");
+    }
+    const int d = distance;
+    const int side = 2 * d - 1;
+    // Qubits at all (x, y) in [0, side)^2: data where x + y is even,
+    // X ancillas at (x odd, y even), Z ancillas at (x even, y odd).
+    std::vector<QubitId> grid(side * side);
+    auto at = [&](int x, int y) -> QubitId {
+        if (x < 0 || x >= side || y < 0 || y >= side) {
+            return QubitId();
+        }
+        return grid[y * side + x];
+    };
+    for (int y = 0; y < side; ++y) {
+        for (int x = 0; x < side; ++x) {
+            const QubitRole role =
+                ((x + y) % 2 == 0) ? QubitRole::kData : QubitRole::kAncilla;
+            grid[y * side + x] =
+                AddQubit(role, {static_cast<double>(x), static_cast<double>(y)});
+        }
+    }
+    for (int y = 0; y < side; ++y) {
+        for (int x = 0; x < side; ++x) {
+            if ((x + y) % 2 == 0) {
+                continue;
+            }
+            const bool is_x = (x % 2) != 0;  // X ancillas on odd columns
+            const QubitId anc = at(x, y);
+            const QubitId n = at(x, y - 1);
+            const QubitId s = at(x, y + 1);
+            const QubitId e = at(x + 1, y);
+            const QubitId w = at(x - 1, y);
+            // X checks sweep N, W, E, S; Z checks sweep N, E, W, S, so no
+            // data qubit is touched twice in one step.
+            if (is_x) {
+                AddCheck(anc, CheckType::kX, {n, w, e, s});
+            } else {
+                AddCheck(anc, CheckType::kZ, {n, e, w, s});
+            }
+        }
+    }
+    // Logical X: data column x = 0; logical Z: data row y = 0.
+    for (int y = 0; y < side; y += 2) {
+        logical_x_.push_back(at(0, y));
+    }
+    for (int x = 0; x < side; x += 2) {
+        logical_z_.push_back(at(x, 0));
+    }
+}
+
+std::unique_ptr<StabilizerCode>
+MakeCode(const std::string& family, int distance)
+{
+    if (family == "repetition") {
+        return std::make_unique<RepetitionCode>(distance);
+    }
+    if (family == "rotated") {
+        return std::make_unique<RotatedSurfaceCode>(distance);
+    }
+    if (family == "unrotated") {
+        return std::make_unique<UnrotatedSurfaceCode>(distance);
+    }
+    throw std::invalid_argument("unknown code family: " + family);
+}
+
+}  // namespace tiqec::qec

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Abstract description of a CSS stabilizer QEC code as used by the
+ * compiler and simulator: qubits with 2-D layout coordinates, parity
+ * checks (one ancilla per check with an ordered CNOT "dance"), and
+ * logical operator supports.
+ *
+ * Three concrete codes are provided (paper §6.1): the repetition code and
+ * the unrotated surface code as compiler-validation baselines, and the
+ * rotated surface code (paper Figure 3) as the primary workload.
+ */
+#ifndef TIQEC_QEC_CODE_H
+#define TIQEC_QEC_CODE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tiqec::qec {
+
+/** Role of a code qubit. */
+enum class QubitRole : std::uint8_t {
+    kData,
+    kAncilla,
+};
+
+/** Pauli type of a parity check (CSS codes only). */
+enum class CheckType : std::uint8_t {
+    kX,
+    kZ,
+};
+
+/** A code qubit with its position in the code's planar layout. */
+struct CodeQubit
+{
+    QubitId id;
+    QubitRole role = QubitRole::kData;
+    /**
+     * Layout coordinate. Concrete codes use doubled integer coordinates
+     * (data at odd positions, ancillas at even positions for the rotated
+     * surface code) so all coordinates stay exact.
+     */
+    Coord coord;
+};
+
+/**
+ * One parity check: an ancilla plus the data qubits it entangles with,
+ * in canonical dance order.
+ *
+ * `data_order[s]` is the data qubit touched at dance step `s`; an invalid
+ * QubitId means the check idles at that step (weight-2 boundary checks
+ * keep their time slots so the interleaving across checks stays aligned,
+ * which is what makes the standard schedule hook-fault-tolerant).
+ */
+struct Check
+{
+    QubitId ancilla;
+    CheckType type = CheckType::kZ;
+    std::vector<QubitId> data_order;
+
+    /** Number of data qubits actually touched. */
+    int Weight() const;
+};
+
+/**
+ * A CSS stabilizer code with planar layout.
+ *
+ * Invariants (verified by tests via symplectic products):
+ *  - all checks commute pairwise,
+ *  - logical X and Z commute with all checks,
+ *  - logical X anticommutes with logical Z.
+ */
+class StabilizerCode
+{
+  public:
+    virtual ~StabilizerCode() = default;
+
+    const std::string& name() const { return name_; }
+    int distance() const { return distance_; }
+
+    int num_qubits() const { return static_cast<int>(qubits_.size()); }
+    int num_data() const { return num_data_; }
+    int num_ancillas() const { return static_cast<int>(checks_.size()); }
+
+    const std::vector<CodeQubit>& qubits() const { return qubits_; }
+    const CodeQubit& qubit(QubitId q) const { return qubits_[q.value]; }
+    const std::vector<Check>& checks() const { return checks_; }
+
+    /** Data qubit ids in layout order. */
+    const std::vector<QubitId>& data_qubits() const { return data_qubits_; }
+
+    /** Support of the logical X operator (data qubits). */
+    const std::vector<QubitId>& logical_x() const { return logical_x_; }
+    /** Support of the logical Z operator (data qubits). */
+    const std::vector<QubitId>& logical_z() const { return logical_z_; }
+
+    /** Number of dance steps in a parity-check round (max over checks). */
+    int NumDanceSteps() const;
+
+    /**
+     * The entanglement-interaction graph used by the partitioner:
+     * one undirected edge (ancilla, data) per CNOT, weighted so that
+     * earlier dance steps carry higher weight (paper §4.2).
+     */
+    struct InteractionEdge
+    {
+        QubitId a;
+        QubitId b;
+        double weight;
+    };
+    std::vector<InteractionEdge> InteractionGraph() const;
+
+  protected:
+    StabilizerCode(std::string name, int distance)
+        : name_(std::move(name)), distance_(distance)
+    {
+    }
+
+    /** Adds a qubit and returns its id. */
+    QubitId AddQubit(QubitRole role, Coord coord);
+
+    /** Adds a check; `ancilla` must already exist with the ancilla role. */
+    void AddCheck(QubitId ancilla, CheckType type,
+                  std::vector<QubitId> data_order);
+
+  private:
+    std::string name_;
+    int distance_;
+    int num_data_ = 0;
+    std::vector<CodeQubit> qubits_;
+    std::vector<QubitId> data_qubits_;
+    std::vector<Check> checks_;
+
+  protected:
+    std::vector<QubitId> logical_x_;
+    std::vector<QubitId> logical_z_;
+};
+
+/**
+ * Distance-d repetition code (bit-flip code): d data qubits in a line with
+ * d-1 weight-2 Z checks. Compiler-validation baseline only.
+ */
+class RepetitionCode : public StabilizerCode
+{
+  public:
+    explicit RepetitionCode(int distance);
+};
+
+/**
+ * Rotated surface code on a rectangular dx * dy data-qubit patch:
+ * checkerboard X/Z plaquettes with weight-2 boundary checks, Z boundaries
+ * on the left/right columns and X boundaries on the top/bottom rows.
+ * Logical Z is a data row (weight dx, vulnerable to X chains of length
+ * dy); logical X is a data column.
+ *
+ * Rectangular patches are the building block of lattice-surgery
+ * operations (paper §8): a merged two-patch ancilla region is simply a
+ * (2d+1) x d rectangle, and its parity-check circuits have the same
+ * local structure as the square code, which is why the paper expects its
+ * architectural conclusions to carry over.
+ */
+class RectangularSurfaceCode : public StabilizerCode
+{
+  public:
+    RectangularSurfaceCode(int distance_x, int distance_y);
+
+    int distance_x() const { return distance_x_; }
+    int distance_y() const { return distance_y_; }
+
+  private:
+    int distance_x_;
+    int distance_y_;
+};
+
+/**
+ * Distance-d rotated surface code (paper Figure 3): d*d data qubits,
+ * d*d-1 ancillas. The primary architectural workload.
+ */
+class RotatedSurfaceCode : public RectangularSurfaceCode
+{
+  public:
+    explicit RotatedSurfaceCode(int distance)
+        : RectangularSurfaceCode(distance, distance)
+    {
+    }
+};
+
+/**
+ * Distance-d unrotated (planar) surface code on a (2d-1)x(2d-1) lattice.
+ * Compiler-validation baseline.
+ */
+class UnrotatedSurfaceCode : public StabilizerCode
+{
+  public:
+    explicit UnrotatedSurfaceCode(int distance);
+};
+
+/** Factory by benchmark name: "repetition", "rotated", "unrotated". */
+std::unique_ptr<StabilizerCode> MakeCode(const std::string& family,
+                                         int distance);
+
+}  // namespace tiqec::qec
+
+#endif  // TIQEC_QEC_CODE_H

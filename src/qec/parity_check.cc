@@ -1,0 +1,57 @@
+#include "qec/parity_check.h"
+
+namespace tiqec::qec {
+
+circuit::Circuit
+BuildParityCheckRounds(const StabilizerCode& code, int rounds,
+                       RoundMeasurementMap* out_map)
+{
+    circuit::Circuit c(code.num_qubits());
+    if (out_map != nullptr) {
+        out_map->check_measurement.assign(
+            rounds, std::vector<int>(code.num_ancillas(), -1));
+    }
+    int measurement_index = 0;
+    const int steps = code.NumDanceSteps();
+    for (int round = 0; round < rounds; ++round) {
+        for (const Check& chk : code.checks()) {
+            c.AddReset(chk.ancilla);
+        }
+        for (const Check& chk : code.checks()) {
+            if (chk.type == CheckType::kX) {
+                c.AddH(chk.ancilla);
+            }
+        }
+        for (int s = 0; s < steps; ++s) {
+            for (const Check& chk : code.checks()) {
+                if (s >= static_cast<int>(chk.data_order.size())) {
+                    continue;
+                }
+                const QubitId data = chk.data_order[s];
+                if (!data.valid()) {
+                    continue;
+                }
+                if (chk.type == CheckType::kX) {
+                    c.AddCnot(chk.ancilla, data);
+                } else {
+                    c.AddCnot(data, chk.ancilla);
+                }
+            }
+        }
+        for (const Check& chk : code.checks()) {
+            if (chk.type == CheckType::kX) {
+                c.AddH(chk.ancilla);
+            }
+        }
+        for (int k = 0; k < code.num_ancillas(); ++k) {
+            c.AddMeasure(code.checks()[k].ancilla);
+            if (out_map != nullptr) {
+                out_map->check_measurement[round][k] = measurement_index;
+            }
+            ++measurement_index;
+        }
+    }
+    return c;
+}
+
+}  // namespace tiqec::qec

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Builds the syndrome-extraction (parity check) circuit for a stabilizer
+ * code in the QEC IR (paper Figure 3, right).
+ *
+ * Per round and per check: reset ancilla; H on X ancillas; CNOTs in dance
+ * order (control = ancilla for X checks, control = data for Z checks);
+ * H on X ancillas; measure ancilla. CNOTs are emitted grouped by global
+ * dance step so the dependency DAG exposes the full cross-check
+ * parallelism of the surface code.
+ */
+#ifndef TIQEC_QEC_PARITY_CHECK_H
+#define TIQEC_QEC_PARITY_CHECK_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qec/code.h"
+
+namespace tiqec::qec {
+
+/** Where each check's ancilla measurement landed in the record. */
+struct RoundMeasurementMap
+{
+    /** measurement index (within the circuit) per check, per round. */
+    std::vector<std::vector<int>> check_measurement;
+};
+
+/**
+ * Builds `rounds` rounds of parity checks.
+ *
+ * @param code The stabilizer code.
+ * @param rounds Number of parity-check rounds (>= 1).
+ * @param out_map Optional; receives the per-round measurement indices.
+ */
+circuit::Circuit BuildParityCheckRounds(const StabilizerCode& code, int rounds,
+                                        RoundMeasurementMap* out_map = nullptr);
+
+/** One round; the workload the compiler maps (paper §6.1). */
+inline circuit::Circuit
+BuildParityCheckRound(const StabilizerCode& code)
+{
+    return BuildParityCheckRounds(code, 1);
+}
+
+}  // namespace tiqec::qec
+
+#endif  // TIQEC_QEC_PARITY_CHECK_H

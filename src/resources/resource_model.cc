@@ -1,0 +1,64 @@
+#include "resources/resource_model.h"
+
+#include <stdexcept>
+
+namespace tiqec::resources {
+
+ResourceEstimate
+EstimateResources(const HardwareShape& shape)
+{
+    ResourceEstimate est;
+    est.num_linear_zones =
+        static_cast<long long>(shape.num_traps) * shape.trap_capacity;
+    est.num_junction_zones = shape.num_junctions;
+    est.num_dynamic_electrodes =
+        kDynamicElectrodesPerLinearZone * est.num_linear_zones +
+        kDynamicElectrodesPerJunctionZone * est.num_junction_zones;
+    est.num_shim_electrodes =
+        kShimElectrodesPerZone *
+        (est.num_linear_zones + est.num_junction_zones);
+    est.num_electrodes = est.num_dynamic_electrodes + est.num_shim_electrodes;
+
+    est.standard_dacs = static_cast<double>(est.num_electrodes);
+    est.standard_data_rate_gbps =
+        kDataRateGbpsPerChannel * est.standard_dacs;
+    est.standard_power_w = kPowerWattsPerChannel * est.standard_dacs;
+
+    est.wise_dacs = kWiseBaseDacs +
+                    static_cast<double>(est.num_shim_electrodes) /
+                        kWiseShimPerDac;
+    est.wise_data_rate_gbps = kDataRateGbpsPerChannel * est.wise_dacs;
+    est.wise_power_w = kPowerWattsPerChannel * est.wise_dacs;
+    return est;
+}
+
+HardwareShape
+MinimalHardware(qccd::TopologyKind topology, int num_traps_needed,
+                int trap_capacity)
+{
+    if (num_traps_needed < 1 || trap_capacity < 1) {
+        throw std::invalid_argument("invalid hardware shape request");
+    }
+    HardwareShape shape;
+    shape.num_traps = num_traps_needed;
+    shape.trap_capacity = trap_capacity;
+    switch (topology) {
+      case qccd::TopologyKind::kLinear:
+        shape.num_junctions = 0;
+        break;
+      case qccd::TopologyKind::kSwitch:
+        shape.num_junctions = 1;
+        break;
+      case qccd::TopologyKind::kGrid: {
+        int n = 2;
+        while (2 * n * (n - 1) < num_traps_needed) {
+            ++n;
+        }
+        shape.num_junctions = n * n;
+        break;
+      }
+    }
+    return shape;
+}
+
+}  // namespace tiqec::resources

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Control-hardware resource estimation (paper §5.2).
+ *
+ * Electrode counts: N_e = N_de + N_se with
+ *   N_de = 10 * N_lz + 20 * N_jz   (dynamic electrodes per zone)
+ *   N_se = 10 * (N_lz + N_jz)      (shim electrodes per zone)
+ *   N_lz = N_t * k (linear zones: traps times capacity), N_jz = N_j.
+ *
+ * Standard wiring (one DAC per electrode):
+ *   data rate = 50 Mbit/s * N_e,  power = 30 mW * N_e.
+ *
+ * WISE wiring (switch-based demultiplexing, Malinowski et al. [24]):
+ *   N_DACs ~= 100 + N_se / 100, data rate = 50 Mbit/s * N_DACs,
+ *   power = 30 mW * N_DACs.
+ */
+#ifndef TIQEC_RESOURCES_RESOURCE_MODEL_H
+#define TIQEC_RESOURCES_RESOURCE_MODEL_H
+
+#include "qccd/topology.h"
+
+namespace tiqec::resources {
+
+/** Hardware footprint inputs: what the QPU must physically provide. */
+struct HardwareShape
+{
+    int num_traps = 0;
+    int num_junctions = 0;
+    int trap_capacity = 0;
+};
+
+/** Per-logical-qubit control-hardware estimate. */
+struct ResourceEstimate
+{
+    long long num_linear_zones = 0;
+    long long num_junction_zones = 0;
+    long long num_dynamic_electrodes = 0;
+    long long num_shim_electrodes = 0;
+    long long num_electrodes = 0;
+
+    double standard_dacs = 0.0;
+    double standard_data_rate_gbps = 0.0;
+    double standard_power_w = 0.0;
+
+    double wise_dacs = 0.0;
+    double wise_data_rate_gbps = 0.0;
+    double wise_power_w = 0.0;
+};
+
+/** Electrode / zone counting constants from [24]. */
+inline constexpr int kDynamicElectrodesPerLinearZone = 10;
+inline constexpr int kDynamicElectrodesPerJunctionZone = 20;
+inline constexpr int kShimElectrodesPerZone = 10;
+inline constexpr double kDataRateGbpsPerChannel = 0.05;  // 50 Mbit/s
+inline constexpr double kPowerWattsPerChannel = 0.030;   // 30 mW
+inline constexpr double kWiseBaseDacs = 100.0;
+inline constexpr double kWiseShimPerDac = 100.0;
+
+ResourceEstimate EstimateResources(const HardwareShape& shape);
+
+/**
+ * Minimal hardware shape for hosting `num_traps_needed` traps of a given
+ * capacity under each topology (the device actually built would not
+ * carry alignment slack): grid uses the smallest square junction lattice,
+ * switch one hub, linear no junctions.
+ */
+HardwareShape MinimalHardware(qccd::TopologyKind topology,
+                              int num_traps_needed, int trap_capacity);
+
+}  // namespace tiqec::resources
+
+#endif  // TIQEC_RESOURCES_RESOURCE_MODEL_H

@@ -1,0 +1,373 @@
+#include "sim/dem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace tiqec::sim {
+
+namespace {
+
+/** A single Pauli error component: what it flips and where it occurs. */
+struct Component
+{
+    int instruction = 0;  ///< index of the owning channel instruction
+    bool flip_x0 = false, flip_z0 = false;  ///< action on q0
+    bool flip_x1 = false, flip_z1 = false;  ///< action on q1
+    bool flip_record = false;               ///< measurement-record flip
+    double p = 0.0;
+};
+
+/** Enumerates all components of all channels in instruction order. */
+std::vector<Component>
+EnumerateComponents(const NoisyCircuit& circuit)
+{
+    std::vector<Component> comps;
+    const auto& instructions = circuit.instructions();
+    for (size_t i = 0; i < instructions.size(); ++i) {
+        const SimInstruction& inst = instructions[i];
+        auto add = [&](Component c) {
+            c.instruction = static_cast<int>(i);
+            comps.push_back(c);
+        };
+        switch (inst.op) {
+          case SimOp::kXError:
+            add({.flip_x0 = true, .p = inst.p});
+            break;
+          case SimOp::kZError:
+            add({.flip_z0 = true, .p = inst.p});
+            break;
+          case SimOp::kDepolarize1:
+            add({.flip_x0 = true, .p = inst.p / 3.0});
+            add({.flip_z0 = true, .p = inst.p / 3.0});
+            add({.flip_x0 = true, .flip_z0 = true, .p = inst.p / 3.0});
+            break;
+          case SimOp::kDepolarize2:
+            for (int which = 1; which < 16; ++which) {
+                add({.flip_x0 = (which & 1) != 0,
+                     .flip_z0 = (which & 2) != 0,
+                     .flip_x1 = (which & 4) != 0,
+                     .flip_z1 = (which & 8) != 0,
+                     .p = inst.p / 15.0});
+            }
+            break;
+          case SimOp::kMeasure:
+            if (inst.p > 0.0) {
+                add({.flip_record = true, .p = inst.p});
+            }
+            break;
+          case SimOp::kReset:
+            if (inst.p > 0.0) {
+                add({.flip_x0 = true, .p = inst.p});
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return comps;
+}
+
+using Plane = std::vector<std::uint64_t>;
+
+void
+SetBit(Plane& plane, int lane)
+{
+    plane[lane >> 6] |= 1ULL << (lane & 63);
+}
+
+}  // namespace
+
+std::string
+DetectorErrorModel::Stats() const
+{
+    std::ostringstream os;
+    os << "detectors=" << num_detectors << " observables="
+       << num_observables << " edges=" << edges.size()
+       << " components=" << num_components
+       << " decomposed=" << num_decomposed
+       << " undecomposable=" << num_undecomposable
+       << " dropped_p=" << dropped_probability;
+    return os.str();
+}
+
+DetectorErrorModel
+BuildDem(const NoisyCircuit& circuit,
+         std::vector<MechanismExample>* examples)
+{
+    DetectorErrorModel dem;
+    dem.num_detectors = circuit.num_detectors();
+    dem.num_observables = circuit.num_observables();
+
+    const std::vector<Component> comps = EnumerateComponents(circuit);
+    dem.num_components = static_cast<int>(comps.size());
+    const int lanes = static_cast<int>(comps.size());
+    if (lanes == 0) {
+        return dem;
+    }
+    const int words = (lanes + 63) / 64;
+    const int nq = circuit.num_qubits();
+    std::vector<Plane> x(nq, Plane(words, 0));
+    std::vector<Plane> z(nq, Plane(words, 0));
+    std::vector<Plane> records(circuit.num_measurements(), Plane(words, 0));
+    std::vector<Plane> det(circuit.num_detectors(), Plane(words, 0));
+    std::vector<Plane> obs(std::max(1, circuit.num_observables()),
+                           Plane(words, 0));
+
+    // Group components by owning instruction for injection.
+    std::vector<std::vector<int>> by_instruction(
+        circuit.instructions().size());
+    for (int c = 0; c < lanes; ++c) {
+        by_instruction[comps[c].instruction].push_back(c);
+    }
+
+    int next_record = 0;
+    const auto& instructions = circuit.instructions();
+    for (size_t i = 0; i < instructions.size(); ++i) {
+        const SimInstruction& inst = instructions[i];
+        // Clifford / record semantics first (so a measure's record flip
+        // component applies to its own record, and a reset clears errors
+        // injected before it).
+        switch (inst.op) {
+          case SimOp::kH:
+            x[inst.q0].swap(z[inst.q0]);
+            break;
+          case SimOp::kCnot:
+            for (int w = 0; w < words; ++w) {
+                x[inst.q1][w] ^= x[inst.q0][w];
+                z[inst.q0][w] ^= z[inst.q1][w];
+            }
+            break;
+          case SimOp::kSwap:
+            x[inst.q0].swap(x[inst.q1]);
+            z[inst.q0].swap(z[inst.q1]);
+            break;
+          case SimOp::kMeasure:
+            records[next_record] = x[inst.q0];
+            break;
+          case SimOp::kReset:
+            std::fill(x[inst.q0].begin(), x[inst.q0].end(), 0);
+            std::fill(z[inst.q0].begin(), z[inst.q0].end(), 0);
+            break;
+          case SimOp::kDetector:
+            for (const auto m : inst.targets) {
+                for (int w = 0; w < words; ++w) {
+                    det[inst.index][w] ^= records[m][w];
+                }
+            }
+            break;
+          case SimOp::kObservableInclude:
+            for (const auto m : inst.targets) {
+                for (int w = 0; w < words; ++w) {
+                    obs[inst.index][w] ^= records[m][w];
+                }
+            }
+            break;
+          default:
+            break;
+        }
+        // Inject this instruction's error components into their lanes.
+        for (const int c : by_instruction[i]) {
+            const Component& comp = comps[c];
+            if (comp.flip_x0) SetBit(x[inst.q0], c);
+            if (comp.flip_z0) SetBit(z[inst.q0], c);
+            if (comp.flip_x1) SetBit(x[inst.q1], c);
+            if (comp.flip_z1) SetBit(z[inst.q1], c);
+            if (comp.flip_record) SetBit(records[next_record], c);
+        }
+        if (inst.op == SimOp::kMeasure) {
+            ++next_record;
+        }
+    }
+
+    // Collect per-lane flipped detectors / observables.
+    std::vector<std::vector<int>> lane_dets(lanes);
+    std::vector<std::uint32_t> lane_obs(lanes, 0);
+    for (int d = 0; d < circuit.num_detectors(); ++d) {
+        for (int w = 0; w < words; ++w) {
+            std::uint64_t bits = det[d][w];
+            while (bits) {
+                const int lane = w * 64 + __builtin_ctzll(bits);
+                bits &= bits - 1;
+                if (lane < lanes) {
+                    lane_dets[lane].push_back(d);
+                }
+            }
+        }
+    }
+    for (int o = 0; o < circuit.num_observables(); ++o) {
+        for (int w = 0; w < words; ++w) {
+            std::uint64_t bits = obs[o][w];
+            while (bits) {
+                const int lane = w * 64 + __builtin_ctzll(bits);
+                bits &= bits - 1;
+                if (lane < lanes) {
+                    lane_obs[lane] |= 1u << o;
+                }
+            }
+        }
+    }
+
+    // Merge identical components; key = (sorted detectors, obs mask).
+    struct Key
+    {
+        std::vector<int> dets;
+        std::uint32_t obs;
+        bool operator<(const Key& o) const
+        {
+            if (dets != o.dets) {
+                return dets < o.dets;
+            }
+            return obs < o.obs;
+        }
+    };
+    std::map<Key, double> merged;
+    for (int c = 0; c < lanes; ++c) {
+        if (lane_dets[c].empty() && lane_obs[c] == 0) {
+            continue;  // invisible component (e.g. Z before a reset)
+        }
+        Key key{lane_dets[c], lane_obs[c]};
+        const bool fresh = merged.find(key) == merged.end();
+        double& p = merged[key];
+        p = p * (1.0 - comps[c].p) + comps[c].p * (1.0 - p);
+        if (fresh && examples != nullptr) {
+            examples->push_back({lane_dets[c], lane_obs[c],
+                                 comps[c].instruction, c});
+        }
+    }
+
+    // First pass: elementary (<= 2 detector) mechanisms become edges
+    // directly. Edges are keyed by (d0, d1, obs): mechanisms with the
+    // same endpoints but different logical action stay distinct here and
+    // are coalesced at the end.
+    std::map<std::tuple<int, int, std::uint32_t>, size_t> edge_index;
+    auto canon = [](int d0, int d1) {
+        if (d1 != DemEdge::kBoundary && d0 > d1) {
+            std::swap(d0, d1);
+        }
+        return std::make_pair(d0, d1);
+    };
+    auto add_edge = [&](int d0, int d1, double p, std::uint32_t obs_mask) {
+        const auto [a, b] = canon(d0, d1);
+        const auto key = std::make_tuple(a, b, obs_mask);
+        const auto it = edge_index.find(key);
+        if (it != edge_index.end()) {
+            double& q = dem.edges[it->second].p;
+            q = q * (1.0 - p) + p * (1.0 - q);
+            return;
+        }
+        edge_index[key] = dem.edges.size();
+        dem.edges.push_back({a, b, p, obs_mask});
+    };
+    /** Existing elementary edge between (d0, d1) with any obs, or -1. */
+    auto find_edge = [&](int d0, int d1, std::uint32_t obs) -> int {
+        const auto [a, b] = canon(d0, d1);
+        const auto it = edge_index.find(std::make_tuple(a, b, obs));
+        return it == edge_index.end() ? -1
+                                      : static_cast<int>(it->second);
+    };
+    auto find_edge_any_obs = [&](int d0, int d1) -> int {
+        for (std::uint32_t obs = 0;
+             obs < (1u << std::max(1, circuit.num_observables())); ++obs) {
+            const int e = find_edge(d0, d1, obs);
+            if (e >= 0) {
+                return e;
+            }
+        }
+        return -1;
+    };
+    std::vector<std::pair<Key, double>> composite;
+    for (const auto& [key, p] : merged) {
+        if (key.dets.empty()) {
+            // Pure observable flip with no detector signature: invisible
+            // to any decoder; drop it (counted).
+            ++dem.num_undecomposable;
+            continue;
+        }
+        if (key.dets.size() == 1) {
+            add_edge(key.dets[0], DemEdge::kBoundary, p, key.obs);
+        } else if (key.dets.size() == 2) {
+            add_edge(key.dets[0], key.dets[1], p, key.obs);
+        } else {
+            composite.emplace_back(key, p);
+        }
+    }
+    // Second pass: decompose composite mechanisms into existing
+    // elementary edges, requiring the decomposition's total observable
+    // action to match the mechanism's. A fabricated edge would poison
+    // the decoding graph, so mechanisms that cannot be expressed in
+    // existing edges are dropped instead (their probability mass is the
+    // `num_undecomposable` diagnostic).
+    for (const auto& [key, p] : composite) {
+        std::vector<int> rest = key.dets;
+        std::uint32_t acc_obs = 0;
+        std::vector<int> part_edges;
+        bool ok = true;
+        while (rest.size() >= 2) {
+            bool found = false;
+            for (size_t a = 0; a < rest.size() && !found; ++a) {
+                for (size_t b = a + 1; b < rest.size() && !found; ++b) {
+                    const int e = find_edge_any_obs(rest[a], rest[b]);
+                    if (e < 0) {
+                        continue;
+                    }
+                    part_edges.push_back(e);
+                    acc_obs ^= dem.edges[e].obs_mask;
+                    rest.erase(rest.begin() + b);
+                    rest.erase(rest.begin() + a);
+                    found = true;
+                }
+            }
+            if (!found) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok && rest.size() == 1) {
+            // The leftover detector must pair with the boundary through
+            // an edge carrying exactly the residual observable action.
+            const int e =
+                find_edge(rest[0], DemEdge::kBoundary, key.obs ^ acc_obs);
+            if (e >= 0) {
+                part_edges.push_back(e);
+                acc_obs ^= dem.edges[e].obs_mask;
+                rest.clear();
+            } else {
+                ok = false;
+            }
+        }
+        if (!ok || acc_obs != key.obs) {
+            ++dem.num_undecomposable;
+            continue;
+        }
+        for (const int e : part_edges) {
+            double& q = dem.edges[e].p;
+            q = q * (1.0 - p) + p * (1.0 - q);
+        }
+        ++dem.num_decomposed;
+    }
+    // Final pass: parallel edges with conflicting observable masks cannot
+    // be told apart by a syndrome decoder; keep the most probable one
+    // (exactly what weighted matching would effectively do) and drop the
+    // rest, which bounds the decoder's intrinsic ambiguity floor.
+    std::map<std::pair<int, int>, size_t> best;
+    std::vector<DemEdge> kept;
+    for (const DemEdge& e : dem.edges) {
+        const auto key = std::make_pair(e.d0, e.d1);
+        const auto it = best.find(key);
+        if (it == best.end()) {
+            best[key] = kept.size();
+            kept.push_back(e);
+        } else if (e.p > kept[it->second].p) {
+            dem.dropped_probability += kept[it->second].p;
+            kept[it->second] = e;
+        } else {
+            dem.dropped_probability += e.p;
+        }
+    }
+    dem.edges = std::move(kept);
+    return dem;
+}
+
+}  // namespace tiqec::sim

@@ -1,0 +1,208 @@
+#include "sim/frame_simulator.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace tiqec::sim {
+
+SampleBatch::SampleBatch(int shots, int num_detectors, int num_observables)
+    : shots_(shots),
+      words_((shots + 63) / 64),
+      num_detectors_(num_detectors),
+      num_observables_(num_observables),
+      detectors_(static_cast<size_t>(num_detectors) * words_, 0),
+      observables_(static_cast<size_t>(num_observables) * words_, 0)
+{
+}
+
+std::vector<int>
+SampleBatch::SyndromeOf(int shot) const
+{
+    std::vector<int> fired;
+    for (int d = 0; d < num_detectors_; ++d) {
+        if (Detector(d, shot)) {
+            fired.push_back(d);
+        }
+    }
+    return fired;
+}
+
+std::int64_t
+SampleBatch::CountNonTrivialShots() const
+{
+    std::int64_t count = 0;
+    for (int s = 0; s < shots_; ++s) {
+        for (int d = 0; d < num_detectors_; ++d) {
+            if (Detector(d, s)) {
+                ++count;
+                break;
+            }
+        }
+    }
+    return count;
+}
+
+FrameSimulator::FrameSimulator(const NoisyCircuit& circuit,
+                               std::uint64_t seed)
+    : circuit_(&circuit), rng_(seed)
+{
+}
+
+namespace {
+
+/** Word-packed one-bit-per-shot plane. */
+using Plane = std::vector<std::uint64_t>;
+
+void
+FlipBit(Plane& plane, std::uint64_t shot)
+{
+    plane[shot >> 6] ^= 1ULL << (shot & 63);
+}
+
+}  // namespace
+
+SampleBatch
+FrameSimulator::Sample(int shots)
+{
+    const auto& circuit = *circuit_;
+    const int words = (shots + 63) / 64;
+    const int nq = circuit.num_qubits();
+    std::vector<Plane> x(nq, Plane(words, 0));
+    std::vector<Plane> z(nq, Plane(words, 0));
+    std::vector<Plane> records(circuit.num_measurements(), Plane(words, 0));
+    SampleBatch batch(shots, circuit.num_detectors(),
+                      circuit.num_observables());
+
+    // Applies `body(shot)` to each shot independently with probability p,
+    // exactly: dense per-shot sampling when p is large, and
+    // Binomial-count + Floyd's uniform k-subset sampling when p is small
+    // (cost proportional to the number of actual errors). The stamp array
+    // makes subset membership checks O(1) without per-channel clearing.
+    std::vector<std::uint32_t> stamp(shots, 0);
+    std::uint32_t stamp_epoch = 0;
+    auto sparse = [&](double p, auto&& body) {
+        const auto n = static_cast<std::uint64_t>(shots);
+        if (p >= 0.1) {
+            for (std::uint64_t s = 0; s < n; ++s) {
+                if (rng_.NextDouble() < p) {
+                    body(s);
+                }
+            }
+            return;
+        }
+        const std::uint64_t k = rng_.NextBinomial(n, p);
+        if (k == 0) {
+            return;
+        }
+        ++stamp_epoch;
+        // Floyd's algorithm: uniform k-subset of [0, n).
+        for (std::uint64_t j = n - k; j < n; ++j) {
+            std::uint64_t t = rng_.NextBelow(j + 1);
+            if (stamp[t] == stamp_epoch) {
+                t = j;
+            }
+            stamp[t] = stamp_epoch;
+            body(t);
+        }
+    };
+
+    int next_record = 0;
+    for (const SimInstruction& inst : circuit.instructions()) {
+        switch (inst.op) {
+          case SimOp::kH:
+            x[inst.q0].swap(z[inst.q0]);
+            break;
+          case SimOp::kCnot: {
+            Plane& xc = x[inst.q0];
+            Plane& xt = x[inst.q1];
+            Plane& zc = z[inst.q0];
+            Plane& zt = z[inst.q1];
+            for (int w = 0; w < words; ++w) {
+                xt[w] ^= xc[w];
+                zc[w] ^= zt[w];
+            }
+            break;
+          }
+          case SimOp::kSwap:
+            x[inst.q0].swap(x[inst.q1]);
+            z[inst.q0].swap(z[inst.q1]);
+            break;
+          case SimOp::kMeasure: {
+            Plane& rec = records[next_record++];
+            rec = x[inst.q0];
+            if (inst.p > 0.0) {
+                sparse(inst.p,
+                       [&](std::uint64_t s) { FlipBit(rec, s); });
+            }
+            break;
+          }
+          case SimOp::kReset:
+            std::fill(x[inst.q0].begin(), x[inst.q0].end(), 0);
+            std::fill(z[inst.q0].begin(), z[inst.q0].end(), 0);
+            if (inst.p > 0.0) {
+                sparse(inst.p,
+                       [&](std::uint64_t s) { FlipBit(x[inst.q0], s); });
+            }
+            break;
+          case SimOp::kXError:
+            sparse(inst.p, [&](std::uint64_t s) { FlipBit(x[inst.q0], s); });
+            break;
+          case SimOp::kZError:
+            sparse(inst.p, [&](std::uint64_t s) { FlipBit(z[inst.q0], s); });
+            break;
+          case SimOp::kDepolarize1:
+            sparse(inst.p, [&](std::uint64_t s) {
+                switch (rng_.NextBelow(3)) {
+                  case 0: FlipBit(x[inst.q0], s); break;
+                  case 1: FlipBit(z[inst.q0], s); break;
+                  default:
+                    FlipBit(x[inst.q0], s);
+                    FlipBit(z[inst.q0], s);
+                    break;
+                }
+            });
+            break;
+          case SimOp::kDepolarize2:
+            sparse(inst.p, [&](std::uint64_t s) {
+                // Uniform over the 15 non-identity two-qubit Paulis,
+                // encoding each single-qubit part as 0=I 1=X 2=Z 3=Y.
+                const std::uint64_t which = 1 + rng_.NextBelow(15);
+                const std::uint64_t p0 = which & 3;
+                const std::uint64_t p1 = which >> 2;
+                if (p0 & 1) FlipBit(x[inst.q0], s);
+                if (p0 & 2) FlipBit(z[inst.q0], s);
+                if (p1 & 1) FlipBit(x[inst.q1], s);
+                if (p1 & 2) FlipBit(z[inst.q1], s);
+            });
+            break;
+          case SimOp::kDetector: {
+            Plane acc(words, 0);
+            for (const auto m : inst.targets) {
+                const Plane& rec = records[m];
+                for (int w = 0; w < words; ++w) {
+                    acc[w] ^= rec[w];
+                }
+            }
+            for (int w = 0; w < words; ++w) {
+                batch.SetDetectorWord(inst.index, w, acc[w]);
+            }
+            break;
+          }
+          case SimOp::kObservableInclude: {
+            // Accumulate: an observable may be assembled from several
+            // includes, so XOR into the existing plane.
+            for (const auto m : inst.targets) {
+                const Plane& rec = records[m];
+                for (int w = 0; w < words; ++w) {
+                    batch.XorObservableWord(inst.index, w, rec[w]);
+                }
+            }
+            break;
+          }
+        }
+    }
+    assert(next_record == circuit.num_measurements());
+    return batch;
+}
+
+}  // namespace tiqec::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bit-parallel Pauli-frame Monte-Carlo simulator, the sampling engine of
+ * the in-house Stim substitute (see DESIGN.md §3).
+ *
+ * Semantics: instead of tracking the full quantum state, the simulator
+ * tracks, per shot, the Pauli frame (X and Z flip masks) relative to a
+ * noiseless reference execution. Clifford gates conjugate the frame;
+ * stochastic channels flip frame bits; a measurement records the X-frame
+ * bit of the measured qubit (the flip of the recorded outcome relative to
+ * the reference). DETECTORs are XORs of recorded bits and are therefore
+ * 0 in the noiseless reference by construction.
+ *
+ * Shots are packed 64 per machine word. Stochastic channels are applied
+ * sparsely: the number of affected shots is drawn from Binomial(shots, p)
+ * and individual shots are flipped, which costs time proportional to the
+ * number of actual errors rather than to shots * channels.
+ *
+ * Note on measurement phase randomisation: Stim randomises the Z frame
+ * after measurement and reset so that unphysical phase information cannot
+ * survive a collapse. In the circuits generated here every measured qubit
+ * is reset before it participates in another Clifford, and reset clears
+ * the whole frame, so the randomisation is unnecessary and is omitted to
+ * keep propagation deterministic (which the DEM builder relies on).
+ */
+#ifndef TIQEC_SIM_FRAME_SIMULATOR_H
+#define TIQEC_SIM_FRAME_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/noisy_circuit.h"
+
+namespace tiqec::sim {
+
+/** Packed per-shot detector and observable samples. */
+class SampleBatch
+{
+  public:
+    SampleBatch(int shots, int num_detectors, int num_observables);
+
+    int shots() const { return shots_; }
+    int num_detectors() const { return num_detectors_; }
+    int num_observables() const { return num_observables_; }
+
+    bool Detector(int detector, int shot) const
+    {
+        return ((detectors_[Idx(detector, shot)] >> (shot & 63)) & 1) != 0;
+    }
+    bool Observable(int observable, int shot) const
+    {
+        return ((observables_[Idx(observable, shot)] >> (shot & 63)) & 1) !=
+               0;
+    }
+
+    /** Detector indices set in `shot` (the decoder's syndrome). */
+    std::vector<int> SyndromeOf(int shot) const;
+
+    /** Number of shots whose detector pattern is non-trivial. */
+    std::int64_t CountNonTrivialShots() const;
+
+    void SetDetectorWord(int detector, int word, std::uint64_t bits)
+    {
+        detectors_[static_cast<size_t>(detector) * words_ + word] = bits;
+    }
+    void SetObservableWord(int observable, int word, std::uint64_t bits)
+    {
+        observables_[static_cast<size_t>(observable) * words_ + word] = bits;
+    }
+    void XorObservableWord(int observable, int word, std::uint64_t bits)
+    {
+        observables_[static_cast<size_t>(observable) * words_ + word] ^=
+            bits;
+    }
+
+    int words() const { return words_; }
+
+  private:
+    size_t Idx(int row, int shot) const
+    {
+        return static_cast<size_t>(row) * words_ + (shot >> 6);
+    }
+
+    int shots_;
+    int words_;
+    int num_detectors_;
+    int num_observables_;
+    std::vector<std::uint64_t> detectors_;
+    std::vector<std::uint64_t> observables_;
+};
+
+/** Monte-Carlo frame sampler for a noisy circuit. */
+class FrameSimulator
+{
+  public:
+    explicit FrameSimulator(const NoisyCircuit& circuit,
+                            std::uint64_t seed = 0xC0FFEE);
+
+    /** Samples `shots` shots and returns packed detector/observable bits. */
+    SampleBatch Sample(int shots);
+
+  private:
+    const NoisyCircuit* circuit_;
+    Rng rng_;
+};
+
+}  // namespace tiqec::sim
+
+#endif  // TIQEC_SIM_FRAME_SIMULATOR_H

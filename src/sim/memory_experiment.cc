@@ -1,0 +1,145 @@
+#include "sim/memory_experiment.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace tiqec::sim {
+
+NoisyCircuit
+BuildMemory(const qec::StabilizerCode& code,
+            const circuit::Circuit& round_circuit,
+            const noise::RoundNoiseProfile& profile,
+            const noise::NoiseParams& params, int rounds,
+            MemoryBasis basis)
+{
+    assert(rounds >= 1);
+    assert(static_cast<int>(profile.gate_noise.size()) ==
+           round_circuit.size());
+    // The "anchor" check type is stabilised by the prepared state, so its
+    // round-0 outcomes are deterministic and it carries the space-like
+    // final layer; the other type only gets consecutive-round detectors.
+    const qec::CheckType anchor = basis == MemoryBasis::kZ
+                                      ? qec::CheckType::kZ
+                                      : qec::CheckType::kX;
+    NoisyCircuit sim(code.num_qubits());
+
+    // Ancilla id -> check ordinal, for measurement bookkeeping.
+    std::map<int, int> check_of_ancilla;
+    for (int k = 0; k < code.num_ancillas(); ++k) {
+        check_of_ancilla[code.checks()[k].ancilla.value] = k;
+    }
+    // Swap-noise events grouped by the QEC gate they follow.
+    std::map<int, std::vector<const noise::SwapNoise*>> swaps_after;
+    std::vector<const noise::SwapNoise*> swaps_at_start;
+    for (const auto& swap : profile.swaps) {
+        if (swap.after_qec_gate.valid()) {
+            swaps_after[swap.after_qec_gate.value].push_back(&swap);
+        } else {
+            swaps_at_start.push_back(&swap);
+        }
+    }
+
+    // Transversal preparation of the data qubits: |0>^n for memory-Z,
+    // |+>^n (reset then H) for memory-X.
+    for (const QubitId q : code.data_qubits()) {
+        sim.AddReset(q.value, params.ResetError());
+        if (basis == MemoryBasis::kX) {
+            sim.AddH(q.value);
+        }
+    }
+
+    // meas[r][k] = record index of check k's measurement in round r.
+    std::vector<std::vector<int>> meas(
+        rounds, std::vector<int>(code.num_ancillas(), -1));
+
+    for (int r = 0; r < rounds; ++r) {
+        for (const auto* swap : swaps_at_start) {
+            sim.AddDepolarize2(swap->a.value, swap->b.value, swap->p);
+        }
+        for (int gi = 0; gi < round_circuit.size(); ++gi) {
+            const circuit::Gate& g = round_circuit.gates()[gi];
+            const noise::GateNoise& gn = profile.gate_noise[gi];
+            switch (g.kind) {
+              case circuit::GateKind::kReset:
+                sim.AddReset(g.q0.value, gn.p_q0);
+                break;
+              case circuit::GateKind::kH:
+                sim.AddH(g.q0.value);
+                sim.AddDepolarize1(g.q0.value, gn.p_q0);
+                break;
+              case circuit::GateKind::kCnot:
+                sim.AddCnot(g.q0.value, g.q1.value);
+                sim.AddDepolarize2(g.q0.value, g.q1.value, gn.p_pair);
+                sim.AddDepolarize1(g.q0.value, gn.p_q0);
+                sim.AddDepolarize1(g.q1.value, gn.p_q1);
+                break;
+              case circuit::GateKind::kMeasure: {
+                const int k = check_of_ancilla.at(g.q0.value);
+                meas[r][k] = sim.AddMeasure(g.q0.value, gn.p_q0);
+                break;
+              }
+              default:
+                assert(false && "unexpected gate in a parity-check round");
+                break;
+            }
+            const auto it = swaps_after.find(gi);
+            if (it != swaps_after.end()) {
+                for (const auto* swap : it->second) {
+                    sim.AddDepolarize2(swap->a.value, swap->b.value,
+                                       swap->p);
+                }
+            }
+        }
+        // Idle / reconfiguration dephasing accumulated over the round.
+        for (int q = 0; q < code.num_qubits(); ++q) {
+            sim.AddZError(q, profile.idle_z[q]);
+        }
+        // Time-like detectors.
+        for (int k = 0; k < code.num_ancillas(); ++k) {
+            const auto& chk = code.checks()[k];
+            const Coord coord = code.qubit(chk.ancilla).coord;
+            if (chk.type == anchor && r == 0) {
+                sim.AddDetector({meas[0][k]}, coord, 0);
+            } else if (r >= 1) {
+                sim.AddDetector({meas[r][k], meas[r - 1][k]}, coord, r);
+            }
+        }
+    }
+
+    // Transversal readout of the data qubits in the memory basis (an H
+    // before a Z-basis measurement reads X).
+    std::vector<int> data_record(code.num_qubits(), -1);
+    for (const QubitId q : code.data_qubits()) {
+        if (basis == MemoryBasis::kX) {
+            sim.AddH(q.value);
+        }
+        data_record[q.value] = sim.AddMeasure(q.value, params.MeasureError());
+    }
+    // Space-like final detectors for the anchor checks.
+    for (int k = 0; k < code.num_ancillas(); ++k) {
+        const auto& chk = code.checks()[k];
+        if (chk.type != anchor) {
+            continue;
+        }
+        std::vector<std::int32_t> targets = {meas[rounds - 1][k]};
+        for (const QubitId dq : chk.data_order) {
+            if (dq.valid()) {
+                targets.push_back(data_record[dq.value]);
+            }
+        }
+        sim.AddDetector(std::move(targets),
+                        code.qubit(chk.ancilla).coord, rounds);
+    }
+    // The protected logical observable.
+    const auto& logical = basis == MemoryBasis::kZ ? code.logical_z()
+                                                   : code.logical_x();
+    std::vector<std::int32_t> obs_targets;
+    for (const QubitId q : logical) {
+        obs_targets.push_back(data_record[q.value]);
+    }
+    sim.AddObservableInclude(0, std::move(obs_targets));
+    return sim;
+}
+
+}  // namespace tiqec::sim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the baseline compilers (Table 3 comparators) and the
+ * control-hardware resource model (paper §5.2).
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_compiler.h"
+#include "compiler/compiler.h"
+#include "qccd/device_state.h"
+#include "resources/resource_model.h"
+
+namespace tiqec {
+namespace {
+
+using baselines::BaselineKind;
+using baselines::CompileBaseline;
+using qccd::DeviceGraph;
+using qccd::TimingModel;
+using qccd::TopologyKind;
+
+void
+ValidateStream(const qec::StabilizerCode& code, const DeviceGraph& graph,
+               const compiler::CompilationResult& result)
+{
+    qccd::DeviceState state(graph, code.num_qubits());
+    for (int q = 0; q < code.num_qubits(); ++q) {
+        state.LoadIon(QubitId(q), result.placement.qubit_trap[q]);
+    }
+    for (const auto& op : result.routing.ops) {
+        const auto err = state.TryApply(op);
+        ASSERT_FALSE(err.has_value()) << *err;
+    }
+}
+
+TEST(BaselineTest, QccdSimCompilesRepetitionLinear)
+{
+    const qec::RepetitionCode code(3);
+    const TimingModel timing;
+    const auto graph = DeviceGraph::MakeLinear(5, 2);
+    const auto result =
+        CompileBaseline(BaselineKind::kQccdSim, code, 1, graph, timing);
+    ASSERT_TRUE(result.ok) << result.error;
+    ValidateStream(code, graph, result);
+    EXPECT_GT(result.schedule.makespan, 0.0);
+    EXPECT_GT(result.routing.num_movement_ops, 0);
+}
+
+TEST(BaselineTest, QccdSimCompilesSurfaceGridSmall)
+{
+    const qec::RotatedSurfaceCode code(2);
+    const TimingModel timing;
+    const auto graph = DeviceGraph::MakeGridForTraps(4, 2);
+    const auto result =
+        CompileBaseline(BaselineKind::kQccdSim, code, 1, graph, timing);
+    ASSERT_TRUE(result.ok) << result.error;
+    ValidateStream(code, graph, result);
+}
+
+TEST(BaselineTest, MuzzleWorksOnLinear)
+{
+    const qec::RepetitionCode code(5);
+    const TimingModel timing;
+    const auto graph = DeviceGraph::MakeLinear(5, 3);
+    const auto result = CompileBaseline(BaselineKind::kMuzzleTheShuttle,
+                                        code, 1, graph, timing);
+    ASSERT_TRUE(result.ok) << result.error;
+    ValidateStream(code, graph, result);
+}
+
+TEST(BaselineTest, MuzzleFailsOnMultiJunctionGrid)
+{
+    // The published tool targets linear devices; multi-junction routes on
+    // a junction grid are unsupported (Table 3's NaN entries).
+    const qec::RotatedSurfaceCode code(4);
+    const TimingModel timing;
+    const auto graph = compiler::MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    const auto result = CompileBaseline(BaselineKind::kMuzzleTheShuttle,
+                                        code, 1, graph, timing);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(BaselineTest, QecCompilerBeatsBaselinesOnSurfaceCode)
+{
+    // Headline Table 3 property: for surface codes on the grid, the
+    // QEC-aware compiler's movement time is several times lower.
+    const qec::RotatedSurfaceCode code(3);
+    const TimingModel timing;
+    const auto graph = compiler::MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    const auto ours =
+        compiler::CompileParityCheckRounds(code, 5, graph, timing);
+    const auto theirs =
+        CompileBaseline(BaselineKind::kQccdSim, code, 5, graph, timing);
+    ASSERT_TRUE(ours.ok) << ours.error;
+    ASSERT_TRUE(theirs.ok) << theirs.error;
+    EXPECT_LT(2.0 * ours.schedule.movement_time,
+              theirs.schedule.movement_time);
+}
+
+TEST(BaselineTest, SerialMovementInBaseline)
+{
+    // Every movement chain is its own barrier group, so movement never
+    // overlaps: movement_time equals the sum of movement durations.
+    const qec::RepetitionCode code(3);
+    const TimingModel timing;
+    const auto graph = DeviceGraph::MakeLinear(5, 2);
+    const auto result =
+        CompileBaseline(BaselineKind::kQccdSim, code, 1, graph, timing);
+    ASSERT_TRUE(result.ok) << result.error;
+    double total = 0.0;
+    for (const auto& t : result.schedule.ops) {
+        if (qccd::IsMovement(t.op.kind)) {
+            total += t.duration;
+        }
+    }
+    EXPECT_NEAR(result.schedule.movement_time, total, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Resource model
+// ---------------------------------------------------------------------------
+
+TEST(ResourceModelTest, ElectrodeFormula)
+{
+    // Hand check: 10 traps of capacity 2, 4 junctions.
+    // N_lz = 20, N_jz = 4, N_de = 10*20 + 20*4 = 280,
+    // N_se = 10*(20+4) = 240, N_e = 520.
+    resources::HardwareShape shape{10, 4, 2};
+    const auto est = resources::EstimateResources(shape);
+    EXPECT_EQ(est.num_linear_zones, 20);
+    EXPECT_EQ(est.num_junction_zones, 4);
+    EXPECT_EQ(est.num_dynamic_electrodes, 280);
+    EXPECT_EQ(est.num_shim_electrodes, 240);
+    EXPECT_EQ(est.num_electrodes, 520);
+}
+
+TEST(ResourceModelTest, StandardWiringScaling)
+{
+    resources::HardwareShape shape{10, 4, 2};
+    const auto est = resources::EstimateResources(shape);
+    EXPECT_DOUBLE_EQ(est.standard_dacs, 520.0);
+    EXPECT_DOUBLE_EQ(est.standard_data_rate_gbps, 26.0);  // 520 * 0.05
+    EXPECT_DOUBLE_EQ(est.standard_power_w, 15.6);         // 520 * 0.03
+}
+
+TEST(ResourceModelTest, WiseWiringScaling)
+{
+    resources::HardwareShape shape{10, 4, 2};
+    const auto est = resources::EstimateResources(shape);
+    EXPECT_DOUBLE_EQ(est.wise_dacs, 100.0 + 240.0 / 100.0);
+    EXPECT_LT(est.wise_data_rate_gbps, est.standard_data_rate_gbps / 4.0);
+}
+
+TEST(ResourceModelTest, PaperDistanceSevenAnchor)
+{
+    // Paper §3.3: a distance-7 surface code (97 physical qubits at
+    // capacity 2) needs roughly 5500 DACs ~ 275 GBit/s under standard
+    // wiring. Our minimal grid for 97 traps has 64 junctions, giving
+    // N_e = 10*194 + 20*64 + 10*258 = 5800 - within 10% of the paper.
+    const auto shape =
+        resources::MinimalHardware(qccd::TopologyKind::kGrid, 97, 2);
+    EXPECT_EQ(shape.num_junctions, 64);
+    const auto est = resources::EstimateResources(shape);
+    EXPECT_NEAR(static_cast<double>(est.num_electrodes), 5500.0, 600.0);
+    EXPECT_NEAR(est.standard_data_rate_gbps, 275.0, 30.0);
+}
+
+TEST(ResourceModelTest, WiseAdvantageGrowsWithSize)
+{
+    const auto small = resources::EstimateResources(
+        resources::MinimalHardware(qccd::TopologyKind::kGrid, 10, 2));
+    const auto large = resources::EstimateResources(
+        resources::MinimalHardware(qccd::TopologyKind::kGrid, 1000, 2));
+    const double small_ratio =
+        small.standard_data_rate_gbps / small.wise_data_rate_gbps;
+    const double large_ratio =
+        large.standard_data_rate_gbps / large.wise_data_rate_gbps;
+    EXPECT_GT(large_ratio, 3.0 * small_ratio);
+    // Two orders of magnitude at the kilo-trap scale (paper §5.2).
+    EXPECT_GT(large_ratio, 50.0);
+}
+
+TEST(ResourceModelTest, LowerCapacityNeedsMoreJunctionsPerQubit)
+{
+    // Paper §5.2: decreasing trap capacity increases the ratio of
+    // junction zones to linear zones for a fixed qubit count.
+    const int qubits = 200;
+    const auto cap2 = resources::MinimalHardware(
+        qccd::TopologyKind::kGrid, qubits / 1, 2);  // capacity-1 ions/trap
+    const auto cap5 = resources::MinimalHardware(
+        qccd::TopologyKind::kGrid, qubits / 4, 5);
+    const double ratio2 =
+        static_cast<double>(cap2.num_junctions) /
+        (cap2.num_traps * cap2.trap_capacity);
+    const double ratio5 =
+        static_cast<double>(cap5.num_junctions) /
+        (cap5.num_traps * cap5.trap_capacity);
+    EXPECT_GT(ratio2, ratio5);
+}
+
+TEST(ResourceModelTest, RejectsInvalidShape)
+{
+    EXPECT_THROW(
+        resources::MinimalHardware(qccd::TopologyKind::kGrid, 0, 2),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tiqec

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the circuit IR, native-gate translation, and dependency
+ * DAG.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+#include "circuit/native_translation.h"
+
+namespace tiqec::circuit {
+namespace {
+
+TEST(CircuitTest, AppendAndQuery)
+{
+    Circuit c(3);
+    c.AddH(QubitId(0));
+    c.AddCnot(QubitId(0), QubitId(1));
+    c.AddMeasure(QubitId(1));
+    EXPECT_EQ(c.size(), 3);
+    EXPECT_EQ(c.num_measurements(), 1);
+    EXPECT_EQ(c.gate(GateId(1)).kind, GateKind::kCnot);
+    EXPECT_TRUE(c.gate(GateId(1)).IsTwoQubit());
+    EXPECT_FALSE(c.IsNative());
+}
+
+TEST(CircuitTest, ToStringContainsMnemonics)
+{
+    Circuit c(2);
+    c.AddCnot(QubitId(0), QubitId(1));
+    c.AddMeasure(QubitId(0));
+    const std::string s = c.ToString();
+    EXPECT_NE(s.find("CNOT"), std::string::npos);
+    EXPECT_NE(s.find("M q0"), std::string::npos);
+}
+
+TEST(NativeTranslationTest, HBecomesTwoRotations)
+{
+    Circuit c(1);
+    c.AddH(QubitId(0));
+    const Circuit n = TranslateToNative(c);
+    ASSERT_EQ(n.size(), kRotationsPerH);
+    EXPECT_EQ(n.gates()[0].kind, GateKind::kRy);
+    EXPECT_EQ(n.gates()[1].kind, GateKind::kRx);
+    EXPECT_TRUE(n.IsNative());
+}
+
+TEST(NativeTranslationTest, CnotBecomesMsPlusRotations)
+{
+    Circuit c(2);
+    c.AddCnot(QubitId(0), QubitId(1));
+    const Circuit n = TranslateToNative(c);
+    ASSERT_EQ(n.size(), 1 + kRotationsPerCnot);
+    int ms = 0, rot = 0;
+    for (const auto& g : n.gates()) {
+        if (g.kind == GateKind::kMs) {
+            ++ms;
+            EXPECT_EQ(g.q0, QubitId(0));
+            EXPECT_EQ(g.q1, QubitId(1));
+        } else {
+            ++rot;
+        }
+        EXPECT_EQ(g.source, GateId(0));
+    }
+    EXPECT_EQ(ms, 1);
+    EXPECT_EQ(rot, kRotationsPerCnot);
+}
+
+TEST(NativeTranslationTest, NativeGatesPassThrough)
+{
+    Circuit c(2);
+    c.AddMs(QubitId(0), QubitId(1), 0.5);
+    c.AddMeasure(QubitId(0));
+    c.AddReset(QubitId(1));
+    const Circuit n = TranslateToNative(c);
+    EXPECT_EQ(n.size(), 3);
+    EXPECT_EQ(n.num_measurements(), 1);
+}
+
+TEST(NativeTranslationTest, SourceTracking)
+{
+    Circuit c(2);
+    c.AddH(QubitId(0));         // gate 0 -> 2 native
+    c.AddCnot(QubitId(0), QubitId(1));  // gate 1 -> 5 native
+    const Circuit n = TranslateToNative(c);
+    ASSERT_EQ(n.size(), 7);
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_EQ(n.gates()[i].source, GateId(0));
+    }
+    for (int i = 2; i < 7; ++i) {
+        EXPECT_EQ(n.gates()[i].source, GateId(1));
+    }
+}
+
+TEST(DagTest, LinearChain)
+{
+    Circuit c(1);
+    c.AddReset(QubitId(0));
+    c.AddH(QubitId(0));
+    c.AddMeasure(QubitId(0));
+    const Dag dag(c);
+    EXPECT_EQ(dag.CriticalPathLength(), 3);
+    EXPECT_EQ(dag.Roots().size(), 1u);
+    EXPECT_EQ(dag.Predecessors(GateId(2)).size(), 1u);
+    EXPECT_EQ(dag.Predecessors(GateId(2))[0], GateId(1));
+}
+
+TEST(DagTest, IndependentQubitsAreParallel)
+{
+    Circuit c(2);
+    c.AddH(QubitId(0));
+    c.AddH(QubitId(1));
+    const Dag dag(c);
+    EXPECT_EQ(dag.CriticalPathLength(), 1);
+    EXPECT_EQ(dag.Roots().size(), 2u);
+}
+
+TEST(DagTest, TwoQubitGateJoinsChains)
+{
+    Circuit c(2);
+    c.AddH(QubitId(0));                  // 0
+    c.AddH(QubitId(1));                  // 1
+    c.AddCnot(QubitId(0), QubitId(1));   // 2 depends on 0 and 1
+    c.AddMeasure(QubitId(1));            // 3 depends on 2
+    const Dag dag(c);
+    EXPECT_EQ(dag.Predecessors(GateId(2)).size(), 2u);
+    EXPECT_EQ(dag.CriticalPathLength(), 3);
+    EXPECT_EQ(dag.DepthFrom(GateId(0)), 3);
+    EXPECT_EQ(dag.DepthFrom(GateId(3)), 1);
+}
+
+TEST(DagTest, NoDuplicateEdgeForSharedPredecessor)
+{
+    Circuit c(2);
+    c.AddCnot(QubitId(0), QubitId(1));  // 0
+    c.AddCnot(QubitId(0), QubitId(1));  // 1: both operands last touched 0
+    const Dag dag(c);
+    EXPECT_EQ(dag.Predecessors(GateId(1)).size(), 1u);
+    EXPECT_EQ(dag.Successors(GateId(0)).size(), 1u);
+}
+
+TEST(DagTest, WeightedCriticality)
+{
+    Circuit c(1);
+    c.AddReset(QubitId(0));   // 50
+    c.AddH(QubitId(0));       // 10
+    c.AddMeasure(QubitId(0)); // 400
+    const Dag dag(c);
+    const auto crit = dag.WeightedCriticality({50.0, 10.0, 400.0});
+    EXPECT_DOUBLE_EQ(crit[0], 460.0);
+    EXPECT_DOUBLE_EQ(crit[1], 410.0);
+    EXPECT_DOUBLE_EQ(crit[2], 400.0);
+}
+
+TEST(DagFrontierTest, TopologicalConsumption)
+{
+    Circuit c(2);
+    c.AddH(QubitId(0));                  // 0
+    c.AddCnot(QubitId(0), QubitId(1));   // 1
+    c.AddMeasure(QubitId(0));            // 2
+    c.AddMeasure(QubitId(1));            // 3
+    const Dag dag(c);
+    DagFrontier frontier(dag);
+    EXPECT_EQ(frontier.Ready().size(), 1u);
+    EXPECT_TRUE(frontier.IsReady(GateId(0)));
+    frontier.Retire(GateId(0));
+    EXPECT_TRUE(frontier.IsReady(GateId(1)));
+    EXPECT_FALSE(frontier.IsReady(GateId(2)));
+    frontier.Retire(GateId(1));
+    EXPECT_TRUE(frontier.IsReady(GateId(2)));
+    EXPECT_TRUE(frontier.IsReady(GateId(3)));
+    frontier.Retire(GateId(2));
+    frontier.Retire(GateId(3));
+    EXPECT_TRUE(frontier.AllRetired());
+}
+
+}  // namespace
+}  // namespace tiqec::circuit

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the QEC-to-QCCD compiler: partitioner balance, placement
+ * matching, router stream validity (replayed through the device-state
+ * constraint checker), scheduler resource exclusivity, and the
+ * architectural properties the paper reports (constant round time at
+ * capacity 2 on the grid, near-bound optimality).
+ */
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compiler/bounds.h"
+#include "compiler/compiler.h"
+#include "qccd/device_state.h"
+#include "qec/code.h"
+
+namespace tiqec::compiler {
+namespace {
+
+using qccd::DeviceGraph;
+using qccd::DeviceState;
+using qccd::OpKind;
+using qccd::TimingModel;
+using qccd::TopologyKind;
+
+/** Replays a routed stream through a fresh device state; fails on any
+ * constraint violation. */
+void
+ValidateStream(const qec::StabilizerCode& code, const DeviceGraph& graph,
+               const Placement& placement,
+               const std::vector<qccd::PrimitiveOp>& ops)
+{
+    DeviceState state(graph, code.num_qubits());
+    for (int q = 0; q < code.num_qubits(); ++q) {
+        state.LoadIon(QubitId(q), placement.qubit_trap[q]);
+    }
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const auto err = state.TryApply(ops[i]);
+        ASSERT_FALSE(err.has_value())
+            << "op " << i << " (" << qccd::OpKindName(ops[i].kind)
+            << "): " << *err;
+    }
+    EXPECT_TRUE(state.TransportComponentsEmpty());
+}
+
+/** Asserts that scheduled windows on exclusive resources do not overlap. */
+void
+ValidateScheduleResources(const Schedule& schedule, const DeviceGraph& graph)
+{
+    // Per-segment and per-ion interval lists.
+    std::map<int, std::vector<std::pair<double, double>>> seg_busy;
+    std::map<int, std::vector<std::pair<double, double>>> ion_busy;
+    std::map<int, std::vector<std::pair<double, double>>> trap_busy;
+    for (const TimedOp& t : schedule.ops) {
+        if (t.op.segment.valid()) {
+            seg_busy[t.op.segment.value].emplace_back(t.start, t.end());
+        }
+        ion_busy[t.op.ion0.value].emplace_back(t.start, t.end());
+        if (t.op.ion1.valid()) {
+            ion_busy[t.op.ion1.value].emplace_back(t.start, t.end());
+        }
+        if (t.op.IsGate() && t.op.node.valid()) {
+            trap_busy[t.op.node.value].emplace_back(t.start, t.end());
+        }
+    }
+    auto check_no_overlap = [](auto& busy, const char* what) {
+        for (auto& [key, intervals] : busy) {
+            std::sort(intervals.begin(), intervals.end());
+            for (size_t i = 1; i < intervals.size(); ++i) {
+                EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-9)
+                    << what << " " << key << " double-booked at t="
+                    << intervals[i].first;
+            }
+        }
+    };
+    check_no_overlap(seg_busy, "segment");
+    check_no_overlap(ion_busy, "ion");
+    check_no_overlap(trap_busy, "trap");
+    (void)graph;
+}
+
+TEST(PartitionerTest, BalancedClusters)
+{
+    const qec::RotatedSurfaceCode code(5);  // 49 qubits
+    const Partition p = PartitionQubits(code, 4);
+    EXPECT_EQ(p.num_clusters, 13);
+    EXPECT_LE(p.max_cluster_size, 4);
+    EXPECT_GE(p.min_cluster_size, 1);
+    // Every qubit assigned.
+    for (const int c : p.cluster_of) {
+        EXPECT_GE(c, 0);
+    }
+}
+
+TEST(PartitionerTest, SingleClusterWhenCapacityLarge)
+{
+    const qec::RepetitionCode code(3);  // 5 qubits
+    const Partition p = PartitionQubits(code, 100);
+    EXPECT_EQ(p.num_clusters, 1);
+    EXPECT_EQ(p.max_cluster_size, 5);
+}
+
+TEST(PartitionerTest, GeometricPartitionBeatsRoundRobinCut)
+{
+    const qec::RotatedSurfaceCode code(7);
+    const Partition p = PartitionQubits(code, 6);
+    // Round-robin strawman with the same cluster count.
+    Partition rr;
+    rr.num_clusters = p.num_clusters;
+    rr.cluster_of.resize(code.num_qubits());
+    for (int q = 0; q < code.num_qubits(); ++q) {
+        rr.cluster_of[q] = q % rr.num_clusters;
+    }
+    EXPECT_LT(p.CutWeight(code), 0.5 * rr.CutWeight(code));
+}
+
+TEST(PartitionerTest, ClusterMembersAreGeometricallyCompact)
+{
+    const qec::RotatedSurfaceCode code(6);
+    const Partition p = PartitionQubits(code, 4);
+    const auto members = p.Members();
+    for (const auto& cluster : members) {
+        double max_dist = 0.0;
+        for (size_t i = 0; i < cluster.size(); ++i) {
+            for (size_t j = i + 1; j < cluster.size(); ++j) {
+                max_dist = std::max(
+                    max_dist,
+                    ManhattanDistance(code.qubit(cluster[i]).coord,
+                                      code.qubit(cluster[j]).coord));
+            }
+        }
+        // A cluster of <=4 qubits in a 2d x 2d layout should be local.
+        EXPECT_LE(max_dist, 8.0);
+    }
+}
+
+TEST(PlacerTest, DistinctTraps)
+{
+    const qec::RotatedSurfaceCode code(4);
+    const Partition p = PartitionQubits(code, 1);
+    const auto graph = DeviceGraph::MakeGridForTraps(p.num_clusters, 2);
+    const Placement placement = PlaceClusters(code, p, graph);
+    std::set<int> used;
+    for (const NodeId t : placement.cluster_trap) {
+        EXPECT_TRUE(used.insert(t.value).second) << "trap reused";
+        EXPECT_EQ(graph.node(t).kind, qccd::NodeKind::kTrap);
+    }
+}
+
+TEST(PlacerTest, PreservesNeighbourhoods)
+{
+    // Adjacent code qubits should land in nearby traps on the grid.
+    const qec::RotatedSurfaceCode code(5);
+    const Partition p = PartitionQubits(code, 1);
+    const auto graph = DeviceGraph::MakeGridForTraps(p.num_clusters, 2);
+    const Placement placement = PlaceClusters(code, p, graph);
+    double total_dist = 0.0;
+    int edges = 0;
+    for (const auto& e : code.InteractionGraph()) {
+        const Coord a = graph.node(placement.qubit_trap[e.a.value]).coord;
+        const Coord b = graph.node(placement.qubit_trap[e.b.value]).coord;
+        total_dist += ManhattanDistance(a, b);
+        ++edges;
+    }
+    // Code-adjacent qubits are sqrt(2) apart in code coordinates; a
+    // geometry-preserving embedding keeps the mean mapped distance small.
+    EXPECT_LT(total_dist / edges, 4.0);
+}
+
+TEST(PlacerTest, ThrowsWhenDeviceTooSmall)
+{
+    const qec::RotatedSurfaceCode code(4);
+    const Partition p = PartitionQubits(code, 1);
+    const auto graph = DeviceGraph::MakeLinear(3, 2);
+    EXPECT_THROW(PlaceClusters(code, p, graph), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end compilation sweep
+// ---------------------------------------------------------------------------
+
+struct CompileCase
+{
+    std::string family;
+    int distance;
+    TopologyKind topology;
+    int capacity;
+};
+
+class CompileSweepTest : public ::testing::TestWithParam<CompileCase>
+{
+};
+
+TEST_P(CompileSweepTest, CompilesAndValidates)
+{
+    const CompileCase& c = GetParam();
+    const auto code = qec::MakeCode(c.family, c.distance);
+    const auto graph = MakeDeviceFor(*code, c.topology, c.capacity);
+    const TimingModel timing;
+    const auto result =
+        CompileParityCheckRounds(*code, 1, graph, timing);
+    ASSERT_TRUE(result.ok) << result.error;
+    ValidateStream(*code, graph, result.placement, result.routing.ops);
+    ValidateScheduleResources(result.schedule, graph);
+    // Every QEC gate lowered and emitted exactly once.
+    EXPECT_EQ(result.routing.ops.size(),
+              result.native.gates().size() +
+                  static_cast<size_t>(result.routing.num_movement_ops));
+    EXPECT_GT(result.schedule.makespan, 0.0);
+    // The schedule is never faster than the dependence-only lower bound.
+    EXPECT_GE(result.schedule.makespan + 1e-9,
+              ParallelLowerBoundRoundTime(*code, timing));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CompileSweepTest,
+    ::testing::Values(
+        CompileCase{"repetition", 3, TopologyKind::kLinear, 2},
+        CompileCase{"repetition", 3, TopologyKind::kLinear, 3},
+        CompileCase{"repetition", 3, TopologyKind::kLinear, 4},
+        CompileCase{"repetition", 6, TopologyKind::kLinear, 2},
+        CompileCase{"repetition", 6, TopologyKind::kLinear, 3},
+        CompileCase{"repetition", 7, TopologyKind::kLinear, 5},
+        CompileCase{"rotated", 2, TopologyKind::kGrid, 2},
+        CompileCase{"rotated", 3, TopologyKind::kGrid, 2},
+        CompileCase{"rotated", 3, TopologyKind::kGrid, 3},
+        CompileCase{"rotated", 3, TopologyKind::kGrid, 5},
+        CompileCase{"rotated", 3, TopologyKind::kSwitch, 2},
+        CompileCase{"rotated", 3, TopologyKind::kLinear, 2},
+        CompileCase{"rotated", 4, TopologyKind::kGrid, 2},
+        CompileCase{"rotated", 5, TopologyKind::kGrid, 5},
+        CompileCase{"rotated", 5, TopologyKind::kGrid, 12},
+        CompileCase{"rotated", 6, TopologyKind::kGrid, 2},
+        CompileCase{"unrotated", 2, TopologyKind::kGrid, 3},
+        CompileCase{"unrotated", 3, TopologyKind::kGrid, 2},
+        CompileCase{"rotated", 3, TopologyKind::kSwitch, 5}),
+    [](const auto& info) {
+        const CompileCase& c = info.param;
+        return c.family + "_d" + std::to_string(c.distance) + "_" +
+               qccd::TopologyKindName(c.topology) + "_c" +
+               std::to_string(c.capacity);
+    });
+
+TEST(CompilerTest, RejectsCapacityOne)
+{
+    const qec::RepetitionCode code(3);
+    const auto graph = DeviceGraph::MakeLinear(10, 1);
+    const auto result = CompileParityCheckRounds(
+        code, 1, graph, TimingModel{});
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(CompilerTest, RejectsTooFewTraps)
+{
+    const qec::RotatedSurfaceCode code(4);
+    const auto graph = DeviceGraph::MakeLinear(2, 2);
+    const auto result = CompileParityCheckRounds(
+        code, 1, graph, TimingModel{});
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(CompilerTest, SingleChainHasNoMovement)
+{
+    const qec::RepetitionCode code(3);
+    const auto graph = DeviceGraph::MakeLinear(1, code.num_qubits() + 1);
+    const auto result = CompileParityCheckRounds(
+        code, 1, graph, TimingModel{});
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.routing.num_movement_ops, 0);
+    // Fully serialised: makespan equals the serial upper bound.
+    EXPECT_NEAR(result.schedule.makespan,
+                SerialUpperBoundRoundTime(code, TimingModel{}), 1e-6);
+}
+
+TEST(CompilerTest, ConstantRoundTimeAtCapacityTwoOnGrid)
+{
+    // Paper §7.3: capacity 2 on the grid gives a round time independent of
+    // code distance.
+    const TimingModel timing;
+    std::vector<double> times;
+    for (const int d : {3, 5, 7}) {
+        const qec::RotatedSurfaceCode code(d);
+        const auto graph = MakeDeviceFor(code, TopologyKind::kGrid, 2);
+        const auto result =
+            CompileParityCheckRounds(code, 1, graph, timing);
+        ASSERT_TRUE(result.ok) << result.error;
+        times.push_back(result.schedule.makespan);
+    }
+    EXPECT_LT(times[2] / times[0], 1.25)
+        << "round time should be ~constant in distance at capacity 2";
+}
+
+TEST(CompilerTest, NearTheoreticalMinimumGridCapTwo)
+{
+    const TimingModel timing;
+    const qec::RotatedSurfaceCode code(3);
+    const auto graph = MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    const auto result = CompileParityCheckRounds(code, 1, graph, timing);
+    ASSERT_TRUE(result.ok) << result.error;
+    const TheoreticalBound bound = ComputeTheoreticalMin(
+        code, graph, result.partition, result.placement, timing);
+    EXPECT_GE(result.schedule.makespan + 1e-9, 0.8 * bound.round_time);
+    EXPECT_LE(result.schedule.makespan, 2.0 * bound.round_time)
+        << "compiler should be within 2x of the hand-optimal bound";
+    EXPECT_LE(result.routing.num_movement_ops, 2 * bound.routing_ops);
+}
+
+TEST(CompilerTest, LinearTopologySlowerThanGridForSurfaceCode)
+{
+    // Paper §7.2: the linear topology suffers routing congestion.
+    const TimingModel timing;
+    const qec::RotatedSurfaceCode code(3);
+    const auto grid = MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    const auto linear = MakeDeviceFor(code, TopologyKind::kLinear, 2);
+    const auto rg = CompileParityCheckRounds(code, 1, grid, timing);
+    const auto rl = CompileParityCheckRounds(code, 1, linear, timing);
+    ASSERT_TRUE(rg.ok) << rg.error;
+    ASSERT_TRUE(rl.ok) << rl.error;
+    EXPECT_GT(rl.schedule.makespan, 2.0 * rg.schedule.makespan);
+}
+
+TEST(CompilerTest, MultiRoundScalesLinearly)
+{
+    const TimingModel timing;
+    const qec::RotatedSurfaceCode code(3);
+    const auto graph = MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    const auto r1 = CompileParityCheckRounds(code, 1, graph, timing);
+    const auto r5 = CompileParityCheckRounds(code, 5, graph, timing);
+    ASSERT_TRUE(r1.ok && r5.ok);
+    EXPECT_GT(r5.schedule.makespan, 4.0 * r1.schedule.makespan);
+    EXPECT_LT(r5.schedule.makespan, 6.0 * r1.schedule.makespan);
+}
+
+TEST(CompilerTest, WiseSchedulingIsSlower)
+{
+    const TimingModel timing;
+    const qec::RotatedSurfaceCode code(3);
+    const auto graph = MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    CompilerOptions wise;
+    wise.wise = true;
+    const auto rs = CompileParityCheckRounds(code, 1, graph, timing);
+    const auto rw = CompileParityCheckRounds(code, 1, graph, timing, wise);
+    ASSERT_TRUE(rs.ok && rw.ok);
+    EXPECT_GT(rw.schedule.makespan, rs.schedule.makespan);
+}
+
+TEST(CompilerTest, SchedulerCoolingExtendsMsGates)
+{
+    const TimingModel timing;
+    const qec::RepetitionCode code(3);
+    const auto graph = MakeDeviceFor(code, TopologyKind::kLinear, 2);
+    CompilerOptions cooled;
+    cooled.cooling_per_two_qubit_gate = 850.0;
+    const auto base = CompileParityCheckRounds(code, 1, graph, timing);
+    const auto cool =
+        CompileParityCheckRounds(code, 1, graph, timing, cooled);
+    ASSERT_TRUE(base.ok && cool.ok);
+    EXPECT_GT(cool.schedule.makespan, base.schedule.makespan + 850.0);
+}
+
+TEST(BoundsTest, LowerBelowUpper)
+{
+    const TimingModel timing;
+    for (const int d : {2, 3, 5}) {
+        const qec::RotatedSurfaceCode code(d);
+        EXPECT_LT(ParallelLowerBoundRoundTime(code, timing),
+                  SerialUpperBoundRoundTime(code, timing));
+    }
+}
+
+TEST(BoundsTest, SerialUpperGrowsWithDistance)
+{
+    const TimingModel timing;
+    const qec::RotatedSurfaceCode small(3);
+    const qec::RotatedSurfaceCode big(7);
+    EXPECT_GT(SerialUpperBoundRoundTime(big, timing),
+              4.0 * SerialUpperBoundRoundTime(small, timing));
+}
+
+TEST(BoundsTest, TheoreticalMinSingleChainMatchesSerial)
+{
+    const TimingModel timing;
+    const qec::RepetitionCode code(3);
+    const auto graph = DeviceGraph::MakeLinear(1, code.num_qubits() + 1);
+    const Partition p = PartitionQubits(code, code.num_qubits());
+    const Placement placement = PlaceClusters(code, p, graph);
+    const auto bound =
+        ComputeTheoreticalMin(code, graph, p, placement, timing);
+    EXPECT_EQ(bound.routing_ops, 0);
+    EXPECT_NEAR(bound.round_time, SerialUpperBoundRoundTime(code, timing),
+                1e-6);
+}
+
+}  // namespace
+}  // namespace tiqec::compiler

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the union-find decoder: hand-built decoding graphs, the
+ * single-edge invariant on real compiled memory experiments, and
+ * end-to-end logical error suppression with distance.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "decoder/union_find_decoder.h"
+#include "noise/annotator.h"
+#include "sim/dem.h"
+#include "sim/frame_simulator.h"
+#include "sim/memory_experiment.h"
+
+namespace tiqec::decoder {
+namespace {
+
+using sim::DemEdge;
+using sim::DetectorErrorModel;
+
+/** Repetition-code style chain: D0 - D1 - D2 with boundaries on both
+ *  ends; the left boundary edge carries the observable. */
+DetectorErrorModel
+ChainDem()
+{
+    DetectorErrorModel dem;
+    dem.num_detectors = 3;
+    dem.num_observables = 1;
+    dem.edges.push_back({0, DemEdge::kBoundary, 0.01, 1});
+    dem.edges.push_back({0, 1, 0.01, 0});
+    dem.edges.push_back({1, 2, 0.01, 0});
+    dem.edges.push_back({2, DemEdge::kBoundary, 0.01, 0});
+    return dem;
+}
+
+TEST(UnionFindDecoderTest, EmptySyndromeNoCorrection)
+{
+    UnionFindDecoder decoder(ChainDem());
+    EXPECT_EQ(decoder.Decode({}), 0u);
+}
+
+TEST(UnionFindDecoderTest, AdjacentPairMatchesDirectEdge)
+{
+    UnionFindDecoder decoder(ChainDem());
+    EXPECT_EQ(decoder.Decode({0, 1}), 0u);
+    EXPECT_EQ(decoder.Decode({1, 2}), 0u);
+}
+
+TEST(UnionFindDecoderTest, SingleDefectNearBoundaryDrains)
+{
+    UnionFindDecoder decoder(ChainDem());
+    // Defect at 0: the nearest boundary edge flips the observable.
+    EXPECT_EQ(decoder.Decode({0}), 1u);
+    // Defect at 2: drains right without flipping.
+    EXPECT_EQ(decoder.Decode({2}), 0u);
+}
+
+TEST(UnionFindDecoderTest, RepeatedDecodesAreIndependent)
+{
+    UnionFindDecoder decoder(ChainDem());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(decoder.Decode({0, 1}), 0u);
+        EXPECT_EQ(decoder.Decode({0}), 1u);
+        EXPECT_EQ(decoder.Decode({}), 0u);
+    }
+}
+
+TEST(UnionFindDecoderTest, FullChainParity)
+{
+    UnionFindDecoder decoder(ChainDem());
+    // Defects at both ends: either both drain to their boundaries
+    // (obs = 1) or connect through the middle (obs = 0); with unit
+    // weights both have length 2, and the decoder must pick one
+    // consistently rather than half of each.
+    const std::uint32_t obs = decoder.Decode({0, 2});
+    EXPECT_TRUE(obs == 0u || obs == 1u);
+}
+
+/** Builds the DEM of a compiled memory experiment. */
+struct CompiledDem
+{
+    DetectorErrorModel dem;
+    sim::NoisyCircuit circuit{0};
+};
+
+CompiledDem
+BuildCompiledDem(int distance, int rounds, double improvement)
+{
+    CompiledDem out;
+    const qec::RotatedSurfaceCode code(distance);
+    const qccd::TimingModel timing;
+    const auto graph =
+        compiler::MakeDeviceFor(code, qccd::TopologyKind::kGrid, 2);
+    auto result = compiler::CompileParityCheckRounds(code, 1, graph, timing);
+    EXPECT_TRUE(result.ok) << result.error;
+    noise::NoiseParams params;
+    params.gate_improvement = improvement;
+    const auto profile =
+        noise::AnnotateRound(code, graph, result, params, timing);
+    out.circuit = sim::BuildMemoryZ(code, result.qec_circuit, profile,
+                                    params, rounds);
+    out.dem = sim::BuildDem(out.circuit);
+    return out;
+}
+
+TEST(UnionFindDecoderTest, SingleEdgeInvariantOnCompiledDem)
+{
+    // Decoding the syndrome of any single DEM edge must reproduce that
+    // edge's observable effect - the property that guarantees first-order
+    // errors are always corrected.
+    for (const int d : {3, 5}) {
+        const CompiledDem compiled = BuildCompiledDem(d, d, 10.0);
+        UnionFindDecoder decoder(compiled.dem);
+        for (const auto& e : compiled.dem.edges) {
+            std::vector<int> syndrome = {e.d0};
+            if (e.d1 != DemEdge::kBoundary) {
+                syndrome.push_back(e.d1);
+            }
+            EXPECT_EQ(decoder.Decode(syndrome), e.obs_mask)
+                << "d=" << d << " edge (" << e.d0 << "," << e.d1 << ")";
+        }
+    }
+}
+
+TEST(UnionFindDecoderTest, NoConflictingParallelEdges)
+{
+    const CompiledDem compiled = BuildCompiledDem(3, 3, 5.0);
+    std::map<std::pair<int, int>, std::uint32_t> seen;
+    for (const auto& e : compiled.dem.edges) {
+        const auto key = std::make_pair(e.d0, e.d1);
+        const auto it = seen.find(key);
+        EXPECT_TRUE(it == seen.end())
+            << "parallel edges left in DEM at (" << e.d0 << "," << e.d1
+            << ")";
+        seen[key] = e.obs_mask;
+    }
+}
+
+TEST(LogicalErrorTest, SuppressionWithDistance)
+{
+    // End-to-end: at 10X gate improvement on the capacity-2 grid, the
+    // logical error rate must drop by at least 2x from d=3 to d=5
+    // (paper Figure 10's sub-threshold behaviour).
+    double ler[2] = {0, 0};
+    const int dists[2] = {3, 5};
+    for (int i = 0; i < 2; ++i) {
+        const CompiledDem compiled =
+            BuildCompiledDem(dists[i], dists[i], 10.0);
+        UnionFindDecoder decoder(compiled.dem);
+        sim::FrameSimulator simulator(compiled.circuit, 99);
+        const int shots = 60000;
+        const sim::SampleBatch batch = simulator.Sample(shots);
+        int errors = 0;
+        for (int s = 0; s < shots; ++s) {
+            const std::uint32_t predicted =
+                decoder.Decode(batch.SyndromeOf(s));
+            const std::uint32_t actual = batch.Observable(0, s) ? 1 : 0;
+            errors += (predicted ^ actual) & 1;
+        }
+        ler[i] = static_cast<double>(errors) / shots;
+    }
+    EXPECT_GT(ler[0], 0.0) << "d=3 should show some logical errors";
+    EXPECT_LT(ler[1], 0.5 * ler[0])
+        << "logical error rate must be suppressed with distance";
+}
+
+TEST(LogicalErrorTest, DecodingBeatsNotDecoding)
+{
+    const CompiledDem compiled = BuildCompiledDem(3, 3, 1.0);
+    UnionFindDecoder decoder(compiled.dem);
+    sim::FrameSimulator simulator(compiled.circuit, 123);
+    const int shots = 20000;
+    const sim::SampleBatch batch = simulator.Sample(shots);
+    int with_decoder = 0;
+    int without = 0;
+    for (int s = 0; s < shots; ++s) {
+        const std::uint32_t predicted = decoder.Decode(batch.SyndromeOf(s));
+        const std::uint32_t actual = batch.Observable(0, s) ? 1 : 0;
+        with_decoder += (predicted ^ actual) & 1;
+        without += actual;
+    }
+    EXPECT_LT(with_decoder, without);
+}
+
+}  // namespace
+}  // namespace tiqec::decoder

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the QCCD hardware model: topology builders, the timing
+ * model, and the device-state constraint checker.
+ */
+#include <gtest/gtest.h>
+
+#include "qccd/device_state.h"
+#include "qccd/timing.h"
+#include "qccd/topology.h"
+
+namespace tiqec::qccd {
+namespace {
+
+TEST(TimingModelTest, Table1Durations)
+{
+    const TimingModel t;
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kMs), 40.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kRotation), 5.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kMeasure), 400.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kReset), 50.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kShuttle), 5.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kSplit), 80.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kMerge), 80.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kJunctionEnter), 100.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kJunctionExit), 100.0);
+    EXPECT_DOUBLE_EQ(t.DurationOf(OpKind::kGateSwap), 120.0);
+}
+
+TEST(TimingModelTest, HeatingBounds)
+{
+    const TimingModel t;
+    EXPECT_DOUBLE_EQ(t.HeatingOf(OpKind::kShuttle), 0.1);
+    EXPECT_DOUBLE_EQ(t.HeatingOf(OpKind::kSplit), 6.0);
+    EXPECT_DOUBLE_EQ(t.HeatingOf(OpKind::kMerge), 6.0);
+    EXPECT_DOUBLE_EQ(t.HeatingOf(OpKind::kJunctionEnter), 3.0);
+    EXPECT_DOUBLE_EQ(t.HeatingOf(OpKind::kMs), 0.0);
+}
+
+TEST(OpKindTest, MovementClassification)
+{
+    EXPECT_TRUE(IsTransport(OpKind::kShuttle));
+    EXPECT_TRUE(IsTransport(OpKind::kJunctionEnter));
+    EXPECT_FALSE(IsTransport(OpKind::kGateSwap));
+    EXPECT_TRUE(IsMovement(OpKind::kGateSwap));
+    EXPECT_FALSE(IsMovement(OpKind::kMs));
+    EXPECT_FALSE(IsMovement(OpKind::kMeasure));
+}
+
+TEST(TopologyTest, LinearStructure)
+{
+    const auto g = DeviceGraph::MakeLinear(5, 2);
+    EXPECT_EQ(g.num_traps(), 5);
+    EXPECT_EQ(g.num_junctions(), 0);
+    EXPECT_EQ(g.num_segments(), 4);
+    EXPECT_TRUE(g.IsConnected());
+    EXPECT_EQ(g.topology(), TopologyKind::kLinear);
+    // End traps have one segment; interior traps two.
+    EXPECT_EQ(g.node(g.traps().front()).segments.size(), 1u);
+    EXPECT_EQ(g.node(g.traps()[2]).segments.size(), 2u);
+}
+
+TEST(TopologyTest, GridStructure)
+{
+    const auto g = DeviceGraph::MakeGrid(3, 4, 2);
+    EXPECT_EQ(g.num_junctions(), 12);
+    // Horizontal edges: 3 * 3 = 9; vertical edges: 2 * 4 = 8.
+    EXPECT_EQ(g.num_traps(), 17);
+    // Every trap contributes two segments.
+    EXPECT_EQ(g.num_segments(), 34);
+    EXPECT_TRUE(g.IsConnected());
+    for (const NodeId t : g.traps()) {
+        EXPECT_EQ(g.node(t).segments.size(), 2u);
+        EXPECT_EQ(g.node(t).capacity, 2);
+    }
+}
+
+TEST(TopologyTest, GridForTrapsProvidesEnough)
+{
+    for (int need = 1; need <= 200; need += 7) {
+        const auto g = DeviceGraph::MakeGridForTraps(need, 3);
+        EXPECT_GE(g.num_traps(), need) << "need=" << need;
+        EXPECT_TRUE(g.IsConnected());
+    }
+}
+
+TEST(TopologyTest, SwitchStructure)
+{
+    const auto g = DeviceGraph::MakeSwitch(8, 2);
+    EXPECT_EQ(g.num_traps(), 8);
+    EXPECT_EQ(g.num_junctions(), 1);
+    EXPECT_EQ(g.num_segments(), 8);
+    EXPECT_TRUE(g.IsConnected());
+    // The hub admits simultaneous crossings.
+    for (const auto& n : g.nodes()) {
+        if (n.kind == NodeKind::kJunction) {
+            EXPECT_EQ(n.capacity, 8);
+        }
+    }
+}
+
+TEST(TopologyTest, SegmentBetween)
+{
+    const auto g = DeviceGraph::MakeLinear(3, 2);
+    const NodeId a = g.traps()[0];
+    const NodeId b = g.traps()[1];
+    const NodeId c = g.traps()[2];
+    EXPECT_TRUE(g.SegmentBetween(a, b).valid());
+    EXPECT_FALSE(g.SegmentBetween(a, c).valid());
+    const SegmentId s = g.SegmentBetween(a, b);
+    EXPECT_EQ(g.Neighbor(a, s), b);
+    EXPECT_EQ(g.Neighbor(b, s), a);
+}
+
+TEST(TopologyTest, RejectsInvalidParameters)
+{
+    EXPECT_THROW(DeviceGraph::MakeLinear(0, 2), std::invalid_argument);
+    EXPECT_THROW(DeviceGraph::MakeGrid(0, 3, 2), std::invalid_argument);
+    EXPECT_THROW(DeviceGraph::MakeSwitch(3, 0), std::invalid_argument);
+}
+
+class DeviceStateTest : public ::testing::Test
+{
+  protected:
+    DeviceStateTest() : graph_(DeviceGraph::MakeGrid(2, 2, 2)) {}
+    DeviceGraph graph_;
+};
+
+TEST_F(DeviceStateTest, LoadAndQuery)
+{
+    DeviceState state(graph_, 2);
+    const NodeId t0 = graph_.traps()[0];
+    state.LoadIon(QubitId(0), t0);
+    state.LoadIon(QubitId(1), t0);
+    EXPECT_EQ(state.Occupancy(t0), 2);
+    EXPECT_EQ(state.NodeOf(QubitId(0)), t0);
+    EXPECT_EQ(state.PlaceOf(QubitId(1)), IonPlace::kTrap);
+    EXPECT_EQ(state.ChainOf(t0).size(), 2u);
+}
+
+TEST_F(DeviceStateTest, FullHopBetweenTraps)
+{
+    DeviceState state(graph_, 1);
+    const NodeId t0 = graph_.traps()[0];
+    state.LoadIon(QubitId(0), t0);
+    // t0 -> junction -> some other trap.
+    const SegmentId s0 = graph_.node(t0).segments[0];
+    const NodeId jxn = graph_.Neighbor(t0, s0);
+    ASSERT_EQ(graph_.node(jxn).kind, NodeKind::kJunction);
+    state.ApplySplit(QubitId(0), s0);
+    EXPECT_EQ(state.PlaceOf(QubitId(0)), IonPlace::kSegment);
+    EXPECT_TRUE(state.SegmentOccupied(s0));
+    state.ApplyShuttle(QubitId(0), s0);
+    state.ApplyJunctionEnter(QubitId(0), jxn);
+    EXPECT_EQ(state.PlaceOf(QubitId(0)), IonPlace::kJunction);
+    EXPECT_FALSE(state.SegmentOccupied(s0));
+    EXPECT_EQ(state.Occupancy(jxn), 1);
+    // Exit towards a different trap.
+    SegmentId out;
+    NodeId dst;
+    for (const SegmentId seg : graph_.node(jxn).segments) {
+        const NodeId v = graph_.Neighbor(jxn, seg);
+        if (v != t0 && graph_.node(v).kind == NodeKind::kTrap) {
+            out = seg;
+            dst = v;
+            break;
+        }
+    }
+    ASSERT_TRUE(out.valid());
+    state.ApplyJunctionExit(QubitId(0), out);
+    state.ApplyShuttle(QubitId(0), out);
+    state.ApplyMerge(QubitId(0), dst);
+    EXPECT_EQ(state.NodeOf(QubitId(0)), dst);
+    EXPECT_TRUE(state.TransportComponentsEmpty());
+}
+
+TEST_F(DeviceStateTest, TryApplyRejectsCapacityViolation)
+{
+    DeviceState state(graph_, 3);
+    const NodeId t0 = graph_.traps()[0];
+    const NodeId t1 = graph_.traps()[1];
+    state.LoadIon(QubitId(0), t0);
+    state.LoadIon(QubitId(1), t0);  // t0 now at capacity 2
+    state.LoadIon(QubitId(2), t1);
+    // Move ion 2 towards t0 and try to merge into the full trap.
+    const SegmentId s = graph_.node(t1).segments[0];
+    const NodeId jxn = graph_.Neighbor(t1, s);
+    state.ApplySplit(QubitId(2), s);
+    state.ApplyShuttle(QubitId(2), s);
+    state.ApplyJunctionEnter(QubitId(2), jxn);
+    const SegmentId toward = graph_.SegmentBetween(jxn, t0);
+    if (toward.valid()) {
+        state.ApplyJunctionExit(QubitId(2), toward);
+        const auto err = state.TryApply(
+            {.kind = OpKind::kMerge, .ion0 = QubitId(2), .node = t0});
+        ASSERT_TRUE(err.has_value());
+        EXPECT_NE(err->find("capacity"), std::string::npos);
+    }
+}
+
+TEST_F(DeviceStateTest, TryApplyRejectsOccupiedSegment)
+{
+    DeviceState state(graph_, 2);
+    const NodeId t0 = graph_.traps()[0];
+    state.LoadIon(QubitId(0), t0);
+    state.LoadIon(QubitId(1), t0);
+    const SegmentId s = graph_.node(t0).segments[0];
+    state.ApplySplit(QubitId(0), s);
+    const auto err = state.TryApply(
+        {.kind = OpKind::kSplit, .ion0 = QubitId(1), .segment = s});
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("occupied"), std::string::npos);
+}
+
+TEST_F(DeviceStateTest, TryApplyRejectsGateAcrossTraps)
+{
+    DeviceState state(graph_, 2);
+    state.LoadIon(QubitId(0), graph_.traps()[0]);
+    state.LoadIon(QubitId(1), graph_.traps()[1]);
+    const auto err = state.TryApply({.kind = OpKind::kMs,
+                                     .ion0 = QubitId(0),
+                                     .ion1 = QubitId(1)});
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("co-located"), std::string::npos);
+}
+
+TEST(DeviceStateChainTest, SwapsToEndAndOrdering)
+{
+    const auto g = DeviceGraph::MakeLinear(3, 4);
+    DeviceState state(g, 3);
+    const NodeId mid = g.traps()[1];  // interior trap, two segments
+    state.LoadIon(QubitId(0), mid);
+    state.LoadIon(QubitId(1), mid);
+    state.LoadIon(QubitId(2), mid);
+    const SegmentId front_seg = g.node(mid).segments[0];
+    const SegmentId back_seg = g.node(mid).segments[1];
+    EXPECT_EQ(state.SwapsToEnd(QubitId(0), front_seg), 0);
+    EXPECT_EQ(state.SwapsToEnd(QubitId(2), front_seg), 2);
+    EXPECT_EQ(state.SwapsToEnd(QubitId(2), back_seg), 0);
+    EXPECT_EQ(state.SwapsToEnd(QubitId(1), back_seg), 1);
+    // A gate swap moves ion 1 to the back.
+    const auto err = state.TryApply({.kind = OpKind::kGateSwap,
+                                     .ion0 = QubitId(1),
+                                     .ion1 = QubitId(2)});
+    EXPECT_FALSE(err.has_value());
+    EXPECT_EQ(state.SwapsToEnd(QubitId(1), back_seg), 0);
+    // Splitting from the back then merging back restores occupancy.
+    state.ApplySplit(QubitId(1), back_seg);
+    EXPECT_EQ(state.Occupancy(mid), 2);
+    state.ApplyMerge(QubitId(1), g.traps()[2]);
+    EXPECT_EQ(state.Occupancy(g.traps()[2]), 1);
+}
+
+TEST(DeviceStateInvariantTest, BelowCapacityCheck)
+{
+    const auto g = DeviceGraph::MakeLinear(2, 2);
+    DeviceState state(g, 2);
+    state.LoadIon(QubitId(0), g.traps()[0]);
+    EXPECT_TRUE(state.AllTrapsBelowCapacity());
+    state.LoadIon(QubitId(1), g.traps()[0]);
+    EXPECT_FALSE(state.AllTrapsBelowCapacity());
+}
+
+}  // namespace
+}  // namespace tiqec::qccd

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Property tests for the QEC code definitions: stabilizer commutation,
+ * logical operator algebra, qubit counts, dance-step disjointness, and
+ * parity-check circuit structure. Most tests sweep distances 2..10 with
+ * parameterized gtest.
+ */
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qec/code.h"
+#include "qec/parity_check.h"
+
+namespace tiqec::qec {
+namespace {
+
+/** Pauli support of an operator: per data qubit, X and/or Z action. */
+struct PauliSupport
+{
+    std::set<int> x;
+    std::set<int> z;
+};
+
+PauliSupport
+CheckSupport(const Check& chk)
+{
+    PauliSupport s;
+    for (const QubitId q : chk.data_order) {
+        if (!q.valid()) {
+            continue;
+        }
+        if (chk.type == CheckType::kX) {
+            s.x.insert(q.value);
+        } else {
+            s.z.insert(q.value);
+        }
+    }
+    return s;
+}
+
+PauliSupport
+LogicalSupport(const std::vector<QubitId>& qubits, bool is_x)
+{
+    PauliSupport s;
+    for (const QubitId q : qubits) {
+        if (is_x) {
+            s.x.insert(q.value);
+        } else {
+            s.z.insert(q.value);
+        }
+    }
+    return s;
+}
+
+/** Symplectic product: 0 = commute, 1 = anticommute. */
+int
+SymplecticProduct(const PauliSupport& a, const PauliSupport& b)
+{
+    auto overlap = [](const std::set<int>& p, const std::set<int>& q) {
+        int n = 0;
+        for (const int v : p) {
+            n += q.count(v) ? 1 : 0;
+        }
+        return n;
+    };
+    return (overlap(a.x, b.z) + overlap(a.z, b.x)) % 2;
+}
+
+class CodeAlgebraTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+  protected:
+    std::unique_ptr<StabilizerCode> MakeParamCode() const
+    {
+        return MakeCode(std::get<0>(GetParam()), std::get<1>(GetParam()));
+    }
+};
+
+TEST_P(CodeAlgebraTest, ChecksCommutePairwise)
+{
+    const auto code = MakeParamCode();
+    std::vector<PauliSupport> supports;
+    for (const Check& chk : code->checks()) {
+        supports.push_back(CheckSupport(chk));
+    }
+    for (size_t i = 0; i < supports.size(); ++i) {
+        for (size_t j = i + 1; j < supports.size(); ++j) {
+            EXPECT_EQ(SymplecticProduct(supports[i], supports[j]), 0)
+                << "checks " << i << " and " << j << " anticommute";
+        }
+    }
+}
+
+TEST_P(CodeAlgebraTest, LogicalsCommuteWithChecks)
+{
+    const auto code = MakeParamCode();
+    const PauliSupport lx = LogicalSupport(code->logical_x(), true);
+    const PauliSupport lz = LogicalSupport(code->logical_z(), false);
+    for (size_t i = 0; i < code->checks().size(); ++i) {
+        const PauliSupport s = CheckSupport(code->checks()[i]);
+        EXPECT_EQ(SymplecticProduct(lx, s), 0) << "X_L vs check " << i;
+        EXPECT_EQ(SymplecticProduct(lz, s), 0) << "Z_L vs check " << i;
+    }
+}
+
+TEST_P(CodeAlgebraTest, LogicalsAnticommute)
+{
+    const auto code = MakeParamCode();
+    const PauliSupport lx = LogicalSupport(code->logical_x(), true);
+    const PauliSupport lz = LogicalSupport(code->logical_z(), false);
+    EXPECT_EQ(SymplecticProduct(lx, lz), 1);
+}
+
+TEST_P(CodeAlgebraTest, LogicalWeightsEqualDistance)
+{
+    const auto code = MakeParamCode();
+    const int d = code->distance();
+    if (code->name() == "repetition") {
+        // Bit-flip code: X distance is d, Z distance is 1.
+        EXPECT_EQ(static_cast<int>(code->logical_x().size()), d);
+        EXPECT_EQ(static_cast<int>(code->logical_z().size()), 1);
+    } else {
+        EXPECT_EQ(static_cast<int>(code->logical_x().size()), d);
+        EXPECT_EQ(static_cast<int>(code->logical_z().size()), d);
+    }
+}
+
+TEST_P(CodeAlgebraTest, DanceStepsTouchEachDataQubitAtMostOnce)
+{
+    const auto code = MakeParamCode();
+    const int steps = code->NumDanceSteps();
+    for (int s = 0; s < steps; ++s) {
+        std::set<int> touched;
+        for (const Check& chk : code->checks()) {
+            if (s >= static_cast<int>(chk.data_order.size())) {
+                continue;
+            }
+            const QubitId q = chk.data_order[s];
+            if (!q.valid()) {
+                continue;
+            }
+            EXPECT_TRUE(touched.insert(q.value).second)
+                << "data qubit " << q << " touched twice in step " << s;
+        }
+    }
+}
+
+TEST_P(CodeAlgebraTest, AncillaRolesConsistent)
+{
+    const auto code = MakeParamCode();
+    std::set<int> ancillas;
+    for (const Check& chk : code->checks()) {
+        EXPECT_EQ(code->qubit(chk.ancilla).role, QubitRole::kAncilla);
+        EXPECT_TRUE(ancillas.insert(chk.ancilla.value).second)
+            << "ancilla reused across checks";
+        for (const QubitId q : chk.data_order) {
+            if (q.valid()) {
+                EXPECT_EQ(code->qubit(q).role, QubitRole::kData);
+            }
+        }
+    }
+    EXPECT_EQ(static_cast<int>(ancillas.size()),
+              code->num_qubits() - code->num_data());
+}
+
+TEST_P(CodeAlgebraTest, EveryDataQubitIsCovered)
+{
+    const auto code = MakeParamCode();
+    std::set<int> covered;
+    for (const Check& chk : code->checks()) {
+        for (const QubitId q : chk.data_order) {
+            if (q.valid()) {
+                covered.insert(q.value);
+            }
+        }
+    }
+    EXPECT_EQ(static_cast<int>(covered.size()), code->num_data());
+}
+
+TEST_P(CodeAlgebraTest, InteractionGraphMatchesChecks)
+{
+    const auto code = MakeParamCode();
+    int expected = 0;
+    for (const Check& chk : code->checks()) {
+        expected += chk.Weight();
+    }
+    const auto edges = code->InteractionGraph();
+    EXPECT_EQ(static_cast<int>(edges.size()), expected);
+    for (const auto& e : edges) {
+        EXPECT_GT(e.weight, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, CodeAlgebraTest,
+    ::testing::Combine(::testing::Values("repetition", "rotated",
+                                         "unrotated"),
+                       ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10)),
+    [](const auto& info) {
+        return std::get<0>(info.param) + "_d" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RepetitionCodeTest, Counts)
+{
+    const RepetitionCode code(5);
+    EXPECT_EQ(code.num_data(), 5);
+    EXPECT_EQ(code.num_ancillas(), 4);
+    EXPECT_EQ(code.num_qubits(), 9);
+    EXPECT_EQ(code.NumDanceSteps(), 2);
+}
+
+TEST(RotatedSurfaceCodeTest, Counts)
+{
+    for (int d = 2; d <= 13; ++d) {
+        const RotatedSurfaceCode code(d);
+        EXPECT_EQ(code.num_data(), d * d) << "d=" << d;
+        EXPECT_EQ(code.num_ancillas(), d * d - 1) << "d=" << d;
+        EXPECT_EQ(code.num_qubits(), 2 * d * d - 1) << "d=" << d;
+        EXPECT_EQ(code.NumDanceSteps(), 4);
+    }
+}
+
+TEST(RotatedSurfaceCodeTest, BalancedCheckTypes)
+{
+    const RotatedSurfaceCode code(5);
+    int x = 0, z = 0;
+    for (const Check& chk : code.checks()) {
+        (chk.type == CheckType::kX ? x : z) += 1;
+    }
+    EXPECT_EQ(x, 12);
+    EXPECT_EQ(z, 12);
+}
+
+TEST(RotatedSurfaceCodeTest, WeightDistribution)
+{
+    const RotatedSurfaceCode code(5);
+    int w2 = 0, w4 = 0;
+    for (const Check& chk : code.checks()) {
+        const int w = chk.Weight();
+        EXPECT_TRUE(w == 2 || w == 4);
+        (w == 2 ? w2 : w4) += 1;
+    }
+    EXPECT_EQ(w4, (5 - 1) * (5 - 1));
+    EXPECT_EQ(w2, 2 * (5 - 1));
+}
+
+TEST(UnrotatedSurfaceCodeTest, Counts)
+{
+    for (int d = 2; d <= 8; ++d) {
+        const UnrotatedSurfaceCode code(d);
+        EXPECT_EQ(code.num_qubits(), (2 * d - 1) * (2 * d - 1));
+        EXPECT_EQ(code.num_data(), 2 * d * d - 2 * d + 1);
+        EXPECT_EQ(code.num_ancillas(), 2 * d * (d - 1));
+    }
+}
+
+TEST(MakeCodeTest, RejectsUnknownFamily)
+{
+    EXPECT_THROW(MakeCode("steane", 3), std::invalid_argument);
+}
+
+TEST(MakeCodeTest, RejectsTinyDistance)
+{
+    EXPECT_THROW(RepetitionCode(1), std::invalid_argument);
+    EXPECT_THROW(RotatedSurfaceCode(1), std::invalid_argument);
+    EXPECT_THROW(UnrotatedSurfaceCode(0), std::invalid_argument);
+}
+
+TEST(ParityCheckCircuitTest, GateCountsOneRound)
+{
+    const RotatedSurfaceCode code(3);
+    const auto c = BuildParityCheckRound(code);
+    int resets = 0, h = 0, cnot = 0, meas = 0;
+    for (const auto& g : c.gates()) {
+        switch (g.kind) {
+          case circuit::GateKind::kReset: ++resets; break;
+          case circuit::GateKind::kH: ++h; break;
+          case circuit::GateKind::kCnot: ++cnot; break;
+          case circuit::GateKind::kMeasure: ++meas; break;
+          default: FAIL() << "unexpected gate kind";
+        }
+    }
+    EXPECT_EQ(resets, code.num_ancillas());
+    EXPECT_EQ(meas, code.num_ancillas());
+    int expected_cnots = 0;
+    int x_checks = 0;
+    for (const Check& chk : code.checks()) {
+        expected_cnots += chk.Weight();
+        x_checks += chk.type == CheckType::kX ? 1 : 0;
+    }
+    EXPECT_EQ(cnot, expected_cnots);
+    EXPECT_EQ(h, 2 * x_checks);
+}
+
+TEST(ParityCheckCircuitTest, CnotOrientation)
+{
+    const RotatedSurfaceCode code(3);
+    const auto c = BuildParityCheckRound(code);
+    std::set<int> x_ancillas, z_ancillas;
+    for (const Check& chk : code.checks()) {
+        (chk.type == CheckType::kX ? x_ancillas : z_ancillas)
+            .insert(chk.ancilla.value);
+    }
+    for (const auto& g : c.gates()) {
+        if (g.kind != circuit::GateKind::kCnot) {
+            continue;
+        }
+        // X checks: ancilla is control. Z checks: ancilla is target.
+        if (x_ancillas.count(g.q0.value)) {
+            EXPECT_EQ(code.qubit(g.q1).role, QubitRole::kData);
+        } else {
+            ASSERT_TRUE(z_ancillas.count(g.q1.value));
+            EXPECT_EQ(code.qubit(g.q0).role, QubitRole::kData);
+        }
+    }
+}
+
+TEST(ParityCheckCircuitTest, MultiRoundMeasurementMap)
+{
+    const RotatedSurfaceCode code(3);
+    RoundMeasurementMap map;
+    const auto c = BuildParityCheckRounds(code, 4, &map);
+    EXPECT_EQ(c.num_measurements(), 4 * code.num_ancillas());
+    ASSERT_EQ(map.check_measurement.size(), 4u);
+    std::set<int> seen;
+    for (const auto& round : map.check_measurement) {
+        for (const int idx : round) {
+            EXPECT_GE(idx, 0);
+            EXPECT_LT(idx, c.num_measurements());
+            EXPECT_TRUE(seen.insert(idx).second);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace tiqec::qec

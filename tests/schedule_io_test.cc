@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for schedule serialisation and the compiler's ablation options.
+ */
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "compiler/schedule_io.h"
+#include "qccd/device_state.h"
+
+namespace tiqec::compiler {
+namespace {
+
+using qccd::TimingModel;
+using qccd::TopologyKind;
+
+CompilationResult
+CompileD3(const CompilerOptions& options = {})
+{
+    static const qec::RotatedSurfaceCode code(3);
+    const TimingModel timing;
+    const auto graph = MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    return CompileParityCheckRounds(code, 1, graph, timing, options);
+}
+
+TEST(ScheduleIoTest, CsvHasHeaderAndOneRowPerOp)
+{
+    const auto result = CompileD3();
+    ASSERT_TRUE(result.ok);
+    const std::string csv = ScheduleCsv(result.schedule);
+    const auto rows = std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_EQ(rows, static_cast<long>(result.schedule.ops.size()) + 1);
+    EXPECT_EQ(csv.rfind("index,pass,kind,", 0), 0u);
+    EXPECT_NE(csv.find("SPLIT"), std::string::npos);
+    EXPECT_NE(csv.find("MEAS"), std::string::npos);
+}
+
+TEST(ScheduleIoTest, CsvTimesAreConsistent)
+{
+    const auto result = CompileD3();
+    ASSERT_TRUE(result.ok);
+    std::istringstream in(ScheduleCsv(result.schedule));
+    std::string line;
+    std::getline(in, line);  // header
+    size_t i = 0;
+    while (std::getline(in, line)) {
+        // start_us is field 8, end_us field 9 (0-based 7, 8).
+        std::vector<std::string> fields;
+        std::string field;
+        std::istringstream ls(line);
+        while (std::getline(ls, field, ',')) {
+            fields.push_back(field);
+        }
+        ASSERT_EQ(fields.size(), 11u) << line;
+        const double start = std::stod(fields[7]);
+        const double end = std::stod(fields[8]);
+        EXPECT_NEAR(end - start, result.schedule.ops[i].duration, 1e-9);
+        ++i;
+    }
+    EXPECT_EQ(i, result.schedule.ops.size());
+}
+
+TEST(ScheduleIoTest, SummaryListsEveryPass)
+{
+    const auto result = CompileD3();
+    ASSERT_TRUE(result.ok);
+    const std::string summary = ScheduleSummary(result.schedule);
+    for (int p = 0; p < result.routing.num_passes; ++p) {
+        EXPECT_NE(summary.find("pass " + std::to_string(p) + ":"),
+                  std::string::npos)
+            << summary;
+    }
+    EXPECT_NE(summary.find("makespan"), std::string::npos);
+}
+
+TEST(AblationOptionsTest, DisablingHomePreferenceStillCompiles)
+{
+    CompilerOptions options;
+    options.router.prefer_home = false;
+    const auto result = CompileD3(options);
+    ASSERT_TRUE(result.ok) << result.error;
+    // Without the anchor policy the schedule is strictly worse.
+    const auto full = CompileD3();
+    EXPECT_GT(result.schedule.makespan, full.schedule.makespan);
+}
+
+TEST(AblationOptionsTest, AllowingDetoursStillCompiles)
+{
+    CompilerOptions options;
+    options.router.reject_detours = false;
+    const auto result = CompileD3(options);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GE(result.routing.num_movement_ops, 288);
+}
+
+TEST(AblationOptionsTest, NaivePlacementIsMuchWorse)
+{
+    CompilerOptions naive;
+    naive.naive_placement = true;
+    const auto result = CompileD3(naive);
+    ASSERT_TRUE(result.ok) << result.error;
+    const auto full = CompileD3();
+    EXPECT_GT(result.schedule.makespan, 3.0 * full.schedule.makespan)
+        << "geometric placement should be the largest single win";
+}
+
+TEST(AblationOptionsTest, NaivePlacementStreamIsStillValid)
+{
+    // Even the ablated configurations must respect hardware constraints.
+    CompilerOptions naive;
+    naive.naive_placement = true;
+    naive.router.prefer_home = false;
+    naive.router.reject_detours = false;
+    const qec::RotatedSurfaceCode code(3);
+    const TimingModel timing;
+    const auto graph = MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    const auto result =
+        CompileParityCheckRounds(code, 1, graph, timing, naive);
+    ASSERT_TRUE(result.ok) << result.error;
+    qccd::DeviceState state(graph, code.num_qubits());
+    for (int q = 0; q < code.num_qubits(); ++q) {
+        state.LoadIon(QubitId(q), result.placement.qubit_trap[q]);
+    }
+    for (const auto& op : result.routing.ops) {
+        const auto err = state.TryApply(op);
+        ASSERT_FALSE(err.has_value()) << *err;
+    }
+}
+
+}  // namespace
+}  // namespace tiqec::compiler

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the Stim-substitute simulation stack: noisy circuit IR, the
+ * bit-parallel frame simulator, and the detector-error-model builder.
+ * Includes hand-checkable propagation cases and statistical channel
+ * tests.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/dem.h"
+#include "sim/frame_simulator.h"
+#include "sim/noisy_circuit.h"
+
+namespace tiqec::sim {
+namespace {
+
+TEST(NoisyCircuitTest, RecordAndDetectorBookkeeping)
+{
+    NoisyCircuit c(2);
+    const int m0 = c.AddMeasure(0, 0.0);
+    const int m1 = c.AddMeasure(1, 0.0);
+    EXPECT_EQ(m0, 0);
+    EXPECT_EQ(m1, 1);
+    const int d0 = c.AddDetector({m0, m1}, {0, 0}, 0);
+    EXPECT_EQ(d0, 0);
+    c.AddObservableInclude(0, {m1});
+    EXPECT_EQ(c.num_measurements(), 2);
+    EXPECT_EQ(c.num_detectors(), 1);
+    EXPECT_EQ(c.num_observables(), 1);
+}
+
+TEST(NoisyCircuitTest, NoiseChannelCount)
+{
+    NoisyCircuit c(2);
+    c.AddDepolarize1(0, 0.1);
+    c.AddDepolarize2(0, 1, 0.1);
+    c.AddXError(0, 0.1);
+    c.AddZError(1, 0.0);  // p = 0 channels are dropped
+    c.AddMeasure(0, 0.01);
+    c.AddReset(1, 0.0);
+    EXPECT_EQ(c.CountNoiseChannels(), 4);
+}
+
+TEST(FrameSimulatorTest, NoiselessCircuitIsTrivial)
+{
+    NoisyCircuit c(3);
+    c.AddReset(0, 0.0);
+    c.AddH(0);
+    c.AddCnot(0, 1);
+    c.AddCnot(1, 2);
+    const int m0 = c.AddMeasure(0, 0.0);
+    const int m1 = c.AddMeasure(1, 0.0);
+    c.AddDetector({m0, m1}, {0, 0}, 0);
+    c.AddObservableInclude(0, {m1});
+    FrameSimulator simulator(c, 7);
+    const SampleBatch batch = simulator.Sample(1000);
+    EXPECT_EQ(batch.CountNonTrivialShots(), 0);
+    for (int s = 0; s < 1000; ++s) {
+        EXPECT_FALSE(batch.Observable(0, s));
+    }
+}
+
+TEST(FrameSimulatorTest, DeterministicXErrorPropagatesThroughCnot)
+{
+    // X on the control propagates to the target.
+    NoisyCircuit c(2);
+    c.AddXError(0, 1.0);
+    c.AddCnot(0, 1);
+    const int m0 = c.AddMeasure(0, 0.0);
+    const int m1 = c.AddMeasure(1, 0.0);
+    c.AddDetector({m0}, {0, 0}, 0);
+    c.AddDetector({m1}, {1, 0}, 0);
+    FrameSimulator simulator(c, 11);
+    const SampleBatch batch = simulator.Sample(128);
+    for (int s = 0; s < 128; ++s) {
+        EXPECT_TRUE(batch.Detector(0, s));
+        EXPECT_TRUE(batch.Detector(1, s));
+    }
+}
+
+TEST(FrameSimulatorTest, ZErrorConvertsThroughHadamard)
+{
+    // Z then H gives X, which a Z-basis measurement sees.
+    NoisyCircuit c(1);
+    c.AddZError(0, 1.0);
+    c.AddH(0);
+    const int m = c.AddMeasure(0, 0.0);
+    c.AddDetector({m}, {0, 0}, 0);
+    FrameSimulator simulator(c, 13);
+    const SampleBatch batch = simulator.Sample(64);
+    for (int s = 0; s < 64; ++s) {
+        EXPECT_TRUE(batch.Detector(0, s));
+    }
+}
+
+TEST(FrameSimulatorTest, ResetClearsErrors)
+{
+    NoisyCircuit c(1);
+    c.AddXError(0, 1.0);
+    c.AddReset(0, 0.0);
+    const int m = c.AddMeasure(0, 0.0);
+    c.AddDetector({m}, {0, 0}, 0);
+    FrameSimulator simulator(c, 17);
+    const SampleBatch batch = simulator.Sample(64);
+    EXPECT_EQ(batch.CountNonTrivialShots(), 0);
+}
+
+TEST(FrameSimulatorTest, XErrorRateIsStatisticallyCorrect)
+{
+    const double p = 0.05;
+    NoisyCircuit c(1);
+    c.AddXError(0, p);
+    const int m = c.AddMeasure(0, 0.0);
+    c.AddDetector({m}, {0, 0}, 0);
+    FrameSimulator simulator(c, 19);
+    const int shots = 200000;
+    const SampleBatch batch = simulator.Sample(shots);
+    int fired = 0;
+    for (int s = 0; s < shots; ++s) {
+        fired += batch.Detector(0, s) ? 1 : 0;
+    }
+    const double rate = static_cast<double>(fired) / shots;
+    EXPECT_NEAR(rate, p, 5.0 * std::sqrt(p * (1 - p) / shots));
+}
+
+TEST(FrameSimulatorTest, Depolarize1SplitsEvenly)
+{
+    // X and Y components flip a Z-basis measurement: expect 2p/3.
+    const double p = 0.3;
+    NoisyCircuit c(1);
+    c.AddDepolarize1(0, p);
+    const int m = c.AddMeasure(0, 0.0);
+    c.AddDetector({m}, {0, 0}, 0);
+    FrameSimulator simulator(c, 23);
+    const int shots = 300000;
+    const SampleBatch batch = simulator.Sample(shots);
+    int fired = 0;
+    for (int s = 0; s < shots; ++s) {
+        fired += batch.Detector(0, s) ? 1 : 0;
+    }
+    const double expected = 2.0 * p / 3.0;
+    EXPECT_NEAR(static_cast<double>(fired) / shots, expected,
+                5.0 * std::sqrt(expected / shots));
+}
+
+TEST(FrameSimulatorTest, MeasurementFlipDoesNotTouchState)
+{
+    NoisyCircuit c(1);
+    const int m0 = c.AddMeasure(0, 1.0);  // always flips the record
+    const int m1 = c.AddMeasure(0, 0.0);  // state itself is unflipped
+    c.AddDetector({m0}, {0, 0}, 0);
+    c.AddDetector({m1}, {0, 0}, 1);
+    FrameSimulator simulator(c, 29);
+    const SampleBatch batch = simulator.Sample(64);
+    for (int s = 0; s < 64; ++s) {
+        EXPECT_TRUE(batch.Detector(0, s));
+        EXPECT_FALSE(batch.Detector(1, s));
+    }
+}
+
+TEST(FrameSimulatorTest, SwapExchangesFrames)
+{
+    NoisyCircuit c(2);
+    c.AddXError(0, 1.0);
+    c.AddSwap(0, 1);
+    const int m0 = c.AddMeasure(0, 0.0);
+    const int m1 = c.AddMeasure(1, 0.0);
+    c.AddDetector({m0}, {0, 0}, 0);
+    c.AddDetector({m1}, {1, 0}, 0);
+    FrameSimulator simulator(c, 31);
+    const SampleBatch batch = simulator.Sample(64);
+    for (int s = 0; s < 64; ++s) {
+        EXPECT_FALSE(batch.Detector(0, s));
+        EXPECT_TRUE(batch.Detector(1, s));
+    }
+}
+
+TEST(FrameSimulatorTest, ObservableAccumulatesAcrossIncludes)
+{
+    NoisyCircuit c(2);
+    c.AddXError(0, 1.0);
+    c.AddXError(1, 1.0);
+    const int m0 = c.AddMeasure(0, 0.0);
+    const int m1 = c.AddMeasure(1, 0.0);
+    c.AddObservableInclude(0, {m0});
+    c.AddObservableInclude(0, {m1});
+    FrameSimulator simulator(c, 37);
+    const SampleBatch batch = simulator.Sample(64);
+    for (int s = 0; s < 64; ++s) {
+        EXPECT_FALSE(batch.Observable(0, s)) << "two flips must cancel";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DEM extraction
+// ---------------------------------------------------------------------------
+
+TEST(DemTest, SingleChannelSingleEdge)
+{
+    NoisyCircuit c(1);
+    c.AddXError(0, 0.01);
+    const int m = c.AddMeasure(0, 0.0);
+    c.AddDetector({m}, {0, 0}, 0);
+    c.AddObservableInclude(0, {m});
+    const DetectorErrorModel dem = BuildDem(c);
+    ASSERT_EQ(dem.edges.size(), 1u);
+    EXPECT_EQ(dem.edges[0].d0, 0);
+    EXPECT_EQ(dem.edges[0].d1, DemEdge::kBoundary);
+    EXPECT_EQ(dem.edges[0].obs_mask, 1u);
+    EXPECT_NEAR(dem.edges[0].p, 0.01, 1e-12);
+}
+
+TEST(DemTest, TwoDetectorEdge)
+{
+    // One X error seen by two repetition-code style checks.
+    NoisyCircuit c(3);
+    c.AddXError(1, 0.02);
+    c.AddCnot(1, 0);  // ancilla 0 checks qubit 1
+    c.AddCnot(1, 2);  // ancilla 2 checks qubit 1
+    const int m0 = c.AddMeasure(0, 0.0);
+    const int m2 = c.AddMeasure(2, 0.0);
+    c.AddDetector({m0}, {0, 0}, 0);
+    c.AddDetector({m2}, {2, 0}, 0);
+    const DetectorErrorModel dem = BuildDem(c);
+    ASSERT_EQ(dem.edges.size(), 1u);
+    EXPECT_EQ(dem.edges[0].d0, 0);
+    EXPECT_EQ(dem.edges[0].d1, 1);
+    EXPECT_NEAR(dem.edges[0].p, 0.02, 1e-12);
+}
+
+TEST(DemTest, ParallelMechanismsCombineProbabilities)
+{
+    NoisyCircuit c(1);
+    c.AddXError(0, 0.01);
+    c.AddXError(0, 0.02);
+    const int m = c.AddMeasure(0, 0.0);
+    c.AddDetector({m}, {0, 0}, 0);
+    const DetectorErrorModel dem = BuildDem(c);
+    ASSERT_EQ(dem.edges.size(), 1u);
+    // XOR-combine: p = p1 (1 - p2) + p2 (1 - p1).
+    EXPECT_NEAR(dem.edges[0].p, 0.01 * 0.98 + 0.02 * 0.99, 1e-12);
+}
+
+TEST(DemTest, InvisibleComponentsAreIgnored)
+{
+    // Z noise before a reset has no observable consequence at all.
+    NoisyCircuit c(1);
+    c.AddZError(0, 0.5);
+    c.AddReset(0, 0.0);
+    const int m = c.AddMeasure(0, 0.0);
+    c.AddDetector({m}, {0, 0}, 0);
+    const DetectorErrorModel dem = BuildDem(c);
+    EXPECT_TRUE(dem.edges.empty());
+}
+
+TEST(DemTest, DepolarizeComponentsEnumerated)
+{
+    NoisyCircuit c(2);
+    c.AddDepolarize2(0, 1, 0.15);
+    const int m0 = c.AddMeasure(0, 0.0);
+    const int m1 = c.AddMeasure(1, 0.0);
+    c.AddDetector({m0}, {0, 0}, 0);
+    c.AddDetector({m1}, {1, 0}, 0);
+    const DetectorErrorModel dem = BuildDem(c);
+    EXPECT_EQ(dem.num_components, 15);
+    // Distinct visible signatures: {D0}, {D1}, {D0,D1}.
+    EXPECT_EQ(dem.edges.size(), 3u);
+    for (const auto& e : dem.edges) {
+        EXPECT_GT(e.p, 0.0);
+    }
+}
+
+TEST(DemTest, MeasurementFlipMakesTimelikeEdge)
+{
+    NoisyCircuit c(1);
+    const int m0 = c.AddMeasure(0, 0.001);
+    const int m1 = c.AddMeasure(0, 0.0);
+    c.AddDetector({m0}, {0, 0}, 0);
+    c.AddDetector({m0, m1}, {0, 0}, 1);
+    const DetectorErrorModel dem = BuildDem(c);
+    ASSERT_EQ(dem.edges.size(), 1u);
+    EXPECT_EQ(dem.edges[0].d0, 0);
+    EXPECT_EQ(dem.edges[0].d1, 1);
+    EXPECT_NEAR(dem.edges[0].p, 0.001, 1e-12);
+}
+
+}  // namespace
+}  // namespace tiqec::sim
