@@ -65,6 +65,7 @@ BM_LerPointD5FiveX(benchmark::State& state)
     core::EvaluationOptions opts;
     opts.max_shots = 1 << 13;
     opts.target_logical_errors = 1 << 30;
+    opts.num_threads = 1;  // microbenchmark: keep single-core comparable
     for (auto _ : state) {
         auto m = core::Evaluate(code, arch, opts);
         benchmark::DoNotOptimize(m);

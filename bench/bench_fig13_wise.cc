@@ -53,6 +53,7 @@ PrintFigure13()
             core::EvaluationOptions opts;
             opts.max_shots = 1 << 15;
             opts.target_logical_errors = 100;
+            opts.num_threads = tiqec::bench::MonteCarloThreads();
             const auto m = core::Evaluate(*code, arch, opts);
             char scheme[40];
             std::snprintf(scheme, sizeof(scheme), "%s cap %d%s",

@@ -45,6 +45,7 @@ PrintFigure8b()
                 core::EvaluationOptions opts;
                 opts.max_shots = 1 << 15;
                 opts.target_logical_errors = 100;
+                opts.num_threads = tiqec::bench::MonteCarloThreads();
                 const auto m = core::Evaluate(*code, arch, opts);
                 if (m.ok) {
                     std::printf(" %14.3e", m.ler_per_shot.rate);

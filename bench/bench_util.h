@@ -11,6 +11,7 @@
 #define TIQEC_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -68,10 +69,28 @@ struct LerSweep
     }
 };
 
+/**
+ * Monte-Carlo worker threads for the bench drivers: `TIQEC_THREADS` if
+ * set, else 0 (= hardware concurrency). The sharded sampler guarantees
+ * identical figures for every value; the knob only trades wall-clock.
+ */
+inline int
+MonteCarloThreads()
+{
+    if (const char* env = std::getenv("TIQEC_THREADS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0) {
+            return parsed;
+        }
+    }
+    return 0;
+}
+
 inline LerSweep
 RunLerSweep(const std::string& family, const std::vector<int>& distances,
             const core::ArchitectureConfig& arch, std::int64_t max_shots,
-            std::int64_t target_errors = 100, std::uint64_t seed = 0x5EED)
+            std::int64_t target_errors = 100, std::uint64_t seed = 0x5EED,
+            int num_threads = -1)
 {
     LerSweep sweep;
     for (const int d : distances) {
@@ -80,6 +99,8 @@ RunLerSweep(const std::string& family, const std::vector<int>& distances,
         opts.max_shots = max_shots;
         opts.target_logical_errors = target_errors;
         opts.seed = seed + d;
+        opts.num_threads =
+            num_threads >= 0 ? num_threads : MonteCarloThreads();
         const core::Metrics m = core::Evaluate(*code, arch, opts);
         if (!m.ok) {
             continue;

@@ -6,7 +6,9 @@
  * practical-application target (paper Figure 10 methodology, using the
  * in-house frame simulator + union-find decoder).
  *
- * Run: ./build/examples/logical_memory_simulation [shots]
+ * Run: ./build/logical_memory_simulation [shots] [threads]
+ * (threads defaults to hardware concurrency; the sharded sampler makes
+ * the printed numbers identical for every thread count)
  */
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +22,7 @@ main(int argc, char** argv)
 {
     using namespace tiqec;
     const std::int64_t shots = argc > 1 ? std::atoll(argv[1]) : 40000;
+    const int threads = argc > 2 ? std::atoi(argv[2]) : 0;
     std::printf("memory-Z lifetime on the capacity-2 grid (d rounds per "
                 "shot, %lld shots/point)\n\n",
                 static_cast<long long>(shots));
@@ -38,6 +41,7 @@ main(int argc, char** argv)
             opts.max_shots = shots;
             opts.target_logical_errors = 1 << 30;  // fixed-shot run
             opts.seed = 0xFEED + d;
+            opts.num_threads = threads;
             const auto m = core::Evaluate(code, arch, opts);
             if (!m.ok) {
                 std::printf("%6d FAILED: %s\n", d, m.error.c_str());

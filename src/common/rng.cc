@@ -36,6 +36,28 @@ Rng::Rng(std::uint64_t seed)
     }
 }
 
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+{
+    // Hash the master seed once so that adjacent seeds do not produce
+    // correlated stream keys, then jump the splitmix counter to position
+    // 4 * `stream`. splitmix64 is a counter-mode generator (its state is
+    // a Weyl sequence advancing by the golden-ratio constant per output),
+    // so seeding the four state words below consumes counter positions
+    // 4*stream+1 .. 4*stream+4 of the hashed seed's sequence: each
+    // stream gets a disjoint 4-word window, sharing no state words with
+    // any other stream. (A stride of 1 would make adjacent streams
+    // share 3 of their 4 xoshiro state words.)
+    std::uint64_t h = seed;
+    std::uint64_t x =
+        SplitMix64(h) + stream * (4 * 0x9e3779b97f4a7c15ULL);
+    for (auto& s : s_) {
+        s = SplitMix64(x);
+    }
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+        s_[0] = 1;
+    }
+}
+
 std::uint64_t
 Rng::Next()
 {

@@ -22,6 +22,18 @@ class Rng
     /** Seeds the four state words from a single seed via splitmix64. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    /**
+     * Independent stream `stream` of master seed `seed`.
+     *
+     * Derivation is counter-based: the stream key is the splitmix64
+     * counter sequence evaluated at position `stream` of the hashed
+     * master seed, so stream k is a pure function of (seed, k) — the
+     * parallel sampler relies on this to make sharded Monte-Carlo
+     * results independent of worker-thread count and shard execution
+     * order. Stream 0 is NOT the same sequence as `Rng(seed)`.
+     */
+    Rng(std::uint64_t seed, std::uint64_t stream);
+
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~0ULL; }
 

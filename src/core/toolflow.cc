@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "compiler/compiler.h"
-#include "decoder/union_find_decoder.h"
 #include "noise/annotator.h"
 #include "sim/dem.h"
-#include "sim/frame_simulator.h"
 #include "sim/memory_experiment.h"
+#include "sim/parallel_sampler.h"
 
 namespace tiqec::core {
 
@@ -87,32 +87,45 @@ Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
     const sim::NoisyCircuit experiment =
         sim::BuildMemory(code, compiled.qec_circuit, profile, params,
                          rounds, options.basis);
-    const sim::DetectorErrorModel dem = sim::BuildDem(experiment);
-    decoder::UnionFindDecoder uf(dem);
-    sim::FrameSimulator simulator(experiment, options.seed);
-
-    const int batch = static_cast<int>(
-        std::min<std::int64_t>(options.max_shots, 1 << 14));
-    while (metrics.shots < options.max_shots &&
-           metrics.logical_errors < options.target_logical_errors) {
-        const sim::SampleBatch samples = simulator.Sample(batch);
-        for (int s = 0; s < samples.shots(); ++s) {
-            const std::uint32_t predicted =
-                uf.Decode(samples.SyndromeOf(s));
-            const std::uint32_t actual =
-                samples.Observable(0, s) ? 1u : 0u;
-            metrics.logical_errors += (predicted ^ actual) & 1u;
-        }
-        metrics.shots += samples.shots();
-    }
-    metrics.ler_per_shot = WilsonInterval(
-        static_cast<std::uint64_t>(metrics.logical_errors),
-        static_cast<std::uint64_t>(metrics.shots));
-    const double p = metrics.ler_per_shot.rate;
-    metrics.ler_per_round =
-        p < 1.0 ? 1.0 - std::pow(1.0 - p, 1.0 / rounds) : 1.0;
+    const LerEstimate ler =
+        EstimateLogicalErrorRate(experiment, rounds, options);
+    metrics.shots = ler.shots;
+    metrics.logical_errors = ler.logical_errors;
+    metrics.ler_per_shot = ler.ler_per_shot;
+    metrics.ler_per_round = ler.ler_per_round;
     metrics.ok = true;
     return metrics;
+}
+
+LerEstimate
+EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment, int rounds,
+                         const EvaluationOptions& options)
+{
+    if (rounds < 1) {
+        throw std::invalid_argument(
+            "EstimateLogicalErrorRate: rounds must be >= 1");
+    }
+    const sim::DetectorErrorModel dem = sim::BuildDem(experiment);
+
+    sim::ParallelSamplerOptions sopts;
+    sopts.seed = options.seed;
+    sopts.num_threads = options.num_threads;
+    sopts.shard_shots = options.shard_shots;
+    sim::ParallelSampler sampler(experiment, sopts);
+    const sim::LogicalErrorEstimate run = sampler.EstimateLogicalErrors(
+        dem, options.max_shots, options.target_logical_errors);
+
+    LerEstimate ler;
+    ler.shots = run.shots;
+    ler.logical_errors = run.logical_errors;
+    ler.early_stopped = run.early_stopped;
+    ler.ler_per_shot =
+        WilsonInterval(static_cast<std::uint64_t>(ler.logical_errors),
+                       static_cast<std::uint64_t>(ler.shots));
+    const double p = ler.ler_per_shot.rate;
+    ler.ler_per_round =
+        p < 1.0 ? 1.0 - std::pow(1.0 - p, 1.0 / rounds) : 1.0;
+    return ler;
 }
 
 }  // namespace tiqec::core

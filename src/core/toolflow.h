@@ -36,6 +36,11 @@ struct EvaluationOptions
     bool compile_only = false;
     /** Protected logical memory (paper evaluates memory-Z). */
     sim::MemoryBasis basis = sim::MemoryBasis::kZ;
+    /** Monte-Carlo worker threads; 0 means hardware concurrency. The
+     *  result is bit-identical for every value (see DESIGN.md §3.4). */
+    int num_threads = 0;
+    /** Shots per RNG shard (the sampler's determinism unit). */
+    int shard_shots = 1 << 12;
 };
 
 struct Metrics
@@ -65,10 +70,31 @@ struct Metrics
     resources::ResourceEstimate resources;
 };
 
+/** Monte-Carlo logical-error-rate estimate for a built experiment. */
+struct LerEstimate
+{
+    std::int64_t shots = 0;
+    std::int64_t logical_errors = 0;
+    BinomialEstimate ler_per_shot;
+    double ler_per_round = 0.0;
+    bool early_stopped = false;
+};
+
 /** Runs the full tool flow for one (code, architecture) pair. */
 Metrics Evaluate(const qec::StabilizerCode& code,
                  const ArchitectureConfig& arch,
                  const EvaluationOptions& options = {});
+
+/**
+ * Estimates the logical error rate of an already-built noisy memory
+ * experiment via the sharded multi-threaded sampler (union-find
+ * decoding, cooperative early stop at `options.target_logical_errors`).
+ * `rounds` converts the per-shot rate into a per-round rate. Results
+ * are bit-identical for every `options.num_threads`.
+ */
+LerEstimate EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment,
+                                     int rounds,
+                                     const EvaluationOptions& options);
 
 /** Noise parameters implied by an architecture (wiring + improvement). */
 noise::NoiseParams NoiseParamsFor(const ArchitectureConfig& arch);

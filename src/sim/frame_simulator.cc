@@ -48,6 +48,11 @@ FrameSimulator::FrameSimulator(const NoisyCircuit& circuit,
 {
 }
 
+FrameSimulator::FrameSimulator(const NoisyCircuit& circuit, const Rng& rng)
+    : circuit_(&circuit), rng_(rng)
+{
+}
+
 namespace {
 
 /** Word-packed one-bit-per-shot plane. */

@@ -60,6 +60,16 @@ class SampleBatch
     /** Number of shots whose detector pattern is non-trivial. */
     std::int64_t CountNonTrivialShots() const;
 
+    std::uint64_t DetectorWord(int detector, int word) const
+    {
+        return detectors_[static_cast<size_t>(detector) * words_ + word];
+    }
+    std::uint64_t ObservableWord(int observable, int word) const
+    {
+        return observables_[static_cast<size_t>(observable) * words_ +
+                            word];
+    }
+
     void SetDetectorWord(int detector, int word, std::uint64_t bits)
     {
         detectors_[static_cast<size_t>(detector) * words_ + word] = bits;
@@ -96,6 +106,10 @@ class FrameSimulator
   public:
     explicit FrameSimulator(const NoisyCircuit& circuit,
                             std::uint64_t seed = 0xC0FFEE);
+
+    /** Simulator driven by an explicit generator (e.g. a per-shard
+     *  stream from `Rng(seed, shard)`); used by sim::ParallelSampler. */
+    FrameSimulator(const NoisyCircuit& circuit, const Rng& rng);
 
     /** Samples `shots` shots and returns packed detector/observable bits. */
     SampleBatch Sample(int shots);

@@ -1,0 +1,230 @@
+#include "sim/parallel_sampler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "decoder/union_find_decoder.h"
+
+namespace tiqec::sim {
+
+namespace {
+
+int
+ResolveThreads(int requested)
+{
+    if (requested > 0) {
+        return requested;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/** Runs `worker` on min(num_threads, num_tasks) threads and joins. The
+ *  single-thread case runs inline, through the identical claim/commit
+ *  code path, which is what makes thread count observationally
+ *  irrelevant. */
+template <typename Worker>
+void
+RunWorkers(int num_threads, std::int64_t num_tasks, Worker&& worker)
+{
+    const int threads = static_cast<int>(
+        std::min<std::int64_t>(num_threads, num_tasks));
+    if (threads <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back(worker);
+    }
+    for (auto& th : pool) {
+        th.join();
+    }
+}
+
+}  // namespace
+
+ParallelSampler::ParallelSampler(const NoisyCircuit& circuit,
+                                 const ParallelSamplerOptions& options)
+    : circuit_(&circuit),
+      seed_(options.seed),
+      num_threads_(ResolveThreads(options.num_threads)),
+      shard_shots_(std::max(64, (options.shard_shots + 63) & ~63))
+{
+}
+
+int
+ParallelSampler::ShardSize(std::int64_t shard, std::int64_t budget) const
+{
+    return static_cast<int>(std::min<std::int64_t>(
+        shard_shots_, budget - shard * shard_shots_));
+}
+
+FrameSimulator
+ParallelSampler::ShardSimulator(std::int64_t shard) const
+{
+    return FrameSimulator(*circuit_,
+                          Rng(seed_, static_cast<std::uint64_t>(shard)));
+}
+
+SampleBatch
+ParallelSampler::Sample(std::int64_t shots)
+{
+    // SampleBatch (and its word indexing) is int-based; a merged batch
+    // beyond INT_MAX shots would silently wrap and corrupt the planes.
+    if (shots > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument(
+            "ParallelSampler::Sample: shots exceeds INT_MAX; use "
+            "EstimateLogicalErrors for large budgets");
+    }
+    SampleBatch merged(static_cast<int>(std::max<std::int64_t>(shots, 0)),
+                       circuit_->num_detectors(),
+                       circuit_->num_observables());
+    if (shots <= 0) {
+        return merged;
+    }
+    const std::int64_t num_shards =
+        (shots + shard_shots_ - 1) / shard_shots_;
+    // shard_shots_ is a multiple of 64, so each shard owns a disjoint,
+    // word-aligned slice of the merged planes and workers can write
+    // without synchronisation.
+    const int words_per_shard = shard_shots_ / 64;
+    std::atomic<std::int64_t> next_shard{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::int64_t k =
+                next_shard.fetch_add(1, std::memory_order_relaxed);
+            if (k >= num_shards) {
+                return;
+            }
+            const int shard_n = ShardSize(k, shots);
+            FrameSimulator sim = ShardSimulator(k);
+            const SampleBatch local = sim.Sample(shard_n);
+            const int base = static_cast<int>(k) * words_per_shard;
+            for (int d = 0; d < merged.num_detectors(); ++d) {
+                for (int w = 0; w < local.words(); ++w) {
+                    merged.SetDetectorWord(d, base + w,
+                                           local.DetectorWord(d, w));
+                }
+            }
+            for (int o = 0; o < merged.num_observables(); ++o) {
+                for (int w = 0; w < local.words(); ++w) {
+                    merged.SetObservableWord(o, base + w,
+                                             local.ObservableWord(o, w));
+                }
+            }
+        }
+    };
+    RunWorkers(num_threads_, num_shards, worker);
+    return merged;
+}
+
+LogicalErrorEstimate
+ParallelSampler::EstimateLogicalErrors(const DetectorErrorModel& dem,
+                                       std::int64_t max_shots,
+                                       std::int64_t target_logical_errors)
+{
+    LogicalErrorEstimate out;
+    if (max_shots <= 0) {
+        return out;
+    }
+    // Decoding compares against observable 0; an observable-free
+    // circuit would read out of bounds (NDEBUG builds compile asserts
+    // out, so this must be a real check).
+    if (circuit_->num_observables() < 1) {
+        throw std::invalid_argument(
+            "ParallelSampler::EstimateLogicalErrors: circuit has no "
+            "logical observable");
+    }
+    const std::int64_t num_shards =
+        (max_shots + shard_shots_ - 1) / shard_shots_;
+
+    std::atomic<std::int64_t> next_shard{0};
+    std::atomic<bool> stop{false};
+
+    // Commit state: shard outcomes land here (possibly out of order) and
+    // are folded into the totals strictly in shard-index order. Only the
+    // committed contiguous prefix is ever reported, so the totals cannot
+    // depend on thread scheduling.
+    std::mutex mu;
+    std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> pending;
+    std::int64_t next_commit = 0;
+    std::int64_t committed_shots = 0;
+    std::int64_t committed_errors = 0;
+    bool target_reached = false;
+
+    auto worker = [&]() {
+        decoder::UnionFindDecoder uf(dem);
+        for (;;) {
+            // A set stop flag implies every shard of the counted prefix
+            // is already committed, so anything still claimable is
+            // beyond the stop point and would be discarded anyway.
+            if (stop.load(std::memory_order_relaxed)) {
+                return;
+            }
+            const std::int64_t k =
+                next_shard.fetch_add(1, std::memory_order_relaxed);
+            if (k >= num_shards) {
+                return;
+            }
+            const int shard_n = ShardSize(k, max_shots);
+            FrameSimulator sim = ShardSimulator(k);
+            const SampleBatch batch = sim.Sample(shard_n);
+            std::int64_t errors = 0;
+            bool abandoned = false;
+            for (int s = 0; s < batch.shots(); ++s) {
+                if ((s & 1023) == 0 &&
+                    stop.load(std::memory_order_relaxed)) {
+                    // Cooperative early stop: this shard is past the
+                    // committed stop prefix, its result is dead weight.
+                    abandoned = true;
+                    break;
+                }
+                const std::uint32_t predicted =
+                    uf.Decode(batch.SyndromeOf(s));
+                const std::uint32_t actual =
+                    batch.Observable(0, s) ? 1u : 0u;
+                errors += (predicted ^ actual) & 1u;
+            }
+            if (abandoned) {
+                continue;
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            pending.emplace(k, std::make_pair(
+                                   static_cast<std::int64_t>(shard_n),
+                                   errors));
+            while (!target_reached) {
+                auto it = pending.find(next_commit);
+                if (it == pending.end()) {
+                    break;
+                }
+                committed_shots += it->second.first;
+                committed_errors += it->second.second;
+                pending.erase(it);
+                ++next_commit;
+                if (committed_errors >= target_logical_errors) {
+                    target_reached = true;
+                    stop.store(true, std::memory_order_relaxed);
+                }
+            }
+        }
+    };
+    RunWorkers(num_threads_, num_shards, worker);
+
+    out.shots = committed_shots;
+    out.logical_errors = committed_errors;
+    out.shards = next_commit;
+    out.early_stopped = target_reached;
+    return out;
+}
+
+}  // namespace tiqec::sim

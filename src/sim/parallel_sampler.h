@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sharded multi-threaded Monte-Carlo sampling engine (see DESIGN.md §3.4).
+ *
+ * The total shot budget is cut into fixed-size shards. Shard k is always
+ * simulated with the RNG stream `Rng(seed, k)` — a pure function of the
+ * master seed and the shard index — so the bits produced for a given
+ * shard do not depend on which worker thread runs it, when it runs, or
+ * how many threads exist. This gives the determinism contract:
+ *
+ *   For a fixed (circuit, seed, shard_shots, shot budget), `Sample` is
+ *   byte-identical and `EstimateLogicalErrors` returns identical
+ *   (shots, logical_errors) for every `num_threads` >= 1.
+ *
+ * Early stopping is also deterministic. Shard outcomes are committed in
+ * shard-index order (a commit pointer advances over buffered
+ * out-of-order results); the sampler stops at the first committed prefix
+ * whose cumulative logical-error count reaches the target. Workers that
+ * raced ahead into shards beyond the stop point have their results
+ * discarded, so the reported totals are always the same contiguous
+ * shard prefix regardless of scheduling.
+ */
+#ifndef TIQEC_SIM_PARALLEL_SAMPLER_H
+#define TIQEC_SIM_PARALLEL_SAMPLER_H
+
+#include <cstdint>
+
+#include "sim/dem.h"
+#include "sim/frame_simulator.h"
+#include "sim/noisy_circuit.h"
+
+namespace tiqec::sim {
+
+struct ParallelSamplerOptions
+{
+    std::uint64_t seed = 0x5EED;
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    int num_threads = 0;
+    /** Shots per shard (the determinism unit). Rounded up to a multiple
+     *  of 64 so shard planes pack into whole words of a merged batch. */
+    int shard_shots = 1 << 12;
+};
+
+/** Outcome of a sharded sample-and-decode run. */
+struct LogicalErrorEstimate
+{
+    std::int64_t shots = 0;
+    std::int64_t logical_errors = 0;
+    /** Number of committed shards (the contiguous prefix counted). */
+    std::int64_t shards = 0;
+    bool early_stopped = false;
+};
+
+class ParallelSampler
+{
+  public:
+    explicit ParallelSampler(const NoisyCircuit& circuit,
+                             const ParallelSamplerOptions& options = {});
+
+    int num_threads() const { return num_threads_; }
+    int shard_shots() const { return shard_shots_; }
+
+    /**
+     * Samples exactly `shots` shots into one merged batch.
+     * Byte-identical for every thread count (shard k occupies bit range
+     * [k * shard_shots, ...) of the output planes).
+     */
+    SampleBatch Sample(std::int64_t shots);
+
+    /**
+     * Samples shards and decodes each with a per-worker
+     * decoder::UnionFindDecoder built from `dem`, until the committed
+     * shard prefix reaches `target_logical_errors` or the shot budget
+     * `max_shots` is exhausted, whichever comes first.
+     */
+    LogicalErrorEstimate EstimateLogicalErrors(
+        const DetectorErrorModel& dem, std::int64_t max_shots,
+        std::int64_t target_logical_errors);
+
+  private:
+    /** Shots in shard `shard` of a `budget`-shot run (full shards
+     *  except possibly the tail). */
+    int ShardSize(std::int64_t shard, std::int64_t budget) const;
+
+    /** The simulator for shard `shard`: always stream `Rng(seed, shard)`,
+     *  so Sample and EstimateLogicalErrors see identical shard bits. */
+    FrameSimulator ShardSimulator(std::int64_t shard) const;
+
+    const NoisyCircuit* circuit_;
+    std::uint64_t seed_;
+    int num_threads_;
+    int shard_shots_;
+};
+
+}  // namespace tiqec::sim
+
+#endif  // TIQEC_SIM_PARALLEL_SAMPLER_H

@@ -43,6 +43,55 @@ TEST(NoisyCircuitTest, NoiseChannelCount)
     EXPECT_EQ(c.CountNoiseChannels(), 4);
 }
 
+TEST(SampleBatchTest, SyndromeOfReadsHandPackedWords)
+{
+    // 130 shots = 2 full words + 2 tail bits; 3 detectors.
+    SampleBatch batch(130, 3, 1);
+    ASSERT_EQ(batch.words(), 3);
+    batch.SetDetectorWord(0, 0, 1ULL << 0);           // shot 0
+    batch.SetDetectorWord(1, 0, 1ULL << 0);           // shot 0
+    batch.SetDetectorWord(1, 1, 1ULL << 63);          // shot 127
+    batch.SetDetectorWord(2, 2, 1ULL << 1);           // shot 129
+    EXPECT_EQ(batch.SyndromeOf(0), (std::vector<int>{0, 1}));
+    EXPECT_EQ(batch.SyndromeOf(1), (std::vector<int>{}));
+    EXPECT_EQ(batch.SyndromeOf(127), (std::vector<int>{1}));
+    EXPECT_EQ(batch.SyndromeOf(129), (std::vector<int>{2}));
+}
+
+TEST(SampleBatchTest, CountNonTrivialShotsHandPacked)
+{
+    SampleBatch batch(130, 2, 1);
+    batch.SetDetectorWord(0, 0, (1ULL << 3) | (1ULL << 7));
+    batch.SetDetectorWord(1, 0, 1ULL << 3);   // shot 3 fires both rows
+    batch.SetDetectorWord(1, 1, 1ULL << 0);   // shot 64
+    batch.SetDetectorWord(0, 2, 1ULL << 1);   // shot 129 (tail word)
+    EXPECT_EQ(batch.CountNonTrivialShots(), 4);  // shots 3, 7, 64, 129
+}
+
+TEST(SampleBatchTest, ShotCountNotMultipleOf64)
+{
+    // Bits in the tail word beyond `shots` must not be counted.
+    SampleBatch batch(70, 1, 1);
+    ASSERT_EQ(batch.words(), 2);
+    batch.SetDetectorWord(0, 1, ~0ULL);  // shots 64..127 all set
+    std::int64_t expected = 70 - 64;
+    EXPECT_EQ(batch.CountNonTrivialShots(), expected);
+    EXPECT_TRUE(batch.Detector(0, 69));
+    const auto syndrome = batch.SyndromeOf(69);
+    EXPECT_EQ(syndrome, (std::vector<int>{0}));
+}
+
+TEST(SampleBatchTest, ObservableWordRoundTrip)
+{
+    SampleBatch batch(64, 1, 2);
+    batch.SetObservableWord(1, 0, 1ULL << 5);
+    batch.XorObservableWord(1, 0, (1ULL << 5) | (1ULL << 6));
+    EXPECT_EQ(batch.ObservableWord(1, 0), 1ULL << 6);
+    EXPECT_FALSE(batch.Observable(1, 5));
+    EXPECT_TRUE(batch.Observable(1, 6));
+    EXPECT_FALSE(batch.Observable(0, 6));
+}
+
 TEST(FrameSimulatorTest, NoiselessCircuitIsTrivial)
 {
     NoisyCircuit c(3);
