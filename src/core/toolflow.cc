@@ -111,6 +111,7 @@ EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment, int rounds,
     sopts.seed = options.seed;
     sopts.num_threads = options.num_threads;
     sopts.shard_shots = options.shard_shots;
+    sopts.decode_path = options.decode_path;
     sim::ParallelSampler sampler(experiment, sopts);
     const sim::LogicalErrorEstimate run = sampler.EstimateLogicalErrors(
         dem, options.max_shots, options.target_logical_errors);
@@ -118,6 +119,7 @@ EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment, int rounds,
     LerEstimate ler;
     ler.shots = run.shots;
     ler.logical_errors = run.logical_errors;
+    ler.shards = run.shards;
     ler.early_stopped = run.early_stopped;
     ler.ler_per_shot =
         WilsonInterval(static_cast<std::uint64_t>(ler.logical_errors),

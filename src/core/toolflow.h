@@ -21,6 +21,7 @@
 #include "qec/code.h"
 #include "resources/resource_model.h"
 #include "sim/memory_experiment.h"
+#include "sim/parallel_sampler.h"
 
 namespace tiqec::core {
 
@@ -41,6 +42,9 @@ struct EvaluationOptions
     int num_threads = 0;
     /** Shots per RNG shard (the sampler's determinism unit). */
     int shard_shots = 1 << 12;
+    /** Decode pipeline for the Monte-Carlo estimate. kBatch (default)
+     *  and kScalar are bit-identical; kScalar is the reference path. */
+    sim::DecodePath decode_path = sim::DecodePath::kBatch;
 };
 
 struct Metrics
@@ -75,6 +79,8 @@ struct LerEstimate
 {
     std::int64_t shots = 0;
     std::int64_t logical_errors = 0;
+    /** Committed sampler shards (the contiguous prefix counted). */
+    std::int64_t shards = 0;
     BinomialEstimate ler_per_shot;
     double ler_per_round = 0.0;
     bool early_stopped = false;

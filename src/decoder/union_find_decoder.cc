@@ -1,8 +1,9 @@
 #include "decoder/union_find_decoder.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
-#include <deque>
+#include <stdexcept>
 
 namespace tiqec::decoder {
 
@@ -31,6 +32,10 @@ UnionFindDecoder::UnionFindDecoder(const sim::DetectorErrorModel& dem)
     defect_.assign(n, 0);
     in_cluster_.assign(n, 0);
     edge_grown_.assign(edges_.size(), 0);
+    cluster_of_root_.assign(n, -1);
+    grown_adj_.resize(n);
+    parent_edge_.assign(n, -1);
+    visited_.assign(n, 0);
 }
 
 int
@@ -44,33 +49,39 @@ UnionFindDecoder::Find(int x)
 }
 
 void
-UnionFindDecoder::Union(int a, int b)
+UnionFindDecoder::ResetScratch()
 {
-    parent_[Find(a)] = Find(b);
+    for (const std::int32_t node : touched_nodes_) {
+        parent_[node] = node;
+        defect_[node] = 0;
+        in_cluster_[node] = 0;
+        cluster_of_root_[node] = -1;
+        parent_edge_[node] = -1;
+        visited_[node] = 0;
+        grown_adj_[node].clear();
+    }
+    for (const std::int32_t ei : grown_edges_) {
+        edge_grown_[ei] = 0;
+    }
+    touched_nodes_.clear();
+    grown_edges_.clear();
+    order_.clear();
 }
 
 std::uint32_t
-UnionFindDecoder::Decode(const std::vector<int>& syndrome)
+UnionFindDecoder::Decode(std::span<const int> syndrome)
 {
     if (syndrome.empty()) {
         return 0;
     }
-    // Per-decode cluster state, keyed by current root.
-    struct Cluster
-    {
-        int parity = 0;
-        bool boundary = false;
-        std::vector<std::int32_t> frontier;
-    };
-    std::vector<std::int32_t> touched_nodes;
-    std::vector<std::int32_t> grown_edges;
-    std::vector<Cluster> clusters(syndrome.size());
-    std::vector<std::int32_t> cluster_of_root(num_detectors_ + 1, -1);
+    if (clusters_.size() < syndrome.size()) {
+        clusters_.resize(syndrome.size());
+    }
 
     auto touch = [&](int node) {
         if (!in_cluster_[node]) {
             in_cluster_[node] = 1;
-            touched_nodes.push_back(node);
+            touched_nodes_.push_back(node);
         }
     };
 
@@ -79,37 +90,39 @@ UnionFindDecoder::Decode(const std::vector<int>& syndrome)
         assert(d >= 0 && d < num_detectors_);
         touch(d);
         defect_[d] = 1;
-        clusters[i].parity = 1;
-        clusters[i].frontier.push_back(d);
-        cluster_of_root[d] = static_cast<std::int32_t>(i);
+        Cluster& c = clusters_[i];
+        c.parity = 1;
+        c.boundary = false;
+        c.frontier.clear();
+        c.frontier.push_back(d);
+        cluster_of_root_[d] = static_cast<std::int32_t>(i);
     }
 
     // ---- Growth ----------------------------------------------------------
     bool any_odd = true;
-    int guard = 0;
-    while (any_odd && ++guard < 4 * (num_detectors_ + 2)) {
+    while (any_odd) {
         any_odd = false;
-        for (size_t ci = 0; ci < clusters.size(); ++ci) {
+        const size_t grown_before = grown_edges_.size();
+        for (size_t ci = 0; ci < syndrome.size(); ++ci) {
             // Find the live cluster record for this seed.
             const int root = Find(syndrome[ci]);
-            const std::int32_t live = cluster_of_root[root];
+            const std::int32_t live = cluster_of_root_[root];
             if (live != static_cast<std::int32_t>(ci)) {
                 continue;  // merged into another cluster
             }
-            Cluster& c = clusters[ci];
+            Cluster& c = clusters_[ci];
             if (c.parity % 2 == 0 || c.boundary) {
                 continue;
             }
-            any_odd = true;
-            std::vector<std::int32_t> frontier;
-            frontier.swap(c.frontier);
-            for (const std::int32_t node : frontier) {
+            frontier_scratch_.clear();
+            frontier_scratch_.swap(c.frontier);
+            for (const std::int32_t node : frontier_scratch_) {
                 for (const std::int32_t ei : incident_[node]) {
                     if (edge_grown_[ei]) {
                         continue;
                     }
                     edge_grown_[ei] = 1;
-                    grown_edges.push_back(ei);
+                    grown_edges_.push_back(ei);
                     const Edge& e = edges_[ei];
                     const int other = e.u == node ? e.v : e.u;
                     if (other == BoundaryNode()) {
@@ -127,16 +140,16 @@ UnionFindDecoder::Decode(const std::vector<int>& syndrome)
                         continue;
                     }
                     // Merge the other cluster into this one.
-                    const std::int32_t oc = cluster_of_root[other_root];
+                    const std::int32_t oc = cluster_of_root_[other_root];
                     if (oc >= 0) {
-                        Cluster& o = clusters[oc];
+                        Cluster& o = clusters_[oc];
                         c.parity += o.parity;
                         c.boundary = c.boundary || o.boundary;
                         c.frontier.insert(c.frontier.end(),
                                           o.frontier.begin(),
                                           o.frontier.end());
                         o.frontier.clear();
-                        cluster_of_root[other_root] = -1;
+                        cluster_of_root_[other_root] = -1;
                     }
                     parent_[other_root] = root;
                 }
@@ -144,12 +157,22 @@ UnionFindDecoder::Decode(const std::vector<int>& syndrome)
             // The union operations above may have moved the root.
             const int new_root = Find(root);
             if (new_root != root) {
-                cluster_of_root[root] = -1;
+                cluster_of_root_[root] = -1;
             }
-            cluster_of_root[new_root] = static_cast<std::int32_t>(ci);
-            if (c.parity % 2 == 0 || c.boundary) {
-                any_odd = any_odd;  // cluster settled this round
+            cluster_of_root_[new_root] = static_cast<std::int32_t>(ci);
+            if (c.parity % 2 != 0 && !c.boundary) {
+                any_odd = true;  // still unsettled after this round
             }
+        }
+        if (any_odd && grown_edges_.size() == grown_before) {
+            // Every remaining odd cluster has an exhausted frontier and
+            // no boundary: its DEM component has no boundary edge and
+            // the syndrome can never settle. Fail loudly instead of
+            // returning a partial correction.
+            ResetScratch();
+            throw std::runtime_error(
+                "UnionFindDecoder: odd cluster cannot reach a boundary "
+                "(DEM component has no boundary edge)");
         }
     }
 
@@ -157,68 +180,62 @@ UnionFindDecoder::Decode(const std::vector<int>& syndrome)
     // Spanning forest over grown edges; boundary-touching clusters root at
     // the boundary so leftover defects can drain into it.
     std::uint32_t correction = 0;
-    std::vector<std::int32_t> order;           // BFS order of nodes
-    std::vector<std::int32_t> parent_edge(num_detectors_ + 1, -1);
-    std::vector<char> visited(num_detectors_ + 1, 0);
-
-    // Adjacency restricted to grown edges.
-    std::vector<std::vector<std::int32_t>> grown_adj(num_detectors_ + 1);
-    for (const std::int32_t ei : grown_edges) {
+    for (const std::int32_t ei : grown_edges_) {
         const Edge& e = edges_[ei];
-        grown_adj[e.u].push_back(ei);
+        grown_adj_[e.u].push_back(ei);
         if (e.v != BoundaryNode()) {
-            grown_adj[e.v].push_back(ei);
+            grown_adj_[e.v].push_back(ei);
         }
     }
     // Trees must root at the boundary where possible, so each BFS runs to
     // exhaustion before any new root is seeded; otherwise every cluster
     // node would become its own parentless root and defects could never
-    // drain along tree edges.
+    // drain along tree edges. order_ doubles as the BFS queue (nodes are
+    // appended once and scanned once), so no per-decode queue allocation.
     auto bfs_from = [&](std::int32_t start) {
-        std::deque<std::int32_t> queue{start};
-        while (!queue.empty()) {
-            const std::int32_t node = queue.front();
-            queue.pop_front();
-            order.push_back(node);
-            for (const std::int32_t ei : grown_adj[node]) {
+        size_t head = order_.size();
+        order_.push_back(start);
+        while (head < order_.size()) {
+            const std::int32_t node = order_[head++];
+            for (const std::int32_t ei : grown_adj_[node]) {
                 const Edge& e = edges_[ei];
                 const int other = e.u == node ? e.v : e.u;
-                if (other == BoundaryNode() || visited[other]) {
+                if (other == BoundaryNode() || visited_[other]) {
                     continue;
                 }
-                visited[other] = 1;
-                parent_edge[other] = ei;
-                queue.push_back(other);
+                visited_[other] = 1;
+                parent_edge_[other] = ei;
+                order_.push_back(other);
             }
         }
     };
-    for (const std::int32_t ei : grown_edges) {
+    for (const std::int32_t ei : grown_edges_) {
         const Edge& e = edges_[ei];
-        if (e.v == BoundaryNode() && !visited[e.u]) {
-            visited[e.u] = 1;
-            parent_edge[e.u] = ei;  // parent is the boundary
+        if (e.v == BoundaryNode() && !visited_[e.u]) {
+            visited_[e.u] = 1;
+            parent_edge_[e.u] = ei;  // parent is the boundary
             bfs_from(e.u);
         }
     }
-    for (const std::int32_t node : touched_nodes) {
-        if (!visited[node]) {
-            visited[node] = 1;
-            parent_edge[node] = -1;  // interior forest root
+    for (const std::int32_t node : touched_nodes_) {
+        if (!visited_[node]) {
+            visited_[node] = 1;
+            parent_edge_[node] = -1;  // interior forest root
             bfs_from(node);
         }
     }
     // Peel from the leaves (reverse BFS order).
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
         const std::int32_t node = *it;
         if (!defect_[node]) {
             continue;
         }
-        const std::int32_t ei = parent_edge[node];
+        const std::int32_t ei = parent_edge_[node];
         if (ei < 0) {
             // Root of an even (non-boundary) cluster: parity guarantees
-            // the defect was consumed, so reaching here with a defect
-            // means the cluster was odd without boundary access; the
-            // growth loop's guard makes this unreachable in practice.
+            // the defect was consumed before the root is peeled, so this
+            // is unreachable (odd boundary-less clusters throw in the
+            // growth loop above).
             continue;
         }
         const Edge& e = edges_[ei];
@@ -230,17 +247,56 @@ UnionFindDecoder::Decode(const std::vector<int>& syndrome)
         }
     }
 
-    // ---- Reset scratch ----------------------------------------------------
-    for (const std::int32_t node : touched_nodes) {
-        parent_[node] = node;
-        defect_[node] = 0;
-        in_cluster_[node] = 0;
-        cluster_of_root[node] = -1;
-    }
-    for (const std::int32_t ei : grown_edges) {
-        edge_grown_[ei] = 0;
-    }
+    ResetScratch();
     return correction;
+}
+
+UnionFindDecoder::BatchOutcome
+UnionFindDecoder::DecodeBatch(const sim::SampleBatch& batch,
+                              std::vector<std::uint64_t>& predictions,
+                              const std::function<bool()>& cancelled)
+{
+    if (batch.num_detectors() != num_detectors_) {
+        throw std::invalid_argument(
+            "UnionFindDecoder::DecodeBatch: batch detector count does "
+            "not match the decoding graph");
+    }
+    BatchOutcome out;
+    const int words = batch.words();
+    const int num_obs = batch.num_observables();
+    predictions.assign(static_cast<size_t>(num_obs) * words, 0);
+    batch.ExtractSyndromes(syndromes_scratch_, &mask_scratch_);
+    const std::uint32_t obs_limit =
+        num_obs >= 32 ? ~0u : (1u << num_obs) - 1;
+    for (int w = 0; w < words; ++w) {
+        if (cancelled && cancelled()) {
+            return out;  // completed stays false
+        }
+        std::uint64_t live = mask_scratch_[w];
+        while (live) {
+            const int bit = std::countr_zero(live);
+            live &= live - 1;
+            const int s = w * 64 + bit;
+            const std::int64_t begin = syndromes_scratch_.offsets[s];
+            const std::int64_t len =
+                syndromes_scratch_.offsets[s + 1] - begin;
+            const std::uint32_t pred =
+                Decode(std::span<const int>(
+                    syndromes_scratch_.fired.data() + begin,
+                    static_cast<size_t>(len))) &
+                obs_limit;
+            ++out.decoded_shots;
+            std::uint32_t remaining = pred;
+            while (remaining) {
+                const int o = std::countr_zero(remaining);
+                remaining &= remaining - 1;
+                predictions[static_cast<size_t>(o) * words + w] |=
+                    1ULL << bit;
+            }
+        }
+    }
+    out.completed = true;
+    return out;
 }
 
 }  // namespace tiqec::decoder

@@ -16,15 +16,21 @@
  * surface-code decoder; its threshold is slightly below matching (MWPM)
  * but it exhibits the same exponential logical-error suppression, which
  * is the property the paper's evaluation depends on. Decoder runtime is
- * not the bottleneck for trapped-ion systems (paper §8).
+ * not the bottleneck for trapped-ion systems (paper §8), but it is the
+ * bottleneck of every Monte-Carlo LER estimate, so all per-decode
+ * scratch persists across calls and whole batches decode through
+ * `DecodeBatch` (see DESIGN.md §3.4 and bench/bench_decode_throughput).
  */
 #ifndef TIQEC_DECODER_UNION_FIND_DECODER_H
 #define TIQEC_DECODER_UNION_FIND_DECODER_H
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "sim/dem.h"
+#include "sim/frame_simulator.h"
 
 namespace tiqec::decoder {
 
@@ -41,8 +47,45 @@ class UnionFindDecoder
     /**
      * Decodes one syndrome (list of fired detector indices).
      * @return bitmask of observables predicted to have flipped.
+     * @throws std::runtime_error if an odd cluster cannot reach a
+     *   boundary (its DEM component has no boundary edge); the decoder
+     *   stays usable afterwards.
      */
-    std::uint32_t Decode(const std::vector<int>& syndrome);
+    std::uint32_t Decode(std::span<const int> syndrome);
+    std::uint32_t Decode(std::initializer_list<int> syndrome)
+    {
+        return Decode(std::span<const int>(syndrome.begin(),
+                                           syndrome.size()));
+    }
+
+    /** Outcome of a DecodeBatch call. */
+    struct BatchOutcome
+    {
+        /** Non-trivial shots actually decoded (trivial shots are
+         *  skipped in 64-shot words; their prediction is 0). */
+        std::int64_t decoded_shots = 0;
+        /** False iff the `cancelled` callback stopped the batch. */
+        bool completed = false;
+    };
+
+    /**
+     * Decodes every shot of `batch` through the word-parallel pipeline:
+     * non-trivial-shot mask (all-zero 64-shot words are skipped
+     * outright), transposed sparse syndrome extraction, and the same
+     * per-shot decode core as `Decode` — so predictions are bit-exact
+     * with the scalar SyndromeOf + Decode path.
+     *
+     * `predictions` is resized to batch.num_observables() packed planes
+     * of batch.words() words each; bit `s` of plane `o` is the
+     * predicted flip of observable `o` in shot `s`.
+     *
+     * `cancelled`, when set, is polled once per 64-shot word; returning
+     * true abandons the batch (`completed == false`, predictions
+     * partial).
+     */
+    BatchOutcome DecodeBatch(const sim::SampleBatch& batch,
+                             std::vector<std::uint64_t>& predictions,
+                             const std::function<bool()>& cancelled = {});
 
   private:
     struct Edge
@@ -52,22 +95,48 @@ class UnionFindDecoder
         std::uint32_t obs_mask;
     };
 
+    /** Live per-decode cluster state, keyed by current union-find root
+     *  through cluster_of_root_. */
+    struct Cluster
+    {
+        int parity = 0;
+        bool boundary = false;
+        std::vector<std::int32_t> frontier;
+    };
+
     int BoundaryNode() const { return num_detectors_; }
+
+    int Find(int x);
+
+    /** Restores all touched scratch to its idle state; called on every
+     *  exit path of the decode core (including the throwing one). */
+    void ResetScratch();
 
     int num_detectors_ = 0;
     std::vector<Edge> edges_;
     /** Adjacency: per node, indices into edges_. */
     std::vector<std::vector<std::int32_t>> incident_;
 
-    // Scratch, reused across Decode calls.
+    // Scratch, reused across Decode/DecodeBatch calls. Everything is
+    // reset via touched_nodes_ / grown_edges_, so a decode costs
+    // O(cluster sizes), not O(graph).
     std::vector<std::int32_t> parent_;
     std::vector<char> defect_;
     std::vector<char> in_cluster_;
     std::vector<char> edge_grown_;
+    std::vector<Cluster> clusters_;
+    std::vector<std::int32_t> cluster_of_root_;
+    std::vector<std::int32_t> touched_nodes_;
+    std::vector<std::int32_t> grown_edges_;
+    std::vector<std::int32_t> frontier_scratch_;
+    std::vector<std::vector<std::int32_t>> grown_adj_;
+    std::vector<std::int32_t> order_;
+    std::vector<std::int32_t> parent_edge_;
+    std::vector<char> visited_;
 
-    int Find(int x);
-    void Union(int a, int b);
-    std::vector<std::int32_t> odd_root_scratch_;
+    // DecodeBatch scratch.
+    std::vector<std::uint64_t> mask_scratch_;
+    sim::SparseSyndromes syndromes_scratch_;
 };
 
 }  // namespace tiqec::decoder

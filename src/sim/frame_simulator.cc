@@ -1,5 +1,6 @@
 #include "sim/frame_simulator.h"
 
+#include <bit>
 #include <cassert>
 #include <cstring>
 
@@ -30,16 +31,84 @@ SampleBatch::SyndromeOf(int shot) const
 std::int64_t
 SampleBatch::CountNonTrivialShots() const
 {
+    std::vector<std::uint64_t> mask;
+    NonTrivialShotMask(mask);
     std::int64_t count = 0;
-    for (int s = 0; s < shots_; ++s) {
-        for (int d = 0; d < num_detectors_; ++d) {
-            if (Detector(d, s)) {
-                ++count;
-                break;
+    for (const std::uint64_t bits : mask) {
+        count += std::popcount(bits);
+    }
+    return count;
+}
+
+void
+SampleBatch::NonTrivialShotMask(std::vector<std::uint64_t>& mask) const
+{
+    mask.assign(words_, 0);
+    for (int d = 0; d < num_detectors_; ++d) {
+        const std::uint64_t* row =
+            detectors_.data() + static_cast<size_t>(d) * words_;
+        for (int w = 0; w < words_; ++w) {
+            mask[w] |= row[w];
+        }
+    }
+    if (words_ > 0) {
+        mask[words_ - 1] &= WordValidMask(words_ - 1);
+    }
+}
+
+void
+SampleBatch::ExtractSyndromes(SparseSyndromes& out,
+                              std::vector<std::uint64_t>* nontrivial_mask)
+    const
+{
+    // Counting pass: fired detectors per shot (and, as a byproduct,
+    // the OR-reduction of the planes when the caller wants the mask).
+    out.offsets.assign(static_cast<size_t>(shots_) + 1, 0);
+    if (nontrivial_mask != nullptr) {
+        nontrivial_mask->assign(words_, 0);
+    }
+    for (int d = 0; d < num_detectors_; ++d) {
+        const std::uint64_t* row =
+            detectors_.data() + static_cast<size_t>(d) * words_;
+        for (int w = 0; w < words_; ++w) {
+            std::uint64_t bits = row[w] & WordValidMask(w);
+            if (nontrivial_mask != nullptr) {
+                (*nontrivial_mask)[w] |= bits;
+            }
+            while (bits) {
+                const int s = w * 64 + std::countr_zero(bits);
+                bits &= bits - 1;
+                ++out.offsets[s + 1];
             }
         }
     }
-    return count;
+    for (int s = 0; s < shots_; ++s) {
+        out.offsets[s + 1] += out.offsets[s];
+    }
+    // Fill pass, using offsets[s] as the cursor of shot s. The outer
+    // loop ascends over detectors, so each shot's entries land in
+    // increasing detector order, matching SyndromeOf.
+    out.fired.resize(out.offsets[shots_]);
+    for (int d = 0; d < num_detectors_; ++d) {
+        const std::uint64_t* row =
+            detectors_.data() + static_cast<size_t>(d) * words_;
+        for (int w = 0; w < words_; ++w) {
+            std::uint64_t bits = row[w] & WordValidMask(w);
+            while (bits) {
+                const int s = w * 64 + std::countr_zero(bits);
+                bits &= bits - 1;
+                out.fired[out.offsets[s]++] = d;
+            }
+        }
+    }
+    // The cursors left offsets[s] holding the end of shot s, which is
+    // the start of shot s + 1: shift back down to restore CSR form.
+    for (int s = shots_; s > 0; --s) {
+        out.offsets[s] = out.offsets[s - 1];
+    }
+    if (!out.offsets.empty()) {
+        out.offsets[0] = 0;
+    }
 }
 
 FrameSimulator::FrameSimulator(const NoisyCircuit& circuit,

@@ -34,6 +34,21 @@
 
 namespace tiqec::sim {
 
+/**
+ * Per-shot syndromes of a whole batch in CSR form: the fired detector
+ * indices of shot `s` are `fired[offsets[s] .. offsets[s+1])`, in
+ * increasing detector order (exactly what `SampleBatch::SyndromeOf`
+ * would return for that shot). Trivial shots have an empty range.
+ */
+struct SparseSyndromes
+{
+    /** shots() + 1 entries. 64-bit: the total fired-bit count of a
+     *  shard can exceed INT_MAX (shots up to INT_MAX, several fired
+     *  detectors per shot). */
+    std::vector<std::int64_t> offsets;
+    std::vector<int> fired;  ///< concatenated fired detector indices
+};
+
 /** Packed per-shot detector and observable samples. */
 class SampleBatch
 {
@@ -59,6 +74,37 @@ class SampleBatch
 
     /** Number of shots whose detector pattern is non-trivial. */
     std::int64_t CountNonTrivialShots() const;
+
+    /** Valid-bit mask of `word`: all ones except that bits at or beyond
+     *  shots() in the tail word are cleared. */
+    std::uint64_t WordValidMask(int word) const
+    {
+        if (word != words_ - 1 || (shots_ & 63) == 0) {
+            return ~0ULL;
+        }
+        return (1ULL << (shots_ & 63)) - 1;
+    }
+
+    /**
+     * Word-parallel non-trivial-shot mask: OR-reduction of every
+     * detector plane into `mask` (resized to words()). Bit `s` is set
+     * iff shot `s` fired at least one detector; tail bits are clear.
+     * All-zero mask words let callers skip 64 trivial shots at a time.
+     */
+    void NonTrivialShotMask(std::vector<std::uint64_t>& mask) const;
+
+    /**
+     * Transposed sparse syndrome extraction: walks every detector plane
+     * word-wise once and buckets fired bits into per-shot syndromes.
+     * Equivalent to calling SyndromeOf for every shot, without the
+     * O(shots * detectors) bit probing or the per-shot allocation;
+     * `out`'s buffers are reused across calls. When `nontrivial_mask`
+     * is non-null it receives the NonTrivialShotMask as a byproduct of
+     * the counting pass, saving a separate walk over the planes.
+     */
+    void ExtractSyndromes(
+        SparseSyndromes& out,
+        std::vector<std::uint64_t>* nontrivial_mask = nullptr) const;
 
     std::uint64_t DetectorWord(int detector, int word) const
     {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <exception>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -26,10 +28,24 @@ ResolveThreads(int requested)
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/** Clamps the requested shard size to [64, INT_MAX] and rounds up to a
+ *  multiple of 64 in 64-bit arithmetic — `(requested + 63) & ~63` in
+ *  int would be signed overflow (UB) near INT_MAX. */
+int
+ResolveShardShots(int requested)
+{
+    constexpr std::int64_t kMax = std::numeric_limits<int>::max() & ~63;
+    const std::int64_t clamped =
+        std::clamp<std::int64_t>(requested, 64, kMax);
+    return static_cast<int>((clamped + 63) & ~std::int64_t{63});
+}
+
 /** Runs `worker` on min(num_threads, num_tasks) threads and joins. The
  *  single-thread case runs inline, through the identical claim/commit
  *  code path, which is what makes thread count observationally
- *  irrelevant. */
+ *  irrelevant. An exception escaping a spawned worker would call
+ *  std::terminate; instead the first one is captured, every worker is
+ *  joined, and it is rethrown on the calling thread. */
 template <typename Worker>
 void
 RunWorkers(int num_threads, std::int64_t num_tasks, Worker&& worker)
@@ -40,13 +56,28 @@ RunWorkers(int num_threads, std::int64_t num_tasks, Worker&& worker)
         worker();
         return;
     }
+    std::mutex mu;
+    std::exception_ptr first_error;
+    auto guarded = [&]() {
+        try {
+            worker();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!first_error) {
+                first_error = std::current_exception();
+            }
+        }
+    };
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (int t = 0; t < threads; ++t) {
-        pool.emplace_back(worker);
+        pool.emplace_back(guarded);
     }
     for (auto& th : pool) {
         th.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
     }
 }
 
@@ -57,7 +88,8 @@ ParallelSampler::ParallelSampler(const NoisyCircuit& circuit,
     : circuit_(&circuit),
       seed_(options.seed),
       num_threads_(ResolveThreads(options.num_threads)),
-      shard_shots_(std::max(64, (options.shard_shots + 63) & ~63))
+      shard_shots_(ResolveShardShots(options.shard_shots)),
+      decode_path_(options.decode_path)
 {
 }
 
@@ -147,6 +179,11 @@ ParallelSampler::EstimateLogicalErrors(const DetectorErrorModel& dem,
     }
     const std::int64_t num_shards =
         (max_shots + shard_shots_ - 1) / shard_shots_;
+    // A non-positive target means "no early stop": without this, the
+    // first committed shard would trivially satisfy
+    // `committed_errors >= target` and the run would stop after one
+    // shard with early_stopped = true.
+    const bool has_target = target_logical_errors > 0;
 
     std::atomic<std::int64_t> next_shard{0};
     std::atomic<bool> stop{false};
@@ -164,6 +201,7 @@ ParallelSampler::EstimateLogicalErrors(const DetectorErrorModel& dem,
 
     auto worker = [&]() {
         decoder::UnionFindDecoder uf(dem);
+        std::vector<std::uint64_t> predictions;
         for (;;) {
             // A set stop flag implies every shard of the counted prefix
             // is already committed, so anything still claimable is
@@ -181,19 +219,42 @@ ParallelSampler::EstimateLogicalErrors(const DetectorErrorModel& dem,
             const SampleBatch batch = sim.Sample(shard_n);
             std::int64_t errors = 0;
             bool abandoned = false;
-            for (int s = 0; s < batch.shots(); ++s) {
-                if ((s & 1023) == 0 &&
-                    stop.load(std::memory_order_relaxed)) {
-                    // Cooperative early stop: this shard is past the
-                    // committed stop prefix, its result is dead weight.
+            if (decode_path_ == DecodePath::kBatch) {
+                // Cooperative early stop: DecodeBatch polls the flag
+                // once per 64-shot word; an abandoned shard is past the
+                // committed stop prefix, its result is dead weight.
+                const auto outcome = uf.DecodeBatch(
+                    batch, predictions, [&stop]() {
+                        return stop.load(std::memory_order_relaxed);
+                    });
+                if (!outcome.completed) {
                     abandoned = true;
-                    break;
+                } else {
+                    // A trivial shot predicts 0, so its error bit is
+                    // just the observable bit; a decoded shot's is
+                    // predicted XOR actual. Both collapse into one
+                    // word-parallel popcount.
+                    for (int w = 0; w < batch.words(); ++w) {
+                        const std::uint64_t actual =
+                            batch.ObservableWord(0, w) &
+                            batch.WordValidMask(w);
+                        errors +=
+                            std::popcount(predictions[w] ^ actual);
+                    }
                 }
-                const std::uint32_t predicted =
-                    uf.Decode(batch.SyndromeOf(s));
-                const std::uint32_t actual =
-                    batch.Observable(0, s) ? 1u : 0u;
-                errors += (predicted ^ actual) & 1u;
+            } else {
+                for (int s = 0; s < batch.shots(); ++s) {
+                    if ((s & 1023) == 0 &&
+                        stop.load(std::memory_order_relaxed)) {
+                        abandoned = true;
+                        break;
+                    }
+                    const std::uint32_t predicted =
+                        uf.Decode(batch.SyndromeOf(s));
+                    const std::uint32_t actual =
+                        batch.Observable(0, s) ? 1u : 0u;
+                    errors += (predicted ^ actual) & 1u;
+                }
             }
             if (abandoned) {
                 continue;
@@ -211,7 +272,8 @@ ParallelSampler::EstimateLogicalErrors(const DetectorErrorModel& dem,
                 committed_errors += it->second.second;
                 pending.erase(it);
                 ++next_commit;
-                if (committed_errors >= target_logical_errors) {
+                if (has_target &&
+                    committed_errors >= target_logical_errors) {
                     target_reached = true;
                     stop.store(true, std::memory_order_relaxed);
                 }

@@ -31,14 +31,30 @@
 
 namespace tiqec::sim {
 
+/** Decode strategy for EstimateLogicalErrors (see DESIGN.md §3.4).
+ *  Both paths are bit-identical; kBatch is strictly faster. */
+enum class DecodePath
+{
+    /** Word-parallel pipeline: non-trivial-shot mask, transposed sparse
+     *  syndrome extraction, UnionFindDecoder::DecodeBatch. */
+    kBatch,
+    /** Per-shot SyndromeOf + Decode; the reference implementation the
+     *  batch path is pinned against (and the benchmark baseline). */
+    kScalar,
+};
+
 struct ParallelSamplerOptions
 {
     std::uint64_t seed = 0x5EED;
-    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    /** Worker threads; values <= 0 mean
+     *  std::thread::hardware_concurrency(). */
     int num_threads = 0;
-    /** Shots per shard (the determinism unit). Rounded up to a multiple
-     *  of 64 so shard planes pack into whole words of a merged batch. */
+    /** Shots per shard (the determinism unit). Clamped to [64, INT_MAX]
+     *  and rounded up to a multiple of 64 so shard planes pack into
+     *  whole words of a merged batch. */
     int shard_shots = 1 << 12;
+    /** Decode pipeline used by EstimateLogicalErrors. */
+    DecodePath decode_path = DecodePath::kBatch;
 };
 
 /** Outcome of a sharded sample-and-decode run. */
@@ -71,7 +87,12 @@ class ParallelSampler
      * Samples shards and decodes each with a per-worker
      * decoder::UnionFindDecoder built from `dem`, until the committed
      * shard prefix reaches `target_logical_errors` or the shot budget
-     * `max_shots` is exhausted, whichever comes first.
+     * `max_shots` is exhausted, whichever comes first. A non-positive
+     * target disables early stopping (the full budget is sampled).
+     * Decoding runs the word-parallel batch pipeline unless the options
+     * selected DecodePath::kScalar; the counts are bit-identical either
+     * way. A worker exception (e.g. a decode failure) is rethrown on
+     * the calling thread after all workers have joined.
      */
     LogicalErrorEstimate EstimateLogicalErrors(
         const DetectorErrorModel& dem, std::int64_t max_shots,
@@ -90,6 +111,7 @@ class ParallelSampler
     std::uint64_t seed_;
     int num_threads_;
     int shard_shots_;
+    DecodePath decode_path_;
 };
 
 }  // namespace tiqec::sim

@@ -4,6 +4,9 @@
  * single-edge invariant on real compiled memory experiments, and
  * end-to-end logical error suppression with distance.
  */
+#include <cstdint>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "compiler/compiler.h"
@@ -64,6 +67,42 @@ TEST(UnionFindDecoderTest, RepeatedDecodesAreIndependent)
         EXPECT_EQ(decoder.Decode({0}), 1u);
         EXPECT_EQ(decoder.Decode({}), 0u);
     }
+}
+
+TEST(UnionFindDecoderTest, OddClusterWithoutBoundaryThrows)
+{
+    // Two detectors joined by a single edge and no boundary edge: an
+    // even syndrome decodes, an odd one can never settle and must fail
+    // loudly instead of silently returning a partial correction.
+    DetectorErrorModel dem;
+    dem.num_detectors = 2;
+    dem.num_observables = 1;
+    dem.edges.push_back({0, 1, 0.01, 1});
+    UnionFindDecoder decoder(dem);
+    EXPECT_EQ(decoder.Decode({0, 1}), 1u);
+    EXPECT_THROW(decoder.Decode({0}), std::runtime_error);
+    EXPECT_THROW(decoder.Decode({1}), std::runtime_error);
+    // The throwing path must leave the scratch clean.
+    EXPECT_EQ(decoder.Decode({0, 1}), 1u);
+    EXPECT_EQ(decoder.Decode({}), 0u);
+}
+
+TEST(UnionFindDecoderTest, DecodeBatchMatchesScalarOnHandPackedChain)
+{
+    UnionFindDecoder decoder(ChainDem());
+    // 70 shots: shot 0 fires {0} (obs flip), shot 1 fires {0, 1},
+    // shot 65 fires {2}; everything else is trivial.
+    sim::SampleBatch batch(70, 3, 1);
+    batch.SetDetectorWord(0, 0, (1ULL << 0) | (1ULL << 1));
+    batch.SetDetectorWord(1, 0, 1ULL << 1);
+    batch.SetDetectorWord(2, 1, 1ULL << 1);
+    std::vector<std::uint64_t> predictions;
+    const auto outcome = decoder.DecodeBatch(batch, predictions);
+    ASSERT_TRUE(outcome.completed);
+    EXPECT_EQ(outcome.decoded_shots, 3);
+    ASSERT_EQ(predictions.size(), 2u);
+    EXPECT_EQ(predictions[0], 1ULL << 0);  // only shot 0 flips obs 0
+    EXPECT_EQ(predictions[1], 0u);
 }
 
 TEST(UnionFindDecoderTest, FullChainParity)

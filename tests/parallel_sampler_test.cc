@@ -7,6 +7,8 @@
  * core::Evaluate.
  */
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -197,6 +199,92 @@ TEST(ParallelSamplerTest, ShardShotsRoundedUpToWordMultiple)
     o.shard_shots = 100;
     ParallelSampler sampler(circuit, o);
     EXPECT_EQ(sampler.shard_shots(), 128);
+}
+
+TEST(ParallelSamplerTest, OptionsClampedWithoutOverflow)
+{
+    const NoisyCircuit circuit = MakeNoisyChain();
+    // Rounding INT_MAX-adjacent shard sizes up to a multiple of 64 in
+    // int arithmetic is signed overflow; the ctor must clamp instead.
+    const int max_shard = std::numeric_limits<int>::max() & ~63;
+    for (const int requested : {std::numeric_limits<int>::max(),
+                                std::numeric_limits<int>::max() - 10,
+                                max_shard}) {
+        ParallelSamplerOptions o;
+        o.shard_shots = requested;
+        ParallelSampler sampler(circuit, o);
+        EXPECT_EQ(sampler.shard_shots(), max_shard) << requested;
+    }
+    ParallelSamplerOptions o;
+    o.shard_shots = -100;
+    o.num_threads = -3;
+    ParallelSampler sampler(circuit, o);
+    EXPECT_EQ(sampler.shard_shots(), 64);
+    EXPECT_GE(sampler.num_threads(), 1);
+}
+
+TEST(ParallelSamplerTest, NonPositiveTargetDisablesEarlyStop)
+{
+    // A caller asking for "no early stop" (target <= 0) must get the
+    // full budget, not one shard with early_stopped = true.
+    const NoisyCircuit circuit = MakeNoisyChain();
+    const DetectorErrorModel dem = ChainDem();
+    const std::int64_t budget = 1 << 13;
+    for (const std::int64_t target : {std::int64_t{0}, std::int64_t{-7}}) {
+        for (const int threads : {1, 8}) {
+            ParallelSampler sampler(circuit, Opts(threads));
+            const LogicalErrorEstimate est =
+                sampler.EstimateLogicalErrors(dem, budget, target);
+            EXPECT_EQ(est.shots, budget)
+                << "target " << target << ", " << threads << " threads";
+            EXPECT_FALSE(est.early_stopped)
+                << "target " << target << ", " << threads << " threads";
+            EXPECT_GT(est.logical_errors, 0);
+        }
+    }
+}
+
+TEST(ParallelSamplerTest, WorkerExceptionPropagates)
+{
+    // A DEM whose only component has no boundary edge: single-detector
+    // syndromes (measurement flips produce them constantly) make the
+    // decoder throw inside the workers. The exception must surface on
+    // the calling thread instead of std::terminate-ing the process.
+    const NoisyCircuit circuit = MakeNoisyChain();
+    DetectorErrorModel boundaryless;
+    boundaryless.num_detectors = 2;
+    boundaryless.num_observables = 1;
+    boundaryless.edges.push_back({0, 1, 0.05, 0});
+    for (const auto path : {DecodePath::kBatch, DecodePath::kScalar}) {
+        for (const int threads : {1, 4}) {
+            ParallelSamplerOptions o = Opts(threads);
+            o.decode_path = path;
+            ParallelSampler sampler(circuit, o);
+            EXPECT_THROW(
+                sampler.EstimateLogicalErrors(boundaryless, 1 << 12,
+                                              1 << 30),
+                std::runtime_error)
+                << threads << " threads";
+        }
+    }
+}
+
+TEST(ParallelSamplerTest, ScalarDecodePathMatchesBatchDefault)
+{
+    const NoisyCircuit circuit = MakeNoisyChain();
+    const DetectorErrorModel dem = ChainDem();
+    ParallelSampler batch_sampler(circuit, Opts(4));
+    const LogicalErrorEstimate batch =
+        batch_sampler.EstimateLogicalErrors(dem, 1 << 14, 50);
+    ParallelSamplerOptions o = Opts(4);
+    o.decode_path = DecodePath::kScalar;
+    ParallelSampler scalar_sampler(circuit, o);
+    const LogicalErrorEstimate scalar =
+        scalar_sampler.EstimateLogicalErrors(dem, 1 << 14, 50);
+    EXPECT_EQ(batch.shots, scalar.shots);
+    EXPECT_EQ(batch.logical_errors, scalar.logical_errors);
+    EXPECT_EQ(batch.shards, scalar.shards);
+    EXPECT_EQ(batch.early_stopped, scalar.early_stopped);
 }
 
 /** Acceptance check: the full memory-Z tool flow at d=5 returns the

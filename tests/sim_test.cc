@@ -68,6 +68,48 @@ TEST(SampleBatchTest, CountNonTrivialShotsHandPacked)
     EXPECT_EQ(batch.CountNonTrivialShots(), 4);  // shots 3, 7, 64, 129
 }
 
+TEST(SampleBatchTest, NonTrivialShotMaskHandPacked)
+{
+    SampleBatch batch(130, 2, 1);
+    batch.SetDetectorWord(0, 0, (1ULL << 3) | (1ULL << 7));
+    batch.SetDetectorWord(1, 0, 1ULL << 3);
+    batch.SetDetectorWord(1, 1, 1ULL << 0);
+    batch.SetDetectorWord(0, 2, (1ULL << 1) | (1ULL << 5));  // 5: invalid
+    std::vector<std::uint64_t> mask;
+    batch.NonTrivialShotMask(mask);
+    ASSERT_EQ(mask.size(), 3u);
+    EXPECT_EQ(mask[0], (1ULL << 3) | (1ULL << 7));
+    EXPECT_EQ(mask[1], 1ULL << 0);
+    // Tail bits at or beyond shot 130 are masked off.
+    EXPECT_EQ(mask[2], 1ULL << 1);
+    EXPECT_EQ(batch.WordValidMask(0), ~0ULL);
+    EXPECT_EQ(batch.WordValidMask(2), (1ULL << 2) - 1);
+}
+
+TEST(SampleBatchTest, ExtractSyndromesMatchesSyndromeOf)
+{
+    SampleBatch batch(130, 3, 1);
+    batch.SetDetectorWord(0, 0, 1ULL << 0);
+    batch.SetDetectorWord(1, 0, 1ULL << 0);
+    batch.SetDetectorWord(1, 1, 1ULL << 63);
+    batch.SetDetectorWord(2, 0, 1ULL << 0);
+    batch.SetDetectorWord(2, 2, 1ULL << 1);
+    SparseSyndromes syndromes;
+    batch.ExtractSyndromes(syndromes);
+    ASSERT_EQ(syndromes.offsets.size(), 131u);
+    EXPECT_EQ(syndromes.offsets.front(), 0);
+    EXPECT_EQ(syndromes.offsets.back(),
+              static_cast<std::int64_t>(syndromes.fired.size()));
+    for (int s = 0; s < batch.shots(); ++s) {
+        const std::vector<int> expected = batch.SyndromeOf(s);
+        const std::vector<int> got(
+            syndromes.fired.begin() + syndromes.offsets[s],
+            syndromes.fired.begin() + syndromes.offsets[s + 1]);
+        ASSERT_EQ(got, expected) << "shot " << s;
+    }
+    EXPECT_EQ(syndromes.offsets[1] - syndromes.offsets[0], 3);
+}
+
 TEST(SampleBatchTest, ShotCountNotMultipleOf64)
 {
     // Bits in the tail word beyond `shots` must not be counted.
