@@ -43,18 +43,37 @@ PrintFigure13()
         {5, WiringKind::kWise},
         {12, WiringKind::kWise},
     };
+    const std::vector<int> distances = {3, 5, 7};
+
+    // One engine sweep over every (scheme, distance) cell; each
+    // distance's code object is shared so standard and WISE rows at the
+    // same capacity reuse what the cache key allows.
+    std::vector<std::shared_ptr<const qec::StabilizerCode>> codes;
+    for (const int d : distances) {
+        codes.push_back(qec::MakeCode("rotated", d));
+    }
+    std::vector<core::SweepCandidate> candidates;
     for (const WiseRow& row : rows) {
-        for (const int d : {3, 5, 7}) {
-            ArchitectureConfig arch;
-            arch.trap_capacity = row.capacity;
-            arch.wiring = row.wiring;
-            arch.gate_improvement = 5.0;
-            const auto code = qec::MakeCode("rotated", d);
-            core::EvaluationOptions opts;
-            opts.max_shots = 1 << 15;
-            opts.target_logical_errors = 100;
-            opts.num_threads = tiqec::bench::MonteCarloThreads();
-            const auto m = core::Evaluate(*code, arch, opts);
+        for (size_t di = 0; di < distances.size(); ++di) {
+            core::SweepCandidate c;
+            c.code = codes[di];
+            c.arch.trap_capacity = row.capacity;
+            c.arch.wiring = row.wiring;
+            c.arch.gate_improvement = 5.0;
+            c.options.max_shots = 1 << 15;
+            c.options.target_logical_errors = 100;
+            candidates.push_back(std::move(c));
+        }
+    }
+    core::SweepRunnerOptions sopts;
+    sopts.num_threads = tiqec::bench::MonteCarloThreads();
+    const std::vector<core::Metrics> metrics =
+        core::SweepRunner(sopts).Run(candidates);
+
+    size_t cell = 0;
+    for (const WiseRow& row : rows) {
+        for (const int d : distances) {
+            const core::Metrics& m = metrics[cell++];
             char scheme[40];
             std::snprintf(scheme, sizeof(scheme), "%s cap %d%s",
                           core::WiringKindName(row.wiring).c_str(),

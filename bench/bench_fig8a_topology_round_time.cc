@@ -19,23 +19,51 @@ using namespace tiqec;
 using qccd::TimingModel;
 using qccd::TopologyKind;
 
+std::vector<int>
+Fig8aDistances(TopologyKind topology)
+{
+    // Linear routing congestion grows steeply; cap the sweep so the
+    // bench binary stays interactive (the trend is unambiguous).
+    return topology == TopologyKind::kLinear
+               ? std::vector<int>{2, 3, 4, 5}
+               : std::vector<int>{2, 3, 5, 7, 9, 11, 13};
+}
+
 void
 PrintFigure8a()
 {
-    const TimingModel timing;
     const std::vector<int> capacities = {2, 5, 12};
     const std::vector<TopologyKind> topologies = {
         TopologyKind::kLinear, TopologyKind::kGrid, TopologyKind::kSwitch};
 
     std::printf("\n=== Figure 8(a): QEC round time (us) vs code distance "
                 "per topology and capacity ===\n");
+
+    // Compile-only sweep: the engine runs all (topology, d, capacity)
+    // compilations in parallel on one pool — the slow linear-topology
+    // points no longer serialise the whole figure.
+    std::vector<core::SweepCandidate> candidates;
     for (const TopologyKind topology : topologies) {
-        // Linear routing congestion grows steeply; cap the sweep so the
-        // bench binary stays interactive (the trend is unambiguous).
-        const std::vector<int> distances =
-            topology == TopologyKind::kLinear
-                ? std::vector<int>{2, 3, 4, 5}
-                : std::vector<int>{2, 3, 5, 7, 9, 11, 13};
+        for (const int d : Fig8aDistances(topology)) {
+            const std::shared_ptr<const qec::StabilizerCode> code =
+                qec::MakeCode("rotated", d);
+            for (const int cap : capacities) {
+                core::SweepCandidate c;
+                c.code = code;
+                c.arch.topology = topology;
+                c.arch.trap_capacity = cap;
+                c.options.compile_only = true;
+                candidates.push_back(std::move(c));
+            }
+        }
+    }
+    core::SweepRunnerOptions sopts;
+    sopts.num_threads = tiqec::bench::MonteCarloThreads();
+    const std::vector<core::Metrics> metrics =
+        core::SweepRunner(sopts).Run(candidates);
+
+    size_t cell = 0;
+    for (const TopologyKind topology : topologies) {
         std::printf("\n-- topology: %s\n",
                     qccd::TopologyKindName(topology).c_str());
         std::printf("%-6s", "d");
@@ -44,17 +72,12 @@ PrintFigure8a()
         }
         std::printf("\n");
         tiqec::bench::Rule(6 + 13 * static_cast<int>(capacities.size()));
-        for (const int d : distances) {
+        for (const int d : Fig8aDistances(topology)) {
             std::printf("%-6d", d);
-            for (const int cap : capacities) {
-                const auto code = qec::MakeCode("rotated", d);
-                const auto graph =
-                    compiler::MakeDeviceFor(*code, topology, cap);
-                const auto result = compiler::CompileParityCheckRounds(
-                    *code, 1, graph, timing);
+            for (size_t k = 0; k < capacities.size(); ++k) {
+                const core::Metrics& m = metrics[cell++];
                 std::printf(" %12s",
-                            tiqec::bench::NumOrNan(
-                                result.schedule.makespan, result.ok)
+                            tiqec::bench::NumOrNan(m.round_time, m.ok)
                                 .c_str());
             }
             std::printf("\n");

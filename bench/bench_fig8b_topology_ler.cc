@@ -22,10 +22,38 @@ PrintFigure8b()
 {
     const std::vector<int> capacities = {2, 5, 12};
     const std::vector<int> distances = {3, 5, 7};
+    const std::vector<TopologyKind> topologies = {TopologyKind::kGrid,
+                                                  TopologyKind::kSwitch};
     std::printf("\n=== Figure 8(b): logical error rate per shot (memory-Z, "
                 "d rounds, 5X improvement) ===\n");
-    for (const TopologyKind topology :
-         {TopologyKind::kGrid, TopologyKind::kSwitch}) {
+
+    // One sweep over every (topology, distance, capacity) cell: the
+    // engine shares each distance's code across cells and interleaves
+    // all Monte-Carlo shards on one pool.
+    std::vector<core::SweepCandidate> candidates;
+    for (const TopologyKind topology : topologies) {
+        for (const int d : distances) {
+            const std::shared_ptr<const qec::StabilizerCode> code =
+                qec::MakeCode("rotated", d);
+            for (const int cap : capacities) {
+                core::SweepCandidate c;
+                c.code = code;
+                c.arch.topology = topology;
+                c.arch.trap_capacity = cap;
+                c.arch.gate_improvement = 5.0;
+                c.options.max_shots = 1 << 15;
+                c.options.target_logical_errors = 100;
+                candidates.push_back(std::move(c));
+            }
+        }
+    }
+    core::SweepRunnerOptions sopts;
+    sopts.num_threads = tiqec::bench::MonteCarloThreads();
+    const std::vector<core::Metrics> metrics =
+        core::SweepRunner(sopts).Run(candidates);
+
+    size_t cell = 0;
+    for (const TopologyKind topology : topologies) {
         std::printf("\n-- topology: %s\n",
                     qccd::TopologyKindName(topology).c_str());
         std::printf("%-6s", "d");
@@ -36,17 +64,8 @@ PrintFigure8b()
         tiqec::bench::Rule(6 + 15 * static_cast<int>(capacities.size()));
         for (const int d : distances) {
             std::printf("%-6d", d);
-            for (const int cap : capacities) {
-                ArchitectureConfig arch;
-                arch.topology = topology;
-                arch.trap_capacity = cap;
-                arch.gate_improvement = 5.0;
-                const auto code = qec::MakeCode("rotated", d);
-                core::EvaluationOptions opts;
-                opts.max_shots = 1 << 15;
-                opts.target_logical_errors = 100;
-                opts.num_threads = tiqec::bench::MonteCarloThreads();
-                const auto m = core::Evaluate(*code, arch, opts);
+            for (size_t k = 0; k < capacities.size(); ++k) {
+                const core::Metrics& m = metrics[cell++];
                 if (m.ok) {
                     std::printf(" %14.3e", m.ler_per_shot.rate);
                 } else {

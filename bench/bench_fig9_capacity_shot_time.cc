@@ -32,28 +32,47 @@ PrintFigure9()
     std::printf("\n=== Figure 9: QEC shot time (us, %d rounds) vs trap "
                 "capacity and code distance (grid) ===\n",
                 rounds);
+
+    // Multi-round compile-only sweep: every (d, capacity) cell compiles
+    // a five-round block; the engine runs them all on one pool.
+    std::vector<std::shared_ptr<const qec::StabilizerCode>> codes;
+    std::vector<core::SweepCandidate> candidates;
+    for (const int d : distances) {
+        codes.push_back(qec::MakeCode("rotated", d));
+        for (const int cap : capacities) {
+            core::SweepCandidate c;
+            c.code = codes.back();
+            c.arch.topology = TopologyKind::kGrid;
+            c.arch.trap_capacity = cap;
+            c.options.compile_only = true;
+            c.compile_rounds = rounds;
+            candidates.push_back(std::move(c));
+        }
+    }
+    core::SweepRunnerOptions sopts;
+    sopts.num_threads = tiqec::bench::MonteCarloThreads();
+    const std::vector<core::Metrics> metrics =
+        core::SweepRunner(sopts).Run(candidates);
+
     std::printf("%-6s %12s", "d", "lower(us)");
     for (const int cap : capacities) {
         std::printf(" %10s", ("cap" + std::to_string(cap)).c_str());
     }
     std::printf(" %12s\n", "upper(us)");
     tiqec::bench::Rule(32 + 11 * static_cast<int>(capacities.size()));
-    for (const int d : distances) {
-        const auto code = qec::MakeCode("rotated", d);
+    size_t cell = 0;
+    for (size_t di = 0; di < distances.size(); ++di) {
+        const qec::StabilizerCode& code = *codes[di];
         const double lower =
-            rounds * compiler::ParallelLowerBoundRoundTime(*code, timing);
+            rounds * compiler::ParallelLowerBoundRoundTime(code, timing);
         const double upper =
-            rounds * compiler::SerialUpperBoundRoundTime(*code, timing);
-        std::printf("%-6d %12.0f", d, lower);
-        for (const int cap : capacities) {
-            const auto graph =
-                compiler::MakeDeviceFor(*code, TopologyKind::kGrid, cap);
-            const auto result = compiler::CompileParityCheckRounds(
-                *code, rounds, graph, timing);
+            rounds * compiler::SerialUpperBoundRoundTime(code, timing);
+        std::printf("%-6d %12.0f", distances[di], lower);
+        for (size_t k = 0; k < capacities.size(); ++k) {
+            const core::Metrics& m = metrics[cell++];
+            // shot_time is the compiled five-round block's makespan.
             std::printf(" %10s",
-                        tiqec::bench::NumOrNan(result.schedule.makespan,
-                                               result.ok)
-                            .c_str());
+                        tiqec::bench::NumOrNan(m.shot_time, m.ok).c_str());
         }
         std::printf(" %12.0f\n", upper);
     }
@@ -83,6 +102,9 @@ int
 main(int argc, char** argv)
 {
     PrintFigure9();
+    // Sweep-engine bench mode: serial Evaluate loop vs SweepRunner over
+    // the fig9 capacity sweep (bit-identity + wall-clock).
+    tiqec::bench::PrintSweepEngineBench(8);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

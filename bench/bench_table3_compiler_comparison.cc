@@ -68,33 +68,53 @@ PrintTable3()
     std::printf("%-12s | %10s %10s %10s | %8s %8s %8s\n", "config",
                 "ours(us)", "qccdsim", "muzzle", "ops", "ops", "ops");
     tiqec::bench::Rule(84);
+
+    // "Ours" column: five-round compile-only candidates through the
+    // sweep engine (all rows compile in parallel on one pool). The
+    // baselines below are external compilers, outside the engine.
+    std::vector<core::SweepCandidate> candidates;
+    candidates.reserve(rows.size());
     for (const Row& row : rows) {
-        const std::string family =
-            row.code == 'R' ? "repetition" : "rotated";
+        core::SweepCandidate c;
+        c.code = qec::MakeCode(row.code == 'R' ? "repetition" : "rotated",
+                               row.distance);
+        c.arch.topology = row.code == 'R' ? TopologyKind::kLinear
+                                          : TopologyKind::kGrid;
+        c.arch.trap_capacity = row.capacity;
+        c.options.compile_only = true;
+        c.compile_rounds = rounds;
+        candidates.push_back(std::move(c));
+    }
+    core::SweepRunnerOptions sopts;
+    sopts.num_threads = tiqec::bench::MonteCarloThreads();
+    const std::vector<core::SweepOutcome> outcomes =
+        core::SweepRunner(sopts).RunDetailed(candidates);
+
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
         const TopologyKind topology = row.code == 'R'
                                           ? TopologyKind::kLinear
                                           : TopologyKind::kGrid;
-        const auto code = qec::MakeCode(family, row.distance);
-        const auto graph =
-            compiler::MakeDeviceFor(*code, topology, row.capacity);
-        const Cell ours = FromResult(compiler::CompileParityCheckRounds(
-            *code, rounds, graph, timing));
+        const qec::StabilizerCode& code = *candidates[i].code;
+        const core::SweepOutcome& out = outcomes[i];
+        const Cell ours = FromResult(out.compile->compiled);
         // The baselines pack capacity-1 ions per trap in program order,
         // so they may need more traps than the QEC placer; a couple of
         // spare zones give their serial routers working space (the
         // published tools size devices with spare transport zones).
         const int baseline_traps =
-            (code->num_qubits() + row.capacity - 2) /
+            (code.num_qubits() + row.capacity - 2) /
                 std::max(1, row.capacity - 1) +
             2;
         const auto baseline_graph = qccd::DeviceGraph::Make(
-            topology, std::max(baseline_traps, graph.num_traps()),
+            topology,
+            std::max(baseline_traps, out.compile->graph.num_traps()),
             row.capacity);
         const Cell qccdsim = FromResult(
-            CompileBaseline(BaselineKind::kQccdSim, *code, rounds,
+            CompileBaseline(BaselineKind::kQccdSim, code, rounds,
                             baseline_graph, timing));
         const Cell muzzle = FromResult(
-            CompileBaseline(BaselineKind::kMuzzleTheShuttle, *code, rounds,
+            CompileBaseline(BaselineKind::kMuzzleTheShuttle, code, rounds,
                             baseline_graph, timing));
         char config[32];
         std::snprintf(config, sizeof(config), "%c,%d,%d,%c", row.code,

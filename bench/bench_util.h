@@ -1,7 +1,9 @@
 /**
  * @file
  * Shared helpers for the paper-reproduction benchmark binaries: aligned
- * table printing and cached logical-error-rate sweeps.
+ * table printing, logical-error-rate sweeps (routed through the cached
+ * parallel sweep engine), and the sweep-engine bench mode that pins the
+ * engine's serial-equivalence and speedup claims.
  *
  * Every binary regenerates one table or figure from the paper's
  * evaluation (§7); the printed rows mirror the paper's and EXPERIMENTS.md
@@ -10,12 +12,15 @@
 #ifndef TIQEC_BENCH_BENCH_UTIL_H
 #define TIQEC_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/projection.h"
+#include "core/sweep.h"
 #include "core/toolflow.h"
 #include "qec/code.h"
 
@@ -86,32 +91,185 @@ MonteCarloThreads()
     return 0;
 }
 
+/** The distance sweep as sweep-engine candidates (one per distance,
+ *  seeded `seed + d` exactly as the historical serial loop). */
+inline std::vector<core::SweepCandidate>
+LerSweepCandidates(const std::string& family,
+                   const std::vector<int>& distances,
+                   const core::ArchitectureConfig& arch,
+                   std::int64_t max_shots, std::int64_t target_errors,
+                   std::uint64_t seed)
+{
+    std::vector<core::SweepCandidate> candidates;
+    candidates.reserve(distances.size());
+    for (const int d : distances) {
+        core::SweepCandidate c;
+        c.code = qec::MakeCode(family, d);
+        c.arch = arch;
+        c.options.max_shots = max_shots;
+        c.options.target_logical_errors = target_errors;
+        c.options.seed = seed + d;
+        c.label = family + "_d" + std::to_string(d);
+        candidates.push_back(std::move(c));
+    }
+    return candidates;
+}
+
 inline LerSweep
 RunLerSweep(const std::string& family, const std::vector<int>& distances,
             const core::ArchitectureConfig& arch, std::int64_t max_shots,
             std::int64_t target_errors = 100, std::uint64_t seed = 0x5EED,
             int num_threads = -1)
 {
+    core::SweepRunnerOptions sopts;
+    sopts.num_threads =
+        num_threads >= 0 ? num_threads : MonteCarloThreads();
+    const std::vector<core::Metrics> metrics =
+        core::SweepRunner(sopts).Run(LerSweepCandidates(
+            family, distances, arch, max_shots, target_errors, seed));
+
     LerSweep sweep;
-    for (const int d : distances) {
-        const auto code = qec::MakeCode(family, d);
-        core::EvaluationOptions opts;
-        opts.max_shots = max_shots;
-        opts.target_logical_errors = target_errors;
-        opts.seed = seed + d;
-        opts.num_threads =
-            num_threads >= 0 ? num_threads : MonteCarloThreads();
-        const core::Metrics m = core::Evaluate(*code, arch, opts);
+    for (size_t i = 0; i < distances.size(); ++i) {
+        const core::Metrics& m = metrics[i];
         if (!m.ok) {
             continue;
         }
-        sweep.distances.push_back(d);
+        sweep.distances.push_back(distances[i]);
         sweep.ler_per_shot.push_back(m.ler_per_shot.rate);
         sweep.ler_per_round.push_back(m.ler_per_round);
         sweep.round_time.push_back(m.round_time);
         sweep.errors.push_back(m.logical_errors);
     }
     return sweep;
+}
+
+/** Field-exact Metrics comparison (doubles compared bit-for-bit): the
+ *  sweep engine's contract is *bit*-identity with the serial loop, not
+ *  closeness. */
+inline bool
+MetricsBitIdentical(const core::Metrics& a, const core::Metrics& b)
+{
+    auto same_double = [](double x, double y) {
+        return std::memcmp(&x, &y, sizeof(double)) == 0;
+    };
+    return a.ok == b.ok && a.error == b.error &&
+           same_double(a.round_time, b.round_time) &&
+           same_double(a.shot_time, b.shot_time) &&
+           a.movement_ops_per_round == b.movement_ops_per_round &&
+           same_double(a.movement_time_per_round,
+                       b.movement_time_per_round) &&
+           a.num_traps_used == b.num_traps_used &&
+           same_double(a.mean_two_qubit_error, b.mean_two_qubit_error) &&
+           same_double(a.max_two_qubit_error, b.max_two_qubit_error) &&
+           same_double(a.idle_dephasing_data_qubit,
+                       b.idle_dephasing_data_qubit) &&
+           a.shots == b.shots && a.logical_errors == b.logical_errors &&
+           same_double(a.ler_per_shot.rate, b.ler_per_shot.rate) &&
+           same_double(a.ler_per_shot.low, b.ler_per_shot.low) &&
+           same_double(a.ler_per_shot.high, b.ler_per_shot.high) &&
+           same_double(a.ler_per_round, b.ler_per_round);
+}
+
+/** Outcome of `RunSweepEngineBench`. */
+struct SweepEngineBenchResult
+{
+    int num_candidates = 0;
+    bool bit_identical = false;
+    double serial_seconds = 0.0;
+    double sweep_seconds = 0.0;
+
+    double
+    speedup() const
+    {
+        return sweep_seconds > 0.0 ? serial_seconds / sweep_seconds : 0.0;
+    }
+};
+
+/**
+ * Sweep-engine bench mode (ISSUE 3 acceptance): the Figure 9 capacity
+ * sweep — (trap capacity x code distance) on the grid at 5X, replicated
+ * across `seeds_per_point` Monte-Carlo seeds the way a threshold scan
+ * replicates points — run once through the historical serial
+ * `core::Evaluate` loop and once through `core::SweepRunner` on
+ * `num_threads` threads. Verifies the engine's bit-identity contract on
+ * every candidate and reports both wall-clocks; the engine's edge is
+ * the keyed artifact cache (the serial loop recompiles, re-annotates,
+ * and rebuilds the DEM for every seed replica) plus cross-candidate
+ * shard interleaving.
+ */
+inline SweepEngineBenchResult
+RunSweepEngineBench(int num_threads, std::int64_t max_shots = 1 << 12,
+                    int seeds_per_point = 6)
+{
+    const std::vector<int> capacities = {2, 3, 5};
+    const std::vector<int> distances = {3, 5};
+    std::vector<core::SweepCandidate> candidates;
+    for (const int d : distances) {
+        const std::shared_ptr<const qec::StabilizerCode> code =
+            qec::MakeCode("rotated", d);
+        for (const int cap : capacities) {
+            for (int s = 0; s < seeds_per_point; ++s) {
+                core::SweepCandidate c;
+                c.code = code;
+                c.arch.topology = qccd::TopologyKind::kGrid;
+                c.arch.trap_capacity = cap;
+                c.arch.gate_improvement = 5.0;
+                c.options.max_shots = max_shots;
+                // No early stop: a fixed budget keeps the two runs'
+                // work identical, so the comparison is pure overhead.
+                c.options.target_logical_errors = 0;
+                c.options.seed = 0x5EED + static_cast<std::uint64_t>(s);
+                c.label = "cap" + std::to_string(cap) + "_d" +
+                          std::to_string(d) + "_s" + std::to_string(s);
+                candidates.push_back(std::move(c));
+            }
+        }
+    }
+
+    SweepEngineBenchResult result;
+    result.num_candidates = static_cast<int>(candidates.size());
+    using clock = std::chrono::steady_clock;
+
+    std::vector<core::Metrics> serial;
+    serial.reserve(candidates.size());
+    const auto serial_begin = clock::now();
+    for (const core::SweepCandidate& c : candidates) {
+        core::EvaluationOptions opts = c.options;
+        opts.num_threads = num_threads;
+        serial.push_back(core::Evaluate(*c.code, c.arch, opts));
+    }
+    const auto serial_end = clock::now();
+
+    core::SweepRunnerOptions sopts;
+    sopts.num_threads = num_threads;
+    const auto sweep_begin = clock::now();
+    const std::vector<core::Metrics> swept =
+        core::SweepRunner(sopts).Run(candidates);
+    const auto sweep_end = clock::now();
+
+    result.serial_seconds =
+        std::chrono::duration<double>(serial_end - serial_begin).count();
+    result.sweep_seconds =
+        std::chrono::duration<double>(sweep_end - sweep_begin).count();
+    result.bit_identical = serial.size() == swept.size();
+    for (size_t i = 0; result.bit_identical && i < serial.size(); ++i) {
+        result.bit_identical = MetricsBitIdentical(serial[i], swept[i]);
+    }
+    return result;
+}
+
+/** Prints the `RunSweepEngineBench` verdict in bench-table style. */
+inline void
+PrintSweepEngineBench(int num_threads)
+{
+    std::printf("\n=== Sweep engine: fig9 capacity sweep, serial Evaluate "
+                "loop vs SweepRunner (%d threads) ===\n",
+                num_threads);
+    const SweepEngineBenchResult r = RunSweepEngineBench(num_threads);
+    std::printf("%d candidates: serial %.3f s, sweep %.3f s -> %.2fx; "
+                "bit-identical: %s\n",
+                r.num_candidates, r.serial_seconds, r.sweep_seconds,
+                r.speedup(), r.bit_identical ? "yes" : "NO");
 }
 
 }  // namespace tiqec::bench

@@ -6,7 +6,14 @@
  * error rate - the workflow a device architect would run before
  * committing a trap layout to fabrication.
  *
- * Run: ./build/examples/design_space_exploration [distance]
+ * The whole sweep is one `core::SweepRunner` call: candidates compile
+ * in parallel on a shared pool, cached artifacts are reused, and every
+ * candidate's Monte-Carlo shards interleave on the same pool - with
+ * results bit-identical to evaluating the candidates one by one.
+ *
+ * Run: ./build/examples/design_space_exploration [distance] [max_shots]
+ * (the second argument trims the Monte-Carlo budget; the CI smoke job
+ * uses it to keep the example fast under `ctest --timeout`).
  */
 #include <algorithm>
 #include <cstdio>
@@ -14,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep.h"
 #include "core/toolflow.h"
 
 int
@@ -21,7 +29,10 @@ main(int argc, char** argv)
 {
     using namespace tiqec;
     const int distance = argc > 1 ? std::atoi(argv[1]) : 3;
-    const qec::RotatedSurfaceCode code(distance);
+    const std::int64_t max_shots =
+        argc > 2 ? std::atoll(argv[2]) : 20000;
+    const std::shared_ptr<const qec::StabilizerCode> code =
+        std::make_shared<qec::RotatedSurfaceCode>(distance);
     std::printf("design-space exploration for a distance-%d rotated "
                 "surface code logical qubit (5X gates)\n\n",
                 distance);
@@ -33,6 +44,30 @@ main(int argc, char** argv)
     }
     std::putchar('\n');
 
+    // One candidate per (topology, capacity); the engine evaluates them
+    // all concurrently on one worker pool.
+    std::vector<core::SweepCandidate> candidates;
+    for (const auto topology :
+         {qccd::TopologyKind::kLinear, qccd::TopologyKind::kGrid,
+          qccd::TopologyKind::kSwitch}) {
+        for (const int capacity : {2, 3, 5, 12}) {
+            core::SweepCandidate c;
+            c.code = code;
+            c.arch.topology = topology;
+            c.arch.trap_capacity = capacity;
+            c.arch.gate_improvement = 5.0;
+            c.options.max_shots = max_shots;
+            c.options.target_logical_errors = 60;
+            // The linear topology at larger distances routes for a very
+            // long time; evaluate it compile-only beyond d=3.
+            c.options.compile_only =
+                topology == qccd::TopologyKind::kLinear && distance > 3;
+            candidates.push_back(std::move(c));
+        }
+    }
+    const std::vector<core::Metrics> metrics =
+        core::SweepRunner().Run(candidates);
+
     struct Candidate
     {
         std::string name;
@@ -41,42 +76,26 @@ main(int argc, char** argv)
     };
     std::vector<Candidate> ranking;
 
-    for (const auto topology :
-         {qccd::TopologyKind::kLinear, qccd::TopologyKind::kGrid,
-          qccd::TopologyKind::kSwitch}) {
-        for (const int capacity : {2, 3, 5, 12}) {
-            core::ArchitectureConfig arch;
-            arch.topology = topology;
-            arch.trap_capacity = capacity;
-            arch.gate_improvement = 5.0;
-            core::EvaluationOptions opts;
-            opts.max_shots = 20000;
-            opts.target_logical_errors = 60;
-            // The linear topology at larger distances routes for a very
-            // long time; evaluate it compile-only beyond d=3.
-            opts.compile_only =
-                topology == qccd::TopologyKind::kLinear && distance > 3;
-            const auto m = core::Evaluate(code, arch, opts);
-            if (!m.ok) {
-                std::printf("%-22s %12s\n", arch.Name().c_str(), "FAILED");
-                continue;
-            }
-            char ler_text[24];
-            if (opts.compile_only) {
-                std::snprintf(ler_text, sizeof(ler_text), "(skipped)");
-            } else {
-                std::snprintf(ler_text, sizeof(ler_text), "%.3e",
-                              m.ler_per_shot.rate);
-            }
-            std::printf("%-22s %12.0f %12d %14s %12lld %10.1f\n",
-                        arch.Name().c_str(), m.round_time,
-                        m.movement_ops_per_round, ler_text,
-                        m.resources.num_electrodes,
-                        m.resources.standard_data_rate_gbps);
-            if (!opts.compile_only) {
-                ranking.push_back(
-                    {arch.Name(), m.round_time, m.ler_per_shot.rate});
-            }
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const core::Metrics& m = metrics[i];
+        const std::string name = candidates[i].arch.Name();
+        if (!m.ok) {
+            std::printf("%-22s %12s\n", name.c_str(), "FAILED");
+            continue;
+        }
+        char ler_text[24];
+        if (candidates[i].options.compile_only) {
+            std::snprintf(ler_text, sizeof(ler_text), "(skipped)");
+        } else {
+            std::snprintf(ler_text, sizeof(ler_text), "%.3e",
+                          m.ler_per_shot.rate);
+        }
+        std::printf("%-22s %12.0f %12d %14s %12lld %10.1f\n",
+                    name.c_str(), m.round_time, m.movement_ops_per_round,
+                    ler_text, m.resources.num_electrodes,
+                    m.resources.standard_data_rate_gbps);
+        if (!candidates[i].options.compile_only) {
+            ranking.push_back({name, m.round_time, m.ler_per_shot.rate});
         }
     }
 

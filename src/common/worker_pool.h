@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal exception-safe fork/join worker helper shared by the parallel
+ * sampler and the design-space sweep engine. There is deliberately no
+ * persistent pool object: every parallel region spawns, joins, and
+ * rethrows, so two layers can never nest live thread pools (the sweep
+ * engine's "no nested pools" rule, DESIGN.md §4.3) — a region either
+ * owns all its workers or runs inline on the caller's thread.
+ */
+#ifndef TIQEC_COMMON_WORKER_POOL_H
+#define TIQEC_COMMON_WORKER_POOL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tiqec {
+
+/** `num_threads` <= 0 resolves to std::thread::hardware_concurrency(). */
+inline int
+ResolveWorkerThreads(int num_threads)
+{
+    if (num_threads > 0) {
+        return num_threads;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/** Runs `worker` on min(num_threads, num_tasks) threads and joins. The
+ *  single-thread case runs inline, through the identical claim/commit
+ *  code path, which is what makes thread count observationally
+ *  irrelevant to callers with deterministic commit logic. An exception
+ *  escaping a spawned worker would call std::terminate; instead the
+ *  first one is captured, every worker is joined, and it is rethrown on
+ *  the calling thread. */
+template <typename Worker>
+void
+RunWorkers(int num_threads, std::int64_t num_tasks, Worker&& worker)
+{
+    const int threads = static_cast<int>(
+        std::min<std::int64_t>(num_threads, num_tasks));
+    if (threads <= 1) {
+        if (num_tasks > 0) {
+            worker();
+        }
+        return;
+    }
+    std::mutex mu;
+    std::exception_ptr first_error;
+    auto guarded = [&]() {
+        try {
+            worker();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!first_error) {
+                first_error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back(guarded);
+    }
+    for (auto& th : pool) {
+        th.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+}  // namespace tiqec
+
+#endif  // TIQEC_COMMON_WORKER_POOL_H

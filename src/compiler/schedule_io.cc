@@ -1,23 +1,99 @@
 #include "compiler/schedule_io.h"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstdlib>
 #include <map>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <vector>
 
 namespace tiqec::compiler {
+
+namespace {
+
+constexpr char kCsvHeader[] =
+    "index,pass,kind,ion0,ion1,node,segment,start_us,duration_us,chain,nbar";
+
+/** Shortest exact decimal form: parsing it back yields the identical
+ *  double, which is what makes the CSV byte-stable under round-trips
+ *  (the old `operator<<` default of 6 significant digits silently
+ *  truncated timestamps). */
+std::string
+ExactDouble(double value)
+{
+    std::array<char, 32> buf;
+    const auto [ptr, ec] =
+        std::to_chars(buf.data(), buf.data() + buf.size(), value);
+    if (ec != std::errc()) {
+        throw std::invalid_argument("ExactDouble: value does not format");
+    }
+    return std::string(buf.data(), ptr);
+}
+
+constexpr std::array<qccd::OpKind, 10> kAllOpKinds = {
+    qccd::OpKind::kMs,           qccd::OpKind::kRotation,
+    qccd::OpKind::kMeasure,      qccd::OpKind::kReset,
+    qccd::OpKind::kShuttle,      qccd::OpKind::kSplit,
+    qccd::OpKind::kMerge,        qccd::OpKind::kJunctionEnter,
+    qccd::OpKind::kJunctionExit, qccd::OpKind::kGateSwap,
+};
+
+qccd::OpKind
+OpKindFromName(const std::string& name, const std::string& line)
+{
+    for (const qccd::OpKind kind : kAllOpKinds) {
+        if (qccd::OpKindName(kind) == name) {
+            return kind;
+        }
+    }
+    throw std::invalid_argument("ParseScheduleCsv: unknown op kind '" +
+                                name + "' in line: " + line);
+}
+
+std::int32_t
+ParseInt(const std::string& field, const std::string& line)
+{
+    std::int32_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        field.data(), field.data() + field.size(), value);
+    if (ec != std::errc() || ptr != field.data() + field.size()) {
+        throw std::invalid_argument("ParseScheduleCsv: bad integer '" +
+                                    field + "' in line: " + line);
+    }
+    return value;
+}
+
+double
+ParseDouble(const std::string& field, const std::string& line)
+{
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(
+        field.data(), field.data() + field.size(), value);
+    if (ec != std::errc() || ptr != field.data() + field.size()) {
+        throw std::invalid_argument("ParseScheduleCsv: bad number '" +
+                                    field + "' in line: " + line);
+    }
+    return value;
+}
+
+}  // namespace
 
 void
 WriteScheduleCsv(const Schedule& schedule, std::ostream& os)
 {
-    os << "index,pass,kind,ion0,ion1,node,segment,start_us,end_us,chain,"
-          "nbar\n";
+    os << kCsvHeader << '\n';
     for (size_t i = 0; i < schedule.ops.size(); ++i) {
         const TimedOp& t = schedule.ops[i];
         os << i << ',' << t.op.pass << ','
            << qccd::OpKindName(t.op.kind) << ',' << t.op.ion0.value << ','
            << t.op.ion1.value << ',' << t.op.node.value << ','
-           << t.op.segment.value << ',' << t.start << ',' << t.end() << ','
-           << t.chain_size << ',' << t.nbar << '\n';
+           << t.op.segment.value << ',' << ExactDouble(t.start) << ','
+           << ExactDouble(t.duration) << ',' << t.chain_size << ','
+           << ExactDouble(t.nbar) << '\n';
     }
 }
 
@@ -27,6 +103,61 @@ ScheduleCsv(const Schedule& schedule)
     std::ostringstream os;
     WriteScheduleCsv(schedule, os);
     return os.str();
+}
+
+Schedule
+ParseScheduleCsv(std::istream& is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kCsvHeader) {
+        throw std::invalid_argument(
+            "ParseScheduleCsv: missing or unexpected header: " + line);
+    }
+    Schedule schedule;
+    std::int32_t max_pass = -1;
+    while (std::getline(is, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        std::vector<std::string> fields;
+        std::string field;
+        std::istringstream ls(line);
+        while (std::getline(ls, field, ',')) {
+            fields.push_back(field);
+        }
+        if (fields.size() != 11) {
+            throw std::invalid_argument(
+                "ParseScheduleCsv: expected 11 fields in line: " + line);
+        }
+        const std::int32_t index = ParseInt(fields[0], line);
+        if (index != static_cast<std::int32_t>(schedule.ops.size())) {
+            throw std::invalid_argument(
+                "ParseScheduleCsv: out-of-order index in line: " + line);
+        }
+        TimedOp t;
+        t.op.pass = ParseInt(fields[1], line);
+        t.op.kind = OpKindFromName(fields[2], line);
+        t.op.ion0 = QubitId(ParseInt(fields[3], line));
+        t.op.ion1 = QubitId(ParseInt(fields[4], line));
+        t.op.node = NodeId(ParseInt(fields[5], line));
+        t.op.segment = SegmentId(ParseInt(fields[6], line));
+        t.start = ParseDouble(fields[7], line);
+        t.duration = ParseDouble(fields[8], line);
+        t.chain_size = ParseInt(fields[9], line);
+        t.nbar = ParseDouble(fields[10], line);
+        max_pass = std::max(max_pass, t.op.pass);
+        schedule.ops.push_back(t);
+    }
+    schedule.RecomputeStats();
+    schedule.num_passes = max_pass + 1;
+    return schedule;
+}
+
+Schedule
+ParseScheduleCsv(const std::string& csv)
+{
+    std::istringstream is(csv);
+    return ParseScheduleCsv(is);
 }
 
 std::string

@@ -1,0 +1,416 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+#include "common/worker_pool.h"
+#include "decoder/union_find_decoder.h"
+#include "sim/parallel_sampler.h"
+
+namespace tiqec::core {
+
+namespace {
+
+/** Everything the compile stage depends on. Code and device enter by
+ *  object identity: two candidates share a compile iff they share the
+ *  code object (and any device override). */
+using CompileKey = std::tuple<const void*, const void*, int /*topology*/,
+                              int /*capacity*/, int /*wiring*/,
+                              int /*compile_rounds*/>;
+/** + the noise scenario (the profile depends on the improvement factor
+ *  and, through the compile key's wiring, on WISE cooling). */
+using NoiseKey = std::tuple<CompileKey, double /*gate_improvement*/>;
+/** + the experiment shape. */
+using SimKey = std::tuple<NoiseKey, int /*rounds*/, int /*basis*/>;
+
+CompileKey
+CompileKeyOf(const SweepCandidate& c)
+{
+    return {static_cast<const void*>(c.code.get()),
+            static_cast<const void*>(c.device.get()),
+            static_cast<int>(c.arch.topology), c.arch.trap_capacity,
+            static_cast<int>(c.arch.wiring), c.compile_rounds};
+}
+
+struct NoiseEntry
+{
+    bool ok = false;
+    std::string error;
+    noise::RoundNoiseProfile profile;
+};
+
+struct SimEntry
+{
+    bool ok = false;
+    std::string error;
+    SimArtifacts arts;
+};
+
+/** Per-candidate Monte-Carlo state driven by the shared pool. A decode
+ *  failure marks only this candidate; the sweep proceeds. */
+struct ShardState
+{
+    std::unique_ptr<sim::LerShardRun> run;
+    int rounds = 1;
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::string error;
+};
+
+/** Claims indices [0, n) off an atomic counter across the pool. */
+template <typename Fn>
+void
+ParallelForIndex(int num_threads, std::int64_t n, const Fn& fn)
+{
+    std::atomic<std::int64_t> next{0};
+    RunWorkers(num_threads, n, [&]() {
+        for (;;) {
+            const std::int64_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) {
+                return;
+            }
+            fn(i);
+        }
+    });
+}
+
+int
+RoundsOf(const SweepCandidate& c)
+{
+    return c.options.rounds > 0 ? c.options.rounds : c.code->distance();
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(const SweepRunnerOptions& options)
+    : options_(options)
+{
+}
+
+std::vector<SweepOutcome>
+SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
+{
+    const int threads = ResolveWorkerThreads(options_.num_threads);
+    const size_t n = candidates.size();
+    std::vector<SweepOutcome> outcomes(n);
+
+    // Reject malformed candidates up front; everything else flows through
+    // the staged cache. `invalid[i]` short-circuits the later phases.
+    std::vector<std::string> invalid(n);
+    for (size_t i = 0; i < n; ++i) {
+        const SweepCandidate& c = candidates[i];
+        if (!c.code) {
+            invalid[i] = "candidate has no code";
+        } else if (c.compile_rounds < 1) {
+            invalid[i] = "compile_rounds must be >= 1";
+        } else if (c.compile_rounds != 1 && !c.options.compile_only) {
+            invalid[i] = "multi-round compilation is compile-only (the "
+                         "noise annotator requires a one-round schedule)";
+        }
+    }
+
+    // ---- Stage 1: compile once per unique key, pool-parallel.
+    std::map<CompileKey, std::shared_ptr<CompileArtifacts>> compile_cache;
+    for (size_t i = 0; i < n; ++i) {
+        if (invalid[i].empty()) {
+            compile_cache.try_emplace(CompileKeyOf(candidates[i]),
+                                      std::make_shared<CompileArtifacts>());
+        }
+    }
+    {
+        std::vector<std::pair<const CompileKey*, CompileArtifacts*>> tasks;
+        tasks.reserve(compile_cache.size());
+        std::map<CompileKey, const SweepCandidate*> exemplar;
+        for (size_t i = 0; i < n; ++i) {
+            if (invalid[i].empty()) {
+                exemplar.try_emplace(CompileKeyOf(candidates[i]),
+                                     &candidates[i]);
+            }
+        }
+        for (auto& [key, arts] : compile_cache) {
+            tasks.emplace_back(&key, arts.get());
+        }
+        ParallelForIndex(threads, static_cast<std::int64_t>(tasks.size()),
+                         [&](std::int64_t t) {
+                             const SweepCandidate& c =
+                                 *exemplar.at(*tasks[t].first);
+                             *tasks[t].second = CompileCandidate(
+                                 *c.code, c.arch, c.compile_rounds,
+                                 c.device.get());
+                         });
+    }
+
+    // ---- Stage 2: annotate once per unique noise scenario.
+    std::map<NoiseKey, NoiseEntry> noise_cache;
+    {
+        std::map<NoiseKey, const SweepCandidate*> exemplar;
+        for (size_t i = 0; i < n; ++i) {
+            const SweepCandidate& c = candidates[i];
+            if (!invalid[i].empty() || c.compile_rounds != 1) {
+                continue;
+            }
+            const CompileKey ck = CompileKeyOf(c);
+            if (!compile_cache.at(ck)->ok) {
+                continue;
+            }
+            const NoiseKey nk{ck, c.arch.gate_improvement};
+            noise_cache.try_emplace(nk);
+            exemplar.try_emplace(nk, &c);
+        }
+        std::vector<std::pair<const NoiseKey*, NoiseEntry*>> tasks;
+        tasks.reserve(noise_cache.size());
+        for (auto& [key, entry] : noise_cache) {
+            tasks.emplace_back(&key, &entry);
+        }
+        ParallelForIndex(
+            threads, static_cast<std::int64_t>(tasks.size()),
+            [&](std::int64_t t) {
+                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                NoiseEntry& entry = *tasks[t].second;
+                try {
+                    entry.profile = AnnotateCandidate(
+                        *c.code, c.arch,
+                        *compile_cache.at(CompileKeyOf(c)));
+                    entry.ok = true;
+                } catch (const std::exception& e) {
+                    entry.error = e.what();
+                }
+            });
+    }
+
+    // ---- Stage 3: experiment + DEM once per unique experiment shape.
+    std::map<SimKey, SimEntry> sim_cache;
+    {
+        std::map<SimKey, const SweepCandidate*> exemplar;
+        for (size_t i = 0; i < n; ++i) {
+            const SweepCandidate& c = candidates[i];
+            if (!invalid[i].empty() || c.options.compile_only ||
+                c.compile_rounds != 1) {
+                continue;
+            }
+            const CompileKey ck = CompileKeyOf(c);
+            if (!compile_cache.at(ck)->ok) {
+                continue;
+            }
+            const NoiseKey nk{ck, c.arch.gate_improvement};
+            if (!noise_cache.at(nk).ok) {
+                continue;
+            }
+            const SimKey sk{nk, RoundsOf(c),
+                            static_cast<int>(c.options.basis)};
+            sim_cache.try_emplace(sk);
+            exemplar.try_emplace(sk, &c);
+        }
+        std::vector<std::pair<const SimKey*, SimEntry*>> tasks;
+        tasks.reserve(sim_cache.size());
+        for (auto& [key, entry] : sim_cache) {
+            tasks.emplace_back(&key, &entry);
+        }
+        ParallelForIndex(
+            threads, static_cast<std::int64_t>(tasks.size()),
+            [&](std::int64_t t) {
+                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                SimEntry& entry = *tasks[t].second;
+                try {
+                    const CompileKey ck = CompileKeyOf(c);
+                    const NoiseKey nk{ck, c.arch.gate_improvement};
+                    entry.arts = BuildSimArtifacts(
+                        *c.code, *compile_cache.at(ck),
+                        noise_cache.at(nk).profile, c.arch, RoundsOf(c),
+                        c.options.basis);
+                    entry.ok = true;
+                } catch (const std::exception& e) {
+                    entry.error = e.what();
+                }
+            });
+    }
+
+    // ---- Stage 4: interleave every candidate's Monte-Carlo shards on
+    // the shared pool. Each candidate's shard streams and in-order
+    // commit logic are its own (sim::LerShardRun), so the totals are
+    // bit-identical to a serial Evaluate loop for every pool width.
+    std::vector<std::unique_ptr<ShardState>> shard_states(n);
+    std::vector<size_t> active;
+    std::int64_t total_shards = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const SweepCandidate& c = candidates[i];
+        if (!invalid[i].empty() || c.options.compile_only ||
+            c.compile_rounds != 1 || c.options.max_shots <= 0) {
+            continue;
+        }
+        const CompileKey ck = CompileKeyOf(c);
+        if (!compile_cache.at(ck)->ok) {
+            continue;
+        }
+        const NoiseKey nk{ck, c.arch.gate_improvement};
+        if (!noise_cache.at(nk).ok) {
+            continue;
+        }
+        const SimKey sk{nk, RoundsOf(c), static_cast<int>(c.options.basis)};
+        const SimEntry& sim_entry = sim_cache.at(sk);
+        if (!sim_entry.ok) {
+            continue;
+        }
+        auto state = std::make_unique<ShardState>();
+        state->rounds = RoundsOf(c);
+        sim::ParallelSamplerOptions sopts;
+        sopts.seed = c.options.seed;
+        sopts.shard_shots = c.options.shard_shots;
+        sopts.decode_path = c.options.decode_path;
+        try {
+            state->run = std::make_unique<sim::LerShardRun>(
+                sim_entry.arts.experiment, sim_entry.arts.dem, sopts,
+                c.options.max_shots, c.options.target_logical_errors);
+        } catch (const std::exception& e) {
+            state->failed.store(true, std::memory_order_relaxed);
+            state->error = e.what();
+        }
+        if (state->run) {
+            total_shards += state->run->num_shards();
+            active.push_back(i);
+        }
+        shard_states[i] = std::move(state);
+    }
+    if (!active.empty()) {
+        std::atomic<int> cursor{0};
+        auto worker = [&]() {
+            // Per-worker decoders, one per candidate this worker has
+            // touched: decode scratch never crosses threads, and a
+            // worker sticks with a candidate while it has claimable
+            // shards before rotating on (cache-friendly interleave).
+            std::map<size_t, decoder::UnionFindDecoder> decoders;
+            const size_t m = active.size();
+            const size_t offset = static_cast<size_t>(
+                cursor.fetch_add(1, std::memory_order_relaxed)) % m;
+            for (;;) {
+                bool progressed = false;
+                for (size_t j = 0; j < m; ++j) {
+                    const size_t i = active[(offset + j) % m];
+                    ShardState& st = *shard_states[i];
+                    if (st.failed.load(std::memory_order_relaxed) ||
+                        !st.run->HasClaimableWork()) {
+                        continue;
+                    }
+                    try {
+                        auto it = decoders.find(i);
+                        if (it == decoders.end()) {
+                            it = decoders
+                                     .emplace(i, decoder::UnionFindDecoder(
+                                                     st.run->dem()))
+                                     .first;
+                        }
+                        while (st.run->RunOneShard(it->second)) {
+                            progressed = true;
+                        }
+                    } catch (const std::exception& e) {
+                        st.failed.store(true, std::memory_order_relaxed);
+                        std::lock_guard<std::mutex> lock(st.mu);
+                        if (st.error.empty()) {
+                            st.error = e.what();
+                        }
+                        progressed = true;
+                    }
+                }
+                if (!progressed) {
+                    return;
+                }
+            }
+        };
+        RunWorkers(threads, total_shards, worker);
+    }
+
+    // ---- Assemble outcomes in candidate order.
+    auto failed_stub = [](const std::string& error) {
+        auto stub = std::make_shared<CompileArtifacts>();
+        stub->error = error;
+        return stub;
+    };
+    for (size_t i = 0; i < n; ++i) {
+        const SweepCandidate& c = candidates[i];
+        SweepOutcome& out = outcomes[i];
+        out.label = c.label;
+        Metrics& metrics = out.metrics;
+        if (!invalid[i].empty()) {
+            metrics.error = invalid[i];
+            out.compile = failed_stub(invalid[i]);
+            continue;
+        }
+        const CompileKey ck = CompileKeyOf(c);
+        out.compile = compile_cache.at(ck);
+        const CompileArtifacts& arts = *out.compile;
+        if (!arts.ok) {
+            metrics.error = arts.error;
+            continue;
+        }
+        const noise::RoundNoiseProfile* profile = nullptr;
+        if (c.compile_rounds == 1) {
+            const NoiseEntry& noise_entry =
+                noise_cache.at(NoiseKey{ck, c.arch.gate_improvement});
+            if (!noise_entry.ok) {
+                metrics.error = noise_entry.error;
+                continue;
+            }
+            profile = &noise_entry.profile;
+        }
+        FillCompileMetrics(*c.code, c.arch, arts, profile, RoundsOf(c),
+                           metrics);
+        if (c.options.compile_only) {
+            metrics.ok = true;
+            continue;
+        }
+        if (c.options.max_shots <= 0) {
+            // The sampler reports an empty estimate for a non-positive
+            // budget (Evaluate parity).
+            const LerEstimate ler =
+                FinishLerEstimate(0, 0, 0, false, RoundsOf(c));
+            metrics.shots = ler.shots;
+            metrics.logical_errors = ler.logical_errors;
+            metrics.ler_per_shot = ler.ler_per_shot;
+            metrics.ler_per_round = ler.ler_per_round;
+            metrics.ok = true;
+            continue;
+        }
+        const SimKey sk{NoiseKey{ck, c.arch.gate_improvement}, RoundsOf(c),
+                        static_cast<int>(c.options.basis)};
+        const SimEntry& sim_entry = sim_cache.at(sk);
+        if (!sim_entry.ok) {
+            metrics.error = sim_entry.error;
+            continue;
+        }
+        ShardState& st = *shard_states[i];
+        if (st.failed.load(std::memory_order_relaxed)) {
+            metrics.error = st.error;
+            continue;
+        }
+        const sim::LogicalErrorEstimate run = st.run->Finish();
+        const LerEstimate ler =
+            FinishLerEstimate(run.shots, run.logical_errors, run.shards,
+                              run.early_stopped, st.rounds);
+        metrics.shots = ler.shots;
+        metrics.logical_errors = ler.logical_errors;
+        metrics.ler_per_shot = ler.ler_per_shot;
+        metrics.ler_per_round = ler.ler_per_round;
+        metrics.ok = true;
+    }
+    return outcomes;
+}
+
+std::vector<Metrics>
+SweepRunner::Run(const std::vector<SweepCandidate>& candidates)
+{
+    std::vector<SweepOutcome> outcomes = RunDetailed(candidates);
+    std::vector<Metrics> metrics;
+    metrics.reserve(outcomes.size());
+    for (auto& outcome : outcomes) {
+        metrics.push_back(std::move(outcome.metrics));
+    }
+    return metrics;
+}
+
+}  // namespace tiqec::core

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <stdexcept>
 
 #include "compiler/compiler.h"
+#include "core/pipeline.h"
 #include "noise/annotator.h"
 #include "sim/dem.h"
 #include "sim/memory_experiment.h"
@@ -39,62 +41,182 @@ NoiseParamsFor(const ArchitectureConfig& arch)
     return params;
 }
 
+CompileArtifacts
+CompileCandidate(const qec::StabilizerCode& code,
+                 const ArchitectureConfig& arch, int compile_rounds,
+                 const qccd::DeviceGraph* device)
+{
+    CompileArtifacts arts;
+    arts.compile_rounds = compile_rounds;
+    try {
+        if (compile_rounds < 1) {
+            arts.error = "compile_rounds must be >= 1";
+            return arts;
+        }
+        // MakeDeviceFor divides by (capacity - 1); validate here so a
+        // capacity-1 candidate reports an error instead of crashing.
+        if (!device && arch.trap_capacity < 2) {
+            arts.error =
+                "trap capacity must be at least 2 (one slot is reserved "
+                "for communication)";
+            return arts;
+        }
+        arts.graph = device ? *device
+                            : compiler::MakeDeviceFor(code, arch.topology,
+                                                      arch.trap_capacity);
+        compiler::CompilerOptions copts;
+        copts.wise = arch.wiring == WiringKind::kWise;
+        if (copts.wise) {
+            copts.cooling_per_two_qubit_gate =
+                arts.timing.cooling_per_two_qubit_gate;
+        }
+        arts.compiled = compiler::CompileParityCheckRounds(
+            code, compile_rounds, arts.graph, arts.timing, copts);
+        if (!arts.compiled.ok) {
+            arts.error = arts.compiled.error;
+            return arts;
+        }
+        arts.ok = true;
+    } catch (const std::exception& e) {
+        arts.ok = false;
+        arts.error = e.what();
+    }
+    return arts;
+}
+
+noise::RoundNoiseProfile
+AnnotateCandidate(const qec::StabilizerCode& code,
+                  const ArchitectureConfig& arch,
+                  const CompileArtifacts& arts)
+{
+    if (!arts.ok || arts.compile_rounds != 1) {
+        throw std::invalid_argument(
+            "AnnotateCandidate: requires a successful one-round "
+            "compilation");
+    }
+    // AnnotateRound back-fills chain_size / nbar on the schedule ops, so
+    // work on a copy: the cached compile artifact stays pristine and
+    // several noise scenarios can annotate it concurrently.
+    compiler::CompilationResult scratch = arts.compiled;
+    return noise::AnnotateRound(code, arts.graph, scratch,
+                                NoiseParamsFor(arch), arts.timing);
+}
+
+SimArtifacts
+BuildSimArtifacts(const qec::StabilizerCode& code,
+                  const CompileArtifacts& arts,
+                  const noise::RoundNoiseProfile& profile,
+                  const ArchitectureConfig& arch, int rounds,
+                  sim::MemoryBasis basis)
+{
+    SimArtifacts sim_arts;
+    sim_arts.experiment =
+        sim::BuildMemory(code, arts.compiled.qec_circuit, profile,
+                         NoiseParamsFor(arch), rounds, basis);
+    sim_arts.dem = sim::BuildDem(sim_arts.experiment);
+    return sim_arts;
+}
+
+void
+FillCompileMetrics(const qec::StabilizerCode& code,
+                   const ArchitectureConfig& arch,
+                   const CompileArtifacts& arts,
+                   const noise::RoundNoiseProfile* profile, int rounds,
+                   Metrics& metrics)
+{
+    const compiler::CompilationResult& compiled = arts.compiled;
+    if (arts.compile_rounds == 1) {
+        metrics.round_time = compiled.schedule.makespan;
+        metrics.shot_time = rounds * compiled.schedule.makespan;
+    } else {
+        metrics.round_time =
+            compiled.schedule.makespan / arts.compile_rounds;
+        metrics.shot_time = compiled.schedule.makespan;
+    }
+    metrics.movement_ops_per_round = compiled.routing.num_movement_ops;
+    metrics.movement_time_per_round = compiled.schedule.movement_time;
+    metrics.num_traps_used = compiled.partition.num_clusters;
+    if (profile) {
+        metrics.mean_two_qubit_error = profile->mean_two_qubit_error;
+        metrics.max_two_qubit_error = profile->max_two_qubit_error;
+        if (!code.data_qubits().empty()) {
+            metrics.idle_dephasing_data_qubit =
+                profile->idle_z[code.data_qubits().front().value];
+        }
+    }
+    metrics.resources = resources::EstimateResources(
+        resources::MinimalHardware(arch.topology, metrics.num_traps_used,
+                                   arch.trap_capacity));
+}
+
+LerEstimate
+FinishLerEstimate(std::int64_t shots, std::int64_t logical_errors,
+                  std::int64_t shards, bool early_stopped, int rounds)
+{
+    LerEstimate ler;
+    ler.shots = shots;
+    ler.logical_errors = logical_errors;
+    ler.shards = shards;
+    ler.early_stopped = early_stopped;
+    ler.ler_per_shot =
+        WilsonInterval(static_cast<std::uint64_t>(logical_errors),
+                       static_cast<std::uint64_t>(shots));
+    const double p = ler.ler_per_shot.rate;
+    ler.ler_per_round =
+        p < 1.0 ? 1.0 - std::pow(1.0 - p, 1.0 / rounds) : 1.0;
+    return ler;
+}
+
 Metrics
 Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
          const EvaluationOptions& options)
 {
     Metrics metrics;
-    const qccd::TimingModel timing;
-    const qccd::DeviceGraph graph =
-        compiler::MakeDeviceFor(code, arch.topology, arch.trap_capacity);
-
-    compiler::CompilerOptions copts;
-    copts.wise = arch.wiring == WiringKind::kWise;
-    if (copts.wise) {
-        copts.cooling_per_two_qubit_gate =
-            timing.cooling_per_two_qubit_gate;
-    }
-    auto compiled =
-        compiler::CompileParityCheckRounds(code, 1, graph, timing, copts);
-    if (!compiled.ok) {
-        metrics.error = compiled.error;
+    const CompileArtifacts arts = CompileCandidate(code, arch);
+    if (!arts.ok) {
+        metrics.error = arts.error;
         return metrics;
     }
     const int rounds = options.rounds > 0 ? options.rounds : code.distance();
-    metrics.round_time = compiled.schedule.makespan;
-    metrics.shot_time = rounds * compiled.schedule.makespan;
-    metrics.movement_ops_per_round = compiled.routing.num_movement_ops;
-    metrics.movement_time_per_round = compiled.schedule.movement_time;
-    metrics.num_traps_used = compiled.partition.num_clusters;
-
-    const noise::NoiseParams params = NoiseParamsFor(arch);
     const noise::RoundNoiseProfile profile =
-        noise::AnnotateRound(code, graph, compiled, params, timing);
-    metrics.mean_two_qubit_error = profile.mean_two_qubit_error;
-    metrics.max_two_qubit_error = profile.max_two_qubit_error;
-    if (!code.data_qubits().empty()) {
-        metrics.idle_dephasing_data_qubit =
-            profile.idle_z[code.data_qubits().front().value];
-    }
-    metrics.resources = resources::EstimateResources(
-        resources::MinimalHardware(arch.topology, metrics.num_traps_used,
-                                   arch.trap_capacity));
+        AnnotateCandidate(code, arch, arts);
+    FillCompileMetrics(code, arch, arts, &profile, rounds, metrics);
     if (options.compile_only) {
         metrics.ok = true;
         return metrics;
     }
 
-    const sim::NoisyCircuit experiment =
-        sim::BuildMemory(code, compiled.qec_circuit, profile, params,
-                         rounds, options.basis);
-    const LerEstimate ler =
-        EstimateLogicalErrorRate(experiment, rounds, options);
+    const SimArtifacts sim_arts = BuildSimArtifacts(
+        code, arts, profile, arch, rounds, options.basis);
+    const LerEstimate ler = EstimateLogicalErrorRate(
+        sim_arts.experiment, sim_arts.dem, rounds, options);
     metrics.shots = ler.shots;
     metrics.logical_errors = ler.logical_errors;
     metrics.ler_per_shot = ler.ler_per_shot;
     metrics.ler_per_round = ler.ler_per_round;
     metrics.ok = true;
     return metrics;
+}
+
+LerEstimate
+EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment,
+                         const sim::DetectorErrorModel& dem, int rounds,
+                         const EvaluationOptions& options)
+{
+    if (rounds < 1) {
+        throw std::invalid_argument(
+            "EstimateLogicalErrorRate: rounds must be >= 1");
+    }
+    sim::ParallelSamplerOptions sopts;
+    sopts.seed = options.seed;
+    sopts.num_threads = options.num_threads;
+    sopts.shard_shots = options.shard_shots;
+    sopts.decode_path = options.decode_path;
+    sim::ParallelSampler sampler(experiment, sopts);
+    const sim::LogicalErrorEstimate run = sampler.EstimateLogicalErrors(
+        dem, options.max_shots, options.target_logical_errors);
+    return FinishLerEstimate(run.shots, run.logical_errors, run.shards,
+                             run.early_stopped, rounds);
 }
 
 LerEstimate
@@ -106,28 +228,7 @@ EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment, int rounds,
             "EstimateLogicalErrorRate: rounds must be >= 1");
     }
     const sim::DetectorErrorModel dem = sim::BuildDem(experiment);
-
-    sim::ParallelSamplerOptions sopts;
-    sopts.seed = options.seed;
-    sopts.num_threads = options.num_threads;
-    sopts.shard_shots = options.shard_shots;
-    sopts.decode_path = options.decode_path;
-    sim::ParallelSampler sampler(experiment, sopts);
-    const sim::LogicalErrorEstimate run = sampler.EstimateLogicalErrors(
-        dem, options.max_shots, options.target_logical_errors);
-
-    LerEstimate ler;
-    ler.shots = run.shots;
-    ler.logical_errors = run.logical_errors;
-    ler.shards = run.shards;
-    ler.early_stopped = run.early_stopped;
-    ler.ler_per_shot =
-        WilsonInterval(static_cast<std::uint64_t>(ler.logical_errors),
-                       static_cast<std::uint64_t>(ler.shots));
-    const double p = ler.ler_per_shot.rate;
-    ler.ler_per_round =
-        p < 1.0 ? 1.0 - std::pow(1.0 - p, 1.0 / rounds) : 1.0;
-    return ler;
+    return EstimateLogicalErrorRate(experiment, dem, rounds, options);
 }
 
 }  // namespace tiqec::core

@@ -102,6 +102,13 @@ LerEstimate EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment,
                                      int rounds,
                                      const EvaluationOptions& options);
 
+/** As above with a pre-built detector error model of `experiment` —
+ *  the cached-DEM entry point the sweep engine uses. */
+LerEstimate EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment,
+                                     const sim::DetectorErrorModel& dem,
+                                     int rounds,
+                                     const EvaluationOptions& options);
+
 /** Noise parameters implied by an architecture (wiring + improvement). */
 noise::NoiseParams NoiseParamsFor(const ArchitectureConfig& arch);
 

@@ -1,32 +1,17 @@
 #include "sim/parallel_sampler.h"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
-#include <exception>
 #include <limits>
-#include <map>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
-#include <utility>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "decoder/union_find_decoder.h"
 
 namespace tiqec::sim {
 
 namespace {
-
-int
-ResolveThreads(int requested)
-{
-    if (requested > 0) {
-        return requested;
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
-}
 
 /** Clamps the requested shard size to [64, INT_MAX] and rounds up to a
  *  multiple of 64 in 64-bit arithmetic — `(requested + 63) & ~63` in
@@ -40,45 +25,13 @@ ResolveShardShots(int requested)
     return static_cast<int>((clamped + 63) & ~std::int64_t{63});
 }
 
-/** Runs `worker` on min(num_threads, num_tasks) threads and joins. The
- *  single-thread case runs inline, through the identical claim/commit
- *  code path, which is what makes thread count observationally
- *  irrelevant. An exception escaping a spawned worker would call
- *  std::terminate; instead the first one is captured, every worker is
- *  joined, and it is rethrown on the calling thread. */
-template <typename Worker>
-void
-RunWorkers(int num_threads, std::int64_t num_tasks, Worker&& worker)
+/** Shots in shard `shard` of a `budget`-shot run (full shards except
+ *  possibly the tail). */
+int
+ShardSizeOf(std::int64_t shard, std::int64_t budget, int shard_shots)
 {
-    const int threads = static_cast<int>(
-        std::min<std::int64_t>(num_threads, num_tasks));
-    if (threads <= 1) {
-        worker();
-        return;
-    }
-    std::mutex mu;
-    std::exception_ptr first_error;
-    auto guarded = [&]() {
-        try {
-            worker();
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mu);
-            if (!first_error) {
-                first_error = std::current_exception();
-            }
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (int t = 0; t < threads; ++t) {
-        pool.emplace_back(guarded);
-    }
-    for (auto& th : pool) {
-        th.join();
-    }
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
+    return static_cast<int>(std::min<std::int64_t>(
+        shard_shots, budget - shard * shard_shots));
 }
 
 }  // namespace
@@ -87,7 +40,7 @@ ParallelSampler::ParallelSampler(const NoisyCircuit& circuit,
                                  const ParallelSamplerOptions& options)
     : circuit_(&circuit),
       seed_(options.seed),
-      num_threads_(ResolveThreads(options.num_threads)),
+      num_threads_(ResolveWorkerThreads(options.num_threads)),
       shard_shots_(ResolveShardShots(options.shard_shots)),
       decode_path_(options.decode_path)
 {
@@ -96,8 +49,7 @@ ParallelSampler::ParallelSampler(const NoisyCircuit& circuit,
 int
 ParallelSampler::ShardSize(std::int64_t shard, std::int64_t budget) const
 {
-    return static_cast<int>(std::min<std::int64_t>(
-        shard_shots_, budget - shard * shard_shots_));
+    return ShardSizeOf(shard, budget, shard_shots_);
 }
 
 FrameSimulator
@@ -160,133 +112,153 @@ ParallelSampler::Sample(std::int64_t shots)
     return merged;
 }
 
+LerShardRun::LerShardRun(const NoisyCircuit& circuit,
+                         const DetectorErrorModel& dem,
+                         const ParallelSamplerOptions& options,
+                         std::int64_t max_shots,
+                         std::int64_t target_logical_errors)
+    : circuit_(&circuit),
+      dem_(&dem),
+      seed_(options.seed),
+      shard_shots_(ResolveShardShots(options.shard_shots)),
+      decode_path_(options.decode_path),
+      max_shots_(max_shots),
+      target_logical_errors_(target_logical_errors),
+      // A non-positive target means "no early stop": without this, the
+      // first committed shard would trivially satisfy
+      // `committed_errors >= target` and the run would stop after one
+      // shard with early_stopped = true.
+      has_target_(target_logical_errors > 0),
+      num_shards_(max_shots <= 0
+                      ? 0
+                      : (max_shots + shard_shots_ - 1) / shard_shots_)
+{
+    // Decoding compares against observable 0; an observable-free
+    // circuit would read out of bounds (NDEBUG builds compile asserts
+    // out, so this must be a real check).
+    if (circuit.num_observables() < 1) {
+        throw std::invalid_argument(
+            "LerShardRun: circuit has no logical observable");
+    }
+}
+
+bool
+LerShardRun::HasClaimableWork() const
+{
+    return !stop_.load(std::memory_order_relaxed) &&
+           next_shard_.load(std::memory_order_relaxed) < num_shards_;
+}
+
+bool
+LerShardRun::RunOneShard(decoder::UnionFindDecoder& decoder)
+{
+    // A set stop flag implies every shard of the counted prefix is
+    // already committed, so anything still claimable is beyond the stop
+    // point and would be discarded anyway.
+    if (stop_.load(std::memory_order_relaxed)) {
+        return false;
+    }
+    const std::int64_t k =
+        next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (k >= num_shards_) {
+        return false;
+    }
+    const int shard_n = ShardSizeOf(k, max_shots_, shard_shots_);
+    FrameSimulator sim(*circuit_,
+                       Rng(seed_, static_cast<std::uint64_t>(k)));
+    const SampleBatch batch = sim.Sample(shard_n);
+    std::int64_t errors = 0;
+    bool abandoned = false;
+    if (decode_path_ == DecodePath::kBatch) {
+        // Cooperative early stop: DecodeBatch polls the flag once per
+        // 64-shot word; an abandoned shard is past the committed stop
+        // prefix, its result is dead weight.
+        std::vector<std::uint64_t> predictions;
+        const auto outcome = decoder.DecodeBatch(
+            batch, predictions, [this]() {
+                return stop_.load(std::memory_order_relaxed);
+            });
+        if (!outcome.completed) {
+            abandoned = true;
+        } else {
+            // A trivial shot predicts 0, so its error bit is just the
+            // observable bit; a decoded shot's is predicted XOR actual.
+            // Both collapse into one word-parallel popcount.
+            for (int w = 0; w < batch.words(); ++w) {
+                const std::uint64_t actual =
+                    batch.ObservableWord(0, w) & batch.WordValidMask(w);
+                errors += std::popcount(predictions[w] ^ actual);
+            }
+        }
+    } else {
+        for (int s = 0; s < batch.shots(); ++s) {
+            if ((s & 1023) == 0 &&
+                stop_.load(std::memory_order_relaxed)) {
+                abandoned = true;
+                break;
+            }
+            const std::uint32_t predicted =
+                decoder.Decode(batch.SyndromeOf(s));
+            const std::uint32_t actual =
+                batch.Observable(0, s) ? 1u : 0u;
+            errors += (predicted ^ actual) & 1u;
+        }
+    }
+    if (abandoned) {
+        return true;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(k, std::make_pair(
+                            static_cast<std::int64_t>(shard_n), errors));
+    while (!target_reached_) {
+        auto it = pending_.find(next_commit_);
+        if (it == pending_.end()) {
+            break;
+        }
+        committed_shots_ += it->second.first;
+        committed_errors_ += it->second.second;
+        pending_.erase(it);
+        ++next_commit_;
+        if (has_target_ && committed_errors_ >= target_logical_errors_) {
+            target_reached_ = true;
+            stop_.store(true, std::memory_order_relaxed);
+        }
+    }
+    return true;
+}
+
+LogicalErrorEstimate
+LerShardRun::Finish() const
+{
+    LogicalErrorEstimate out;
+    out.shots = committed_shots_;
+    out.logical_errors = committed_errors_;
+    out.shards = next_commit_;
+    out.early_stopped = target_reached_;
+    return out;
+}
+
 LogicalErrorEstimate
 ParallelSampler::EstimateLogicalErrors(const DetectorErrorModel& dem,
                                        std::int64_t max_shots,
                                        std::int64_t target_logical_errors)
 {
-    LogicalErrorEstimate out;
     if (max_shots <= 0) {
-        return out;
+        return LogicalErrorEstimate{};
     }
-    // Decoding compares against observable 0; an observable-free
-    // circuit would read out of bounds (NDEBUG builds compile asserts
-    // out, so this must be a real check).
-    if (circuit_->num_observables() < 1) {
-        throw std::invalid_argument(
-            "ParallelSampler::EstimateLogicalErrors: circuit has no "
-            "logical observable");
-    }
-    const std::int64_t num_shards =
-        (max_shots + shard_shots_ - 1) / shard_shots_;
-    // A non-positive target means "no early stop": without this, the
-    // first committed shard would trivially satisfy
-    // `committed_errors >= target` and the run would stop after one
-    // shard with early_stopped = true.
-    const bool has_target = target_logical_errors > 0;
-
-    std::atomic<std::int64_t> next_shard{0};
-    std::atomic<bool> stop{false};
-
-    // Commit state: shard outcomes land here (possibly out of order) and
-    // are folded into the totals strictly in shard-index order. Only the
-    // committed contiguous prefix is ever reported, so the totals cannot
-    // depend on thread scheduling.
-    std::mutex mu;
-    std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> pending;
-    std::int64_t next_commit = 0;
-    std::int64_t committed_shots = 0;
-    std::int64_t committed_errors = 0;
-    bool target_reached = false;
-
-    auto worker = [&]() {
+    ParallelSamplerOptions options;
+    options.seed = seed_;
+    options.num_threads = num_threads_;
+    options.shard_shots = shard_shots_;
+    options.decode_path = decode_path_;
+    LerShardRun run(*circuit_, dem, options, max_shots,
+                    target_logical_errors);
+    RunWorkers(num_threads_, run.num_shards(), [&run, &dem]() {
         decoder::UnionFindDecoder uf(dem);
-        std::vector<std::uint64_t> predictions;
-        for (;;) {
-            // A set stop flag implies every shard of the counted prefix
-            // is already committed, so anything still claimable is
-            // beyond the stop point and would be discarded anyway.
-            if (stop.load(std::memory_order_relaxed)) {
-                return;
-            }
-            const std::int64_t k =
-                next_shard.fetch_add(1, std::memory_order_relaxed);
-            if (k >= num_shards) {
-                return;
-            }
-            const int shard_n = ShardSize(k, max_shots);
-            FrameSimulator sim = ShardSimulator(k);
-            const SampleBatch batch = sim.Sample(shard_n);
-            std::int64_t errors = 0;
-            bool abandoned = false;
-            if (decode_path_ == DecodePath::kBatch) {
-                // Cooperative early stop: DecodeBatch polls the flag
-                // once per 64-shot word; an abandoned shard is past the
-                // committed stop prefix, its result is dead weight.
-                const auto outcome = uf.DecodeBatch(
-                    batch, predictions, [&stop]() {
-                        return stop.load(std::memory_order_relaxed);
-                    });
-                if (!outcome.completed) {
-                    abandoned = true;
-                } else {
-                    // A trivial shot predicts 0, so its error bit is
-                    // just the observable bit; a decoded shot's is
-                    // predicted XOR actual. Both collapse into one
-                    // word-parallel popcount.
-                    for (int w = 0; w < batch.words(); ++w) {
-                        const std::uint64_t actual =
-                            batch.ObservableWord(0, w) &
-                            batch.WordValidMask(w);
-                        errors +=
-                            std::popcount(predictions[w] ^ actual);
-                    }
-                }
-            } else {
-                for (int s = 0; s < batch.shots(); ++s) {
-                    if ((s & 1023) == 0 &&
-                        stop.load(std::memory_order_relaxed)) {
-                        abandoned = true;
-                        break;
-                    }
-                    const std::uint32_t predicted =
-                        uf.Decode(batch.SyndromeOf(s));
-                    const std::uint32_t actual =
-                        batch.Observable(0, s) ? 1u : 0u;
-                    errors += (predicted ^ actual) & 1u;
-                }
-            }
-            if (abandoned) {
-                continue;
-            }
-            std::lock_guard<std::mutex> lock(mu);
-            pending.emplace(k, std::make_pair(
-                                   static_cast<std::int64_t>(shard_n),
-                                   errors));
-            while (!target_reached) {
-                auto it = pending.find(next_commit);
-                if (it == pending.end()) {
-                    break;
-                }
-                committed_shots += it->second.first;
-                committed_errors += it->second.second;
-                pending.erase(it);
-                ++next_commit;
-                if (has_target &&
-                    committed_errors >= target_logical_errors) {
-                    target_reached = true;
-                    stop.store(true, std::memory_order_relaxed);
-                }
-            }
+        while (run.RunOneShard(uf)) {
         }
-    };
-    RunWorkers(num_threads_, num_shards, worker);
-
-    out.shots = committed_shots;
-    out.logical_errors = committed_errors;
-    out.shards = next_commit;
-    out.early_stopped = target_reached;
-    return out;
+    });
+    return run.Finish();
 }
 
 }  // namespace tiqec::sim

@@ -23,11 +23,19 @@
 #ifndef TIQEC_SIM_PARALLEL_SAMPLER_H
 #define TIQEC_SIM_PARALLEL_SAMPLER_H
 
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "sim/dem.h"
 #include "sim/frame_simulator.h"
 #include "sim/noisy_circuit.h"
+
+namespace tiqec::decoder {
+class UnionFindDecoder;
+}  // namespace tiqec::decoder
 
 namespace tiqec::sim {
 
@@ -65,6 +73,84 @@ struct LogicalErrorEstimate
     /** Number of committed shards (the contiguous prefix counted). */
     std::int64_t shards = 0;
     bool early_stopped = false;
+};
+
+/**
+ * Shard-level state of one logical-error-rate run: the claim counter,
+ * stop flag, and in-order commit buffer behind the determinism contract
+ * above, decoupled from thread ownership so any external worker pool can
+ * drive the shards. `ParallelSampler::EstimateLogicalErrors` drives one
+ * run with its own workers; `core::SweepRunner` interleaves the shards
+ * of many runs on a single shared pool (the no-nested-pools rule,
+ * DESIGN.md §4.3).
+ *
+ * Thread-safety: `RunOneShard` and `HasClaimableWork` may be called
+ * concurrently; `Finish` only after every in-flight `RunOneShard` has
+ * returned (i.e. after the driving pool joined).
+ */
+class LerShardRun
+{
+  public:
+    /**
+     * @param circuit Noisy experiment; must outlive the run and have at
+     *   least one logical observable (throws std::invalid_argument).
+     * @param dem Detector error model of `circuit`; must outlive the
+     *   run. Decoders passed to `RunOneShard` must be built from it.
+     * @param options Sampler options; `num_threads` is ignored (the
+     *   driving pool owns the threads), the rest define the shard
+     *   streams exactly as in `ParallelSampler`.
+     */
+    LerShardRun(const NoisyCircuit& circuit, const DetectorErrorModel& dem,
+                const ParallelSamplerOptions& options,
+                std::int64_t max_shots, std::int64_t target_logical_errors);
+
+    const DetectorErrorModel& dem() const { return *dem_; }
+    std::int64_t num_shards() const { return num_shards_; }
+
+    /** False once every shard has been claimed or the early-stop flag is
+     *  set — i.e. a worker visiting this run would find nothing to do.
+     *  (Claimed shards may still be in flight on other workers.) */
+    bool HasClaimableWork() const;
+
+    /**
+     * Claims the next shard and runs it to its commit: simulate with the
+     * shard's counter-based RNG stream, decode with `decoder` (built
+     * from `dem()`; per-worker, so decode scratch never crosses
+     * threads), and fold the outcome into the in-order commit state.
+     * @return false if nothing was claimable (budget exhausted or
+     *   early-stopped); true if a shard was claimed (even one abandoned
+     *   by the cooperative stop flag).
+     */
+    bool RunOneShard(decoder::UnionFindDecoder& decoder);
+
+    /** Totals of the committed contiguous shard prefix. Call only after
+     *  the driving pool has joined. */
+    LogicalErrorEstimate Finish() const;
+
+  private:
+    const NoisyCircuit* circuit_;
+    const DetectorErrorModel* dem_;
+    std::uint64_t seed_;
+    int shard_shots_;
+    DecodePath decode_path_;
+    std::int64_t max_shots_;
+    std::int64_t target_logical_errors_;
+    bool has_target_;
+    std::int64_t num_shards_;
+
+    std::atomic<std::int64_t> next_shard_{0};
+    std::atomic<bool> stop_{false};
+
+    // Commit state: shard outcomes land here (possibly out of order) and
+    // are folded into the totals strictly in shard-index order. Only the
+    // committed contiguous prefix is ever reported, so the totals cannot
+    // depend on worker scheduling.
+    std::mutex mu_;
+    std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> pending_;
+    std::int64_t next_commit_ = 0;
+    std::int64_t committed_shots_ = 0;
+    std::int64_t committed_errors_ = 0;
+    bool target_reached_ = false;
 };
 
 class ParallelSampler

@@ -4,11 +4,15 @@
  */
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "compiler/compiler.h"
 #include "compiler/schedule_io.h"
+#include "noise/annotator.h"
 #include "qccd/device_state.h"
 
 namespace tiqec::compiler {
@@ -47,7 +51,7 @@ TEST(ScheduleIoTest, CsvTimesAreConsistent)
     std::getline(in, line);  // header
     size_t i = 0;
     while (std::getline(in, line)) {
-        // start_us is field 8, end_us field 9 (0-based 7, 8).
+        // start_us is field 8, duration_us field 9 (0-based 7, 8).
         std::vector<std::string> fields;
         std::string field;
         std::istringstream ls(line);
@@ -56,11 +60,123 @@ TEST(ScheduleIoTest, CsvTimesAreConsistent)
         }
         ASSERT_EQ(fields.size(), 11u) << line;
         const double start = std::stod(fields[7]);
-        const double end = std::stod(fields[8]);
-        EXPECT_NEAR(end - start, result.schedule.ops[i].duration, 1e-9);
+        const double duration = std::stod(fields[8]);
+        // Shortest-exact formatting: the parsed values are the doubles.
+        EXPECT_EQ(start, result.schedule.ops[i].start);
+        EXPECT_EQ(duration, result.schedule.ops[i].duration);
         ++i;
     }
     EXPECT_EQ(i, result.schedule.ops.size());
+}
+
+// ---- CSV round-trip over every schedule a small sweep emits. ----
+
+std::vector<CompilationResult>
+SmallSweepCompilations()
+{
+    const TimingModel timing;
+    std::vector<CompilationResult> results;
+    for (const int d : {2, 3}) {
+        for (const TopologyKind topology :
+             {TopologyKind::kLinear, TopologyKind::kGrid,
+              TopologyKind::kSwitch}) {
+            for (const int cap : {2, 3}) {
+                const auto code = qec::MakeCode("rotated", d);
+                const auto graph = MakeDeviceFor(*code, topology, cap);
+                auto result =
+                    CompileParityCheckRounds(*code, 1, graph, timing);
+                if (result.ok) {
+                    results.push_back(std::move(result));
+                }
+            }
+        }
+    }
+    return results;
+}
+
+TEST(ScheduleIoRoundTripTest, ParseInvertsWriteOverASmallSweep)
+{
+    const auto results = SmallSweepCompilations();
+    ASSERT_GE(results.size(), 8u);
+    for (const auto& result : results) {
+        const std::string csv = ScheduleCsv(result.schedule);
+        const Schedule parsed = ParseScheduleCsv(csv);
+        ASSERT_EQ(parsed.ops.size(), result.schedule.ops.size());
+        for (size_t i = 0; i < parsed.ops.size(); ++i) {
+            const TimedOp& a = result.schedule.ops[i];
+            const TimedOp& b = parsed.ops[i];
+            EXPECT_EQ(a.op.kind, b.op.kind) << i;
+            EXPECT_EQ(a.op.pass, b.op.pass) << i;
+            EXPECT_EQ(a.op.ion0, b.op.ion0) << i;
+            EXPECT_EQ(a.op.ion1, b.op.ion1) << i;
+            EXPECT_EQ(a.op.node, b.op.node) << i;
+            EXPECT_EQ(a.op.segment, b.op.segment) << i;
+            // Exact: shortest round-trip formatting loses nothing.
+            EXPECT_EQ(a.start, b.start) << i;
+            EXPECT_EQ(a.duration, b.duration) << i;
+            EXPECT_EQ(a.chain_size, b.chain_size) << i;
+            EXPECT_EQ(a.nbar, b.nbar) << i;
+        }
+        EXPECT_EQ(parsed.makespan, result.schedule.makespan);
+        EXPECT_EQ(parsed.num_movement_ops,
+                  result.schedule.num_movement_ops);
+        EXPECT_EQ(parsed.num_passes, result.schedule.num_passes);
+    }
+}
+
+TEST(ScheduleIoRoundTripTest, ReserializationIsByteStable)
+{
+    for (const auto& result : SmallSweepCompilations()) {
+        const std::string csv = ScheduleCsv(result.schedule);
+        const std::string twice = ScheduleCsv(ParseScheduleCsv(csv));
+        EXPECT_EQ(csv, twice);
+    }
+}
+
+TEST(ScheduleIoRoundTripTest, AnnotatedSchedulesRoundTripToo)
+{
+    // chain_size / nbar are back-filled by the noise annotator; the
+    // round-trip must carry them (nbar is a non-trivial double).
+    const qec::RotatedSurfaceCode code(3);
+    const TimingModel timing;
+    const auto graph = MakeDeviceFor(code, TopologyKind::kGrid, 2);
+    auto result = CompileParityCheckRounds(code, 1, graph, timing);
+    ASSERT_TRUE(result.ok);
+    noise::AnnotateRound(code, graph, result, noise::NoiseParams{},
+                         timing);
+    const std::string csv = ScheduleCsv(result.schedule);
+    const Schedule parsed = ParseScheduleCsv(csv);
+    bool saw_nontrivial_nbar = false;
+    ASSERT_EQ(parsed.ops.size(), result.schedule.ops.size());
+    for (size_t i = 0; i < parsed.ops.size(); ++i) {
+        EXPECT_EQ(parsed.ops[i].chain_size,
+                  result.schedule.ops[i].chain_size);
+        EXPECT_EQ(parsed.ops[i].nbar, result.schedule.ops[i].nbar);
+        saw_nontrivial_nbar |= parsed.ops[i].nbar != 0.0;
+    }
+    EXPECT_TRUE(saw_nontrivial_nbar);
+    EXPECT_EQ(csv, ScheduleCsv(parsed));
+}
+
+TEST(ScheduleIoRoundTripTest, MalformedInputThrows)
+{
+    EXPECT_THROW(ParseScheduleCsv(std::string("not,a,header\n")),
+                 std::invalid_argument);
+    const std::string header =
+        "index,pass,kind,ion0,ion1,node,segment,start_us,duration_us,"
+        "chain,nbar\n";
+    EXPECT_THROW(ParseScheduleCsv(header + "0,0,BOGUS,0,-1,0,-1,0,1,1,0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParseScheduleCsv(header + "0,0,MS,0,-1,0,-1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParseScheduleCsv(header + "5,0,MS,0,-1,0,-1,0,1,1,0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(ParseScheduleCsv(header + "0,0,MS,x,-1,0,-1,0,1,1,0\n"),
+                 std::invalid_argument);
+    // An empty schedule round-trips to just the header.
+    const Schedule empty = ParseScheduleCsv(header);
+    EXPECT_TRUE(empty.ops.empty());
+    EXPECT_EQ(ScheduleCsv(empty), header);
 }
 
 TEST(ScheduleIoTest, SummaryListsEveryPass)
