@@ -12,6 +12,7 @@
 #ifndef TIQEC_BENCH_BENCH_UTIL_H
 #define TIQEC_BENCH_BENCH_UTIL_H
 
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -76,19 +77,30 @@ struct LerSweep
 
 /**
  * Monte-Carlo worker threads for the bench drivers: `TIQEC_THREADS` if
- * set, else 0 (= hardware concurrency). The sharded sampler guarantees
- * identical figures for every value; the knob only trades wall-clock.
+ * set to a positive integer, else 0 (= hardware concurrency). The sharded
+ * sampler guarantees identical figures for every value; the knob only
+ * trades wall-clock. Garbage, negative, or zero values are rejected with
+ * a warning instead of silently becoming 0 threads (std::atoi turned
+ * `TIQEC_THREADS=abc` into 0 and let negatives straight through).
  */
 inline int
 MonteCarloThreads()
 {
-    if (const char* env = std::getenv("TIQEC_THREADS")) {
-        const int parsed = std::atoi(env);
-        if (parsed > 0) {
-            return parsed;
-        }
+    const char* env = std::getenv("TIQEC_THREADS");
+    if (!env) {
+        return 0;
     }
-    return 0;
+    int parsed = 0;
+    const char* end = env + std::strlen(env);
+    const auto [ptr, ec] = std::from_chars(env, end, parsed);
+    if (ec != std::errc() || ptr != end || parsed <= 0) {
+        std::fprintf(stderr,
+                     "warning: TIQEC_THREADS=\"%s\" is not a positive "
+                     "integer; falling back to hardware concurrency\n",
+                     env);
+        return 0;
+    }
+    return parsed;
 }
 
 /** The distance sweep as sweep-engine candidates (one per distance,

@@ -21,68 +21,6 @@ GateKindName(GateKind kind)
     return "?";
 }
 
-GateId
-Circuit::Append(const Gate& gate)
-{
-    assert(gate.q0.valid() && gate.q0.value < num_qubits_);
-    assert(!gate.IsTwoQubit() ||
-           (gate.q1.valid() && gate.q1.value < num_qubits_ &&
-            gate.q1 != gate.q0));
-    if (gate.kind == GateKind::kMeasure) {
-        ++num_measurements_;
-    }
-    gates_.push_back(gate);
-    return GateId(static_cast<std::int32_t>(gates_.size()) - 1);
-}
-
-GateId
-Circuit::AddH(QubitId q)
-{
-    return Append({.kind = GateKind::kH, .q0 = q});
-}
-
-GateId
-Circuit::AddCnot(QubitId control, QubitId target)
-{
-    return Append({.kind = GateKind::kCnot, .q0 = control, .q1 = target});
-}
-
-GateId
-Circuit::AddMs(QubitId a, QubitId b, double angle)
-{
-    return Append({.kind = GateKind::kMs, .q0 = a, .q1 = b, .angle = angle});
-}
-
-GateId
-Circuit::AddRx(QubitId q, double angle)
-{
-    return Append({.kind = GateKind::kRx, .q0 = q, .angle = angle});
-}
-
-GateId
-Circuit::AddRy(QubitId q, double angle)
-{
-    return Append({.kind = GateKind::kRy, .q0 = q, .angle = angle});
-}
-
-GateId
-Circuit::AddRz(QubitId q, double angle)
-{
-    return Append({.kind = GateKind::kRz, .q0 = q, .angle = angle});
-}
-
-GateId
-Circuit::AddMeasure(QubitId q)
-{
-    return Append({.kind = GateKind::kMeasure, .q0 = q});
-}
-
-GateId
-Circuit::AddReset(QubitId q)
-{
-    return Append({.kind = GateKind::kReset, .q0 = q});
-}
-
 bool
 Circuit::IsNative() const
 {

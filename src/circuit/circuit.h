@@ -5,6 +5,7 @@
 #ifndef TIQEC_CIRCUIT_CIRCUIT_H
 #define TIQEC_CIRCUIT_CIRCUIT_H
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -25,17 +26,55 @@ class Circuit
     int size() const { return static_cast<int>(gates_.size()); }
     bool empty() const { return gates_.empty(); }
 
-    /** Appends a gate and returns its id. */
-    GateId Append(const Gate& gate);
+    /** Appends a gate and returns its id. Inline: circuit construction
+     *  is on the compiler's per-round hot path. */
+    GateId Append(const Gate& gate)
+    {
+        assert(gate.q0.valid() && gate.q0.value < num_qubits_);
+        assert(!gate.IsTwoQubit() ||
+               (gate.q1.valid() && gate.q1.value < num_qubits_ &&
+                gate.q1 != gate.q0));
+        if (gate.kind == GateKind::kMeasure) {
+            ++num_measurements_;
+        }
+        gates_.push_back(gate);
+        return GateId(static_cast<std::int32_t>(gates_.size()) - 1);
+    }
 
-    GateId AddH(QubitId q);
-    GateId AddCnot(QubitId control, QubitId target);
-    GateId AddMs(QubitId a, QubitId b, double angle);
-    GateId AddRx(QubitId q, double angle);
-    GateId AddRy(QubitId q, double angle);
-    GateId AddRz(QubitId q, double angle);
-    GateId AddMeasure(QubitId q);
-    GateId AddReset(QubitId q);
+    /** Pre-sizes the gate list (capacity hint only). */
+    void Reserve(int num_gates) { gates_.reserve(num_gates); }
+
+    GateId AddH(QubitId q) { return Append({.kind = GateKind::kH, .q0 = q}); }
+    GateId AddCnot(QubitId control, QubitId target)
+    {
+        return Append(
+            {.kind = GateKind::kCnot, .q0 = control, .q1 = target});
+    }
+    GateId AddMs(QubitId a, QubitId b, double angle)
+    {
+        return Append(
+            {.kind = GateKind::kMs, .q0 = a, .q1 = b, .angle = angle});
+    }
+    GateId AddRx(QubitId q, double angle)
+    {
+        return Append({.kind = GateKind::kRx, .q0 = q, .angle = angle});
+    }
+    GateId AddRy(QubitId q, double angle)
+    {
+        return Append({.kind = GateKind::kRy, .q0 = q, .angle = angle});
+    }
+    GateId AddRz(QubitId q, double angle)
+    {
+        return Append({.kind = GateKind::kRz, .q0 = q, .angle = angle});
+    }
+    GateId AddMeasure(QubitId q)
+    {
+        return Append({.kind = GateKind::kMeasure, .q0 = q});
+    }
+    GateId AddReset(QubitId q)
+    {
+        return Append({.kind = GateKind::kReset, .q0 = q});
+    }
 
     /** Number of measurement gates (defines the measurement record size). */
     int num_measurements() const { return num_measurements_; }

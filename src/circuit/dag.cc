@@ -6,10 +6,20 @@
 namespace tiqec::circuit {
 
 Dag::Dag(const Circuit& circuit)
-    : preds_(circuit.size()), succs_(circuit.size()), depth_(circuit.size(), 0)
+    : depth_(circuit.size(), 0)
 {
+    const int n = circuit.size();
+    // Each gate has at most two predecessors (the most recent writer per
+    // operand, deduplicated), so predecessors fit a fixed-width scratch
+    // pad; successor degrees are counted in the same sweep and both sides
+    // are then laid out flat (CSR), preserving the reference order: pred
+    // lists hold q0's writer before q1's, succ lists are in dependent
+    // program order.
+    std::vector<GateId> pred_pad(static_cast<size_t>(n) * 2);
+    std::vector<int> pred_count(n, 0);
+    std::vector<int> succ_count(n, 0);
     std::vector<GateId> last_on_qubit(circuit.num_qubits());
-    for (int i = 0; i < circuit.size(); ++i) {
+    for (int i = 0; i < n; ++i) {
         const Gate& g = circuit.gates()[i];
         const GateId id(i);
         auto link = [&](QubitId q) {
@@ -17,10 +27,11 @@ Dag::Dag(const Circuit& circuit)
             if (prev.valid() && prev != id) {
                 // Avoid duplicate edges when both operands last touched the
                 // same predecessor.
-                auto& p = preds_[id.value];
-                if (std::find(p.begin(), p.end(), prev) == p.end()) {
-                    p.push_back(prev);
-                    succs_[prev.value].push_back(id);
+                const int c = pred_count[i];
+                if (c == 0 || pred_pad[i * 2] != prev) {
+                    pred_pad[i * 2 + c] = prev;
+                    pred_count[i] = c + 1;
+                    ++succ_count[prev.value];
                 }
             }
             last_on_qubit[q.value] = id;
@@ -29,14 +40,32 @@ Dag::Dag(const Circuit& circuit)
         if (g.IsTwoQubit()) {
             link(g.q1);
         }
-        if (preds_[i].empty()) {
+        if (pred_count[i] == 0) {
             roots_.push_back(id);
         }
     }
+    pred_off_.resize(n + 1);
+    succ_off_.resize(n + 1);
+    pred_off_[0] = 0;
+    succ_off_[0] = 0;
+    for (int i = 0; i < n; ++i) {
+        pred_off_[i + 1] = pred_off_[i] + pred_count[i];
+        succ_off_[i + 1] = succ_off_[i] + succ_count[i];
+    }
+    preds_.resize(pred_off_[n]);
+    succs_.resize(succ_off_[n]);
+    std::vector<int> succ_fill(succ_off_.begin(), succ_off_.end() - 1);
+    for (int i = 0; i < n; ++i) {
+        for (int c = 0; c < pred_count[i]; ++c) {
+            const GateId prev = pred_pad[i * 2 + c];
+            preds_[pred_off_[i] + c] = prev;
+            succs_[succ_fill[prev.value]++] = GateId(i);
+        }
+    }
     // Reverse topological sweep (program order is a topological order).
-    for (int i = circuit.size() - 1; i >= 0; --i) {
+    for (int i = n - 1; i >= 0; --i) {
         int best = 0;
-        for (const GateId s : succs_[i]) {
+        for (const GateId s : Successors(GateId(i))) {
             best = std::max(best, depth_[s.value]);
         }
         depth_[i] = best + 1;
@@ -47,11 +76,11 @@ Dag::Dag(const Circuit& circuit)
 std::vector<double>
 Dag::WeightedCriticality(const std::vector<double>& durations) const
 {
-    assert(durations.size() == preds_.size());
-    std::vector<double> crit(preds_.size(), 0.0);
-    for (int i = static_cast<int>(preds_.size()) - 1; i >= 0; --i) {
+    assert(static_cast<int>(durations.size()) == size());
+    std::vector<double> crit(durations.size(), 0.0);
+    for (int i = size() - 1; i >= 0; --i) {
         double best = 0.0;
-        for (const GateId s : succs_[i]) {
+        for (const GateId s : Successors(GateId(i))) {
             best = std::max(best, crit[s.value]);
         }
         crit[i] = best + durations[i];
@@ -66,26 +95,62 @@ DagFrontier::DagFrontier(const Dag& dag)
       retired_(dag.size(), 0)
 {
     for (int i = 0; i < dag.size(); ++i) {
-        pending_preds_[i] = static_cast<int>(dag.Predecessors(GateId(i)).size());
+        pending_preds_[i] =
+            static_cast<int>(dag.Predecessors(GateId(i)).size());
         if (pending_preds_[i] == 0) {
             ready_mask_[i] = 1;
             ready_.push_back(GateId(i));
+            ++num_live_;
         }
     }
+}
+
+const std::vector<GateId>&
+DagFrontier::Ready()
+{
+    if (num_live_ != static_cast<int>(ready_.size())) {
+        // Order-preserving tombstone compaction: live entries keep their
+        // relative (promotion) order, exactly as per-retire erasure kept
+        // it.
+        size_t w = 0;
+        for (const GateId g : ready_) {
+            if (!retired_[g.value]) {
+                ready_[w++] = g;
+            }
+        }
+        ready_.resize(w);
+    }
+    return ready_;
 }
 
 void
 DagFrontier::Retire(GateId g)
 {
+    RetireImpl(g, nullptr);
+}
+
+void
+DagFrontier::RetireCollect(GateId g, std::vector<GateId>& promoted)
+{
+    RetireImpl(g, &promoted);
+}
+
+void
+DagFrontier::RetireImpl(GateId g, std::vector<GateId>* promoted)
+{
     assert(ready_mask_[g.value] && !retired_[g.value]);
     retired_[g.value] = 1;
     ready_mask_[g.value] = 0;
-    ready_.erase(std::find(ready_.begin(), ready_.end(), g));
+    --num_live_;
     ++num_retired_;
     for (const GateId s : dag_->Successors(g)) {
         if (--pending_preds_[s.value] == 0) {
             ready_mask_[s.value] = 1;
             ready_.push_back(s);
+            ++num_live_;
+            if (promoted) {
+                promoted->push_back(s);
+            }
         }
     }
 }

@@ -6,10 +6,15 @@
  *
  * The router consumes the DAG frontier ("ready" gates); the scheduler uses
  * the same structure plus time-weighted critical-path priorities.
+ *
+ * Storage is flat CSR (offsets + one id array per direction): a parity
+ * check round at d=9 has thousands of gates, and per-gate vectors made
+ * DAG construction a measurable slice of compile time.
  */
 #ifndef TIQEC_CIRCUIT_DAG_H
 #define TIQEC_CIRCUIT_DAG_H
 
+#include <span>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -22,18 +27,20 @@ class Dag
   public:
     explicit Dag(const Circuit& circuit);
 
-    int size() const { return static_cast<int>(preds_.size()); }
+    int size() const { return static_cast<int>(pred_off_.size()) - 1; }
 
     /** Gates that must complete before `g` may start. */
-    const std::vector<GateId>& Predecessors(GateId g) const
+    std::span<const GateId> Predecessors(GateId g) const
     {
-        return preds_[g.value];
+        return {preds_.data() + pred_off_[g.value],
+                preds_.data() + pred_off_[g.value + 1]};
     }
 
     /** Gates unblocked by the completion of `g`. */
-    const std::vector<GateId>& Successors(GateId g) const
+    std::span<const GateId> Successors(GateId g) const
     {
-        return succs_[g.value];
+        return {succs_.data() + succ_off_[g.value],
+                succs_.data() + succ_off_[g.value + 1]};
     }
 
     /** Gates with no predecessors. */
@@ -56,8 +63,11 @@ class Dag
     WeightedCriticality(const std::vector<double>& durations) const;
 
   private:
-    std::vector<std::vector<GateId>> preds_;
-    std::vector<std::vector<GateId>> succs_;
+    // CSR storage: ids for gate g live at [off[g], off[g+1]).
+    std::vector<int> pred_off_;
+    std::vector<int> succ_off_;
+    std::vector<GateId> preds_;
+    std::vector<GateId> succs_;
     std::vector<GateId> roots_;
     std::vector<int> depth_;
     int critical_path_ = 0;
@@ -66,14 +76,20 @@ class Dag
 /**
  * Mutable frontier tracker for consuming a DAG in topological order.
  * Gates become "ready" when all predecessors have been retired.
+ *
+ * Retiring is O(successors) amortised: retired gates stay in the ready
+ * list as tombstones and are compacted out (order-preserving) the next
+ * time Ready() is called, so the erase cost is paid once per Ready()
+ * instead of once per retirement.
  */
 class DagFrontier
 {
   public:
     explicit DagFrontier(const Dag& dag);
 
-    /** Currently ready, unretired gates (unspecified order). */
-    const std::vector<GateId>& Ready() const { return ready_; }
+    /** Currently ready, unretired gates, in promotion order (compacts
+     *  tombstones left by Retire). */
+    const std::vector<GateId>& Ready();
 
     bool IsReady(GateId g) const { return ready_mask_[g.value]; }
     bool IsRetired(GateId g) const { return retired_[g.value]; }
@@ -81,15 +97,27 @@ class DagFrontier
     /** Marks `g` complete and promotes newly unblocked successors. */
     void Retire(GateId g);
 
+    /**
+     * As Retire, additionally appending every gate promoted to ready by
+     * this retirement to `promoted` (in promotion order — the same order
+     * they join the ready list). Lets a consumer chase the newly-ready
+     * set without rescanning the whole frontier.
+     */
+    void RetireCollect(GateId g, std::vector<GateId>& promoted);
+
     int num_retired() const { return num_retired_; }
     bool AllRetired() const { return num_retired_ == dag_->size(); }
 
   private:
+    void RetireImpl(GateId g, std::vector<GateId>* promoted);
+
     const Dag* dag_;
     std::vector<int> pending_preds_;
     std::vector<char> ready_mask_;
     std::vector<char> retired_;
+    /** Ready gates in promotion order, plus retired tombstones. */
     std::vector<GateId> ready_;
+    int num_live_ = 0;  ///< non-tombstone entries in ready_
     int num_retired_ = 0;
 };
 

@@ -15,6 +15,13 @@ Circuit
 TranslateToNative(const Circuit& input)
 {
     Circuit out(input.num_qubits());
+    int native_gates = 0;
+    for (const Gate& g : input.gates()) {
+        native_gates += g.kind == GateKind::kCnot ? 5
+                        : g.kind == GateKind::kH ? 2
+                                                 : 1;
+    }
+    out.Reserve(native_gates);
     for (int i = 0; i < input.size(); ++i) {
         const GateId src(i);
         const Gate& g = input.gates()[i];

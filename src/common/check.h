@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Release-build invariant checking.
+ *
+ * `assert()` vanishes under NDEBUG, which turns violated invariants into
+ * silent undefined behaviour (dereferencing `end()`, out-of-range
+ * indexing) exactly in the builds that users run. `TIQEC_CHECK` is the
+ * always-on replacement for *load-bearing* invariants: it evaluates in
+ * every build type and throws `tiqec::CheckError` with the failed
+ * condition, source location, and a caller-supplied context message.
+ *
+ * Throwing (rather than aborting) keeps the failure local: the sweep
+ * engine already isolates per-candidate exceptions, so one corrupted
+ * candidate reports an error instead of killing a whole design-space
+ * sweep.
+ *
+ * Use `assert` for cheap sanity checks in debug-only diagnostics; use
+ * `TIQEC_CHECK` whenever the code after the check is unsound if the
+ * condition fails.
+ */
+#ifndef TIQEC_COMMON_CHECK_H
+#define TIQEC_COMMON_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tiqec {
+
+/** Thrown by TIQEC_CHECK on a violated invariant (in every build type). */
+class CheckError : public std::logic_error
+{
+  public:
+    explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void
+CheckFailed(const char* condition, const char* file, int line,
+            const std::string& message)
+{
+    std::ostringstream os;
+    os << "TIQEC_CHECK failed: " << condition << " at " << file << ":"
+       << line;
+    if (!message.empty()) {
+        os << ": " << message;
+    }
+    throw CheckError(os.str());
+}
+
+}  // namespace internal
+
+}  // namespace tiqec
+
+/**
+ * Always-on invariant check: throws tiqec::CheckError (with condition,
+ * location, and `message`) when `condition` is false. `message` may be
+ * any expression convertible to std::string via ostringstream insertion.
+ */
+#define TIQEC_CHECK(condition, message)                                     \
+    do {                                                                    \
+        if (!(condition)) {                                                 \
+            ::std::ostringstream tiqec_check_os;                            \
+            tiqec_check_os << message; /* NOLINT */                         \
+            ::tiqec::internal::CheckFailed(#condition, __FILE__, __LINE__,  \
+                                           tiqec_check_os.str());           \
+        }                                                                   \
+    } while (false)
+
+#endif  // TIQEC_COMMON_CHECK_H

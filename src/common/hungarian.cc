@@ -14,17 +14,26 @@ SolveAssignment(const std::vector<double>& cost, int rows, int cols)
     constexpr double kInf = std::numeric_limits<double>::infinity();
 
     // Classic O(n^2 m) shortest augmenting path formulation with potentials,
-    // 1-indexed internally (index 0 is the virtual root).
-    std::vector<double> u(rows + 1, 0.0);   // row potentials
-    std::vector<double> v(cols + 1, 0.0);   // column potentials
-    std::vector<int> match(cols + 1, 0);    // match[col] = row (1-based)
-    std::vector<int> way(cols + 1, 0);
+    // 1-indexed internally (index 0 is the virtual root). The placer calls
+    // this once per compile on every sweep worker thread, so the working
+    // vectors are thread_local and reused across calls (minv/used used to
+    // be reallocated once per *row*).
+    thread_local std::vector<double> u;     // row potentials
+    thread_local std::vector<double> v;     // column potentials
+    thread_local std::vector<int> match;    // match[col] = row (1-based)
+    thread_local std::vector<int> way;
+    thread_local std::vector<double> minv;
+    thread_local std::vector<char> used;
+    u.assign(rows + 1, 0.0);
+    v.assign(cols + 1, 0.0);
+    match.assign(cols + 1, 0);
+    way.assign(cols + 1, 0);
 
     for (int i = 1; i <= rows; ++i) {
         match[0] = i;
         int j0 = 0;
-        std::vector<double> minv(cols + 1, kInf);
-        std::vector<char> used(cols + 1, 0);
+        minv.assign(cols + 1, kInf);
+        used.assign(cols + 1, 0);
         do {
             used[j0] = 1;
             const int i0 = match[j0];

@@ -1,7 +1,8 @@
 #include "common/stats.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace tiqec {
 
@@ -29,6 +30,8 @@ RunningStats::StdDev() const
 BinomialEstimate
 WilsonInterval(std::uint64_t k, std::uint64_t n, double z)
 {
+    TIQEC_CHECK(k <= n, "WilsonInterval: " << k << " successes in " << n
+                                           << " trials");
     BinomialEstimate est;
     if (n == 0) {
         return est;
@@ -55,8 +58,10 @@ WilsonInterval(std::uint64_t k, std::uint64_t n, double z)
 LineFit
 FitLine(const std::vector<double>& xs, const std::vector<double>& ys)
 {
-    assert(xs.size() == ys.size());
-    assert(xs.size() >= 2);
+    TIQEC_CHECK(xs.size() == ys.size(),
+                "FitLine: " << xs.size() << " xs vs " << ys.size() << " ys");
+    TIQEC_CHECK(xs.size() >= 2,
+                "FitLine: need at least 2 points, got " << xs.size());
     const double n = static_cast<double>(xs.size());
     double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
     for (size_t i = 0; i < xs.size(); ++i) {

@@ -40,6 +40,13 @@ struct BinomialEstimate
 
 /**
  * Wilson score interval for `k` successes in `n` trials.
+ *
+ * Requires `k <= n`: more successes than trials has no binomial
+ * interpretation, and the formula would silently return an interval
+ * around a rate above 1. Violations throw tiqec::CheckError in every
+ * build type (a `k > n` here means a counting bug upstream, e.g. in a
+ * sampler's shard commit).
+ *
  * @param z Normal quantile; 1.96 gives a 95% interval.
  */
 BinomialEstimate WilsonInterval(std::uint64_t k, std::uint64_t n,

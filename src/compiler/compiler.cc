@@ -96,15 +96,22 @@ CompileParityCheckRounds(const qec::StabilizerCode& code, int rounds,
                            "capacity";
             return result;
         }
-        result.placement = PlaceClusters(code, result.partition, graph);
+        result.placement =
+            options.reference_pipeline
+                ? PlaceClustersReference(code, result.partition, graph)
+                : PlaceClusters(code, result.partition, graph);
     }
 
     std::vector<char> mobile(code.num_qubits(), 0);
     for (const auto& q : code.qubits()) {
         mobile[q.id.value] = q.role == qec::QubitRole::kAncilla ? 1 : 0;
     }
-    result.routing = RouteCircuit(result.native, mobile, graph,
-                                  result.placement, options.router);
+    result.routing =
+        options.reference_pipeline
+            ? RouteCircuitReference(result.native, mobile, graph,
+                                    result.placement, options.router)
+            : RouteCircuit(result.native, mobile, graph, result.placement,
+                           options.router);
     if (!result.routing.ok) {
         result.error = "routing failed: " + result.routing.error;
         return result;
@@ -113,7 +120,10 @@ CompileParityCheckRounds(const qec::StabilizerCode& code, int rounds,
     sched.wise = options.wise;
     sched.cooling_per_two_qubit_gate = options.cooling_per_two_qubit_gate;
     result.schedule =
-        ScheduleStream(result.routing.ops, graph, timing, sched);
+        options.reference_pipeline
+            ? ScheduleStreamReference(result.routing.ops, graph, timing,
+                                      sched)
+            : ScheduleStream(result.routing.ops, graph, timing, sched);
     result.schedule.num_passes = result.routing.num_passes;
     result.ok = true;
     return result;

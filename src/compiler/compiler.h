@@ -39,6 +39,14 @@ struct CompilerOptions
      * program-order packing (what the NISQ baselines do).
      */
     bool naive_placement = false;
+    /**
+     * Route and schedule with the pre-overhaul reference implementations
+     * (router_reference.cc / scheduler_reference.cc). Output is
+     * byte-identical to the default fast path — pinned by the
+     * differential suite in compiler_golden_test — at pre-overhaul
+     * speed. For differential tests and bench_compile_throughput only.
+     */
+    bool reference_pipeline = false;
 };
 
 struct CompilationResult

@@ -9,11 +9,19 @@ namespace tiqec::compiler {
 namespace {
 
 /**
- * Recursively bisects `qubits` (a span of ids sorted in-place) into
+ * Recursively bisects `qubits` (a span of ids partitioned in-place) into
  * `num_clusters` contiguous geometric chunks, writing cluster indices.
+ *
+ * Each level only needs the *set* split at `left_count` under the axis
+ * order — leaves assign whole ranges and deeper levels re-partition — so
+ * nth_element replaces the historical full sort. Code-layout coordinates
+ * are unique per qubit (the (x, then y) key is a total order), which
+ * makes the selected split set, and therefore the final partition,
+ * identical to the sorted version's. `coords` is the flat per-qubit
+ * coordinate table (avoids a CodeQubit indirection per comparison).
  */
 void
-Bisect(const qec::StabilizerCode& code, std::vector<QubitId>& qubits,
+Bisect(const std::vector<Coord>& coords, std::vector<QubitId>& qubits,
        int begin, int end, int first_cluster, int num_clusters,
        int cluster_size, std::vector<int>& cluster_of)
 {
@@ -26,31 +34,33 @@ Bisect(const qec::StabilizerCode& code, std::vector<QubitId>& qubits,
     // Split along the wider axis of this chunk's bounding box.
     double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
     for (int i = begin; i < end; ++i) {
-        const Coord c = code.qubit(qubits[i]).coord;
+        const Coord c = coords[qubits[i].value];
         min_x = std::min(min_x, c.x);
         max_x = std::max(max_x, c.x);
         min_y = std::min(min_y, c.y);
         max_y = std::max(max_y, c.y);
     }
     const bool split_x = (max_x - min_x) >= (max_y - min_y);
-    std::sort(qubits.begin() + begin, qubits.begin() + end,
-              [&](QubitId a, QubitId b) {
-                  const Coord ca = code.qubit(a).coord;
-                  const Coord cb = code.qubit(b).coord;
-                  if (split_x) {
-                      return ca.x != cb.x ? ca.x < cb.x : ca.y < cb.y;
-                  }
-                  return ca.y != cb.y ? ca.y < cb.y : ca.x < cb.x;
-              });
     const int left_clusters = num_clusters / 2;
     // Give the left side exactly its share of full clusters so every
     // cluster stays within cluster_size (boundary effects may leave the
     // final cluster short by 1-2 qubits, as in the paper).
     const int left_count =
         std::min(end - begin, left_clusters * cluster_size);
-    Bisect(code, qubits, begin, begin + left_count, first_cluster,
+    std::nth_element(qubits.begin() + begin,
+                     qubits.begin() + begin + left_count,
+                     qubits.begin() + end, [&](QubitId a, QubitId b) {
+                         const Coord ca = coords[a.value];
+                         const Coord cb = coords[b.value];
+                         if (split_x) {
+                             return ca.x != cb.x ? ca.x < cb.x
+                                                 : ca.y < cb.y;
+                         }
+                         return ca.y != cb.y ? ca.y < cb.y : ca.x < cb.x;
+                     });
+    Bisect(coords, qubits, begin, begin + left_count, first_cluster,
            left_clusters, cluster_size, cluster_of);
-    Bisect(code, qubits, begin + left_count, end,
+    Bisect(coords, qubits, begin + left_count, end,
            first_cluster + left_clusters, num_clusters - left_clusters,
            cluster_size, cluster_of);
 }
@@ -92,10 +102,12 @@ PartitionQubits(const qec::StabilizerCode& code, int cluster_size)
 
     std::vector<QubitId> qubits;
     qubits.reserve(n);
+    std::vector<Coord> coords(n);
     for (const auto& q : code.qubits()) {
         qubits.push_back(q.id);
+        coords[q.id.value] = q.coord;
     }
-    Bisect(code, qubits, 0, n, 0, p.num_clusters, cluster_size,
+    Bisect(coords, qubits, 0, n, 0, p.num_clusters, cluster_size,
            p.cluster_of);
 
     std::vector<int> sizes(p.num_clusters, 0);

@@ -18,9 +18,15 @@ PlaceClusters(const qec::StabilizerCode& code, const Partition& partition,
         throw std::invalid_argument(
             "device has fewer traps than clusters to place");
     }
-    // Cluster centroids in code coordinates.
-    std::vector<Coord> centroid(k, Coord{0.0, 0.0});
-    std::vector<int> count(k, 0);
+    // Cluster centroids in code coordinates. Scratch is thread_local so
+    // repeated placements (one per sweep candidate per worker) reuse the
+    // allocations — the cost matrix alone is k * num_traps doubles.
+    thread_local std::vector<Coord> centroid;
+    thread_local std::vector<int> count;
+    thread_local std::vector<Coord> trap_coords;
+    thread_local std::vector<double> cost;
+    centroid.assign(k, Coord{0.0, 0.0});
+    count.assign(k, 0);
     for (const auto& q : code.qubits()) {
         const int c = partition.cluster_of[q.id.value];
         centroid[c] = centroid[c] + q.coord;
@@ -40,7 +46,7 @@ PlaceClusters(const qec::StabilizerCode& code, const Partition& partition,
         }
         return std::array<double, 4>{min_x, max_x, min_y, max_y};
     };
-    std::vector<Coord> trap_coords;
+    trap_coords.clear();
     trap_coords.reserve(num_traps);
     for (const NodeId t : graph.traps()) {
         trap_coords.push_back(graph.node(t).coord);
@@ -77,7 +83,7 @@ PlaceClusters(const qec::StabilizerCode& code, const Partition& partition,
              dev_centre.y + (c.y - code_centre.y) * s};
     }
     // Rectangular assignment: k clusters x num_traps traps.
-    std::vector<double> cost(static_cast<size_t>(k) * num_traps);
+    cost.resize(static_cast<size_t>(k) * num_traps);
     for (int c = 0; c < k; ++c) {
         for (int t = 0; t < num_traps; ++t) {
             cost[static_cast<size_t>(c) * num_traps + t] =

@@ -41,6 +41,15 @@ Placement PlaceClusters(const qec::StabilizerCode& code,
                         const Partition& partition,
                         const qccd::DeviceGraph& graph);
 
+/**
+ * Pre-overhaul placer (fresh allocations per call, including inside the
+ * Hungarian solve). Identical output to PlaceClusters; part of the
+ * pre-overhaul compile baseline measured by bench_compile_throughput.
+ */
+Placement PlaceClustersReference(const qec::StabilizerCode& code,
+                                 const Partition& partition,
+                                 const qccd::DeviceGraph& graph);
+
 }  // namespace tiqec::compiler
 
 #endif  // TIQEC_COMPILER_PLACER_H

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Pre-overhaul reference placer (see placer.h). Kept verbatim — fresh
+ * centroid/cost-matrix allocations per call, and a Hungarian solve that
+ * reallocates its per-row working vectors — as part of the pre-overhaul
+ * compile baseline that bench_compile_throughput measures against. The
+ * produced Placement is identical to PlaceClusters.
+ *
+ * Do not optimise this file; change it only when the placement policy
+ * deliberately changes (and update the golden tables in the same commit).
+ */
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "common/hungarian.h"
+#include "compiler/placer.h"
+
+namespace tiqec::compiler {
+
+namespace {
+
+/** Pre-overhaul Hungarian solve (per-row minv/used reallocation). */
+std::vector<int>
+SolveAssignmentReference(const std::vector<double>& cost, int rows, int cols)
+{
+    assert(rows >= 0 && cols >= rows);
+    assert(static_cast<int>(cost.size()) == rows * cols);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    std::vector<double> u(rows + 1, 0.0);   // row potentials
+    std::vector<double> v(cols + 1, 0.0);   // column potentials
+    std::vector<int> match(cols + 1, 0);    // match[col] = row (1-based)
+    std::vector<int> way(cols + 1, 0);
+
+    for (int i = 1; i <= rows; ++i) {
+        match[0] = i;
+        int j0 = 0;
+        std::vector<double> minv(cols + 1, kInf);
+        std::vector<char> used(cols + 1, 0);
+        do {
+            used[j0] = 1;
+            const int i0 = match[j0];
+            double delta = kInf;
+            int j1 = -1;
+            for (int j = 1; j <= cols; ++j) {
+                if (used[j]) {
+                    continue;
+                }
+                const double cur =
+                    cost[(i0 - 1) * cols + (j - 1)] - u[i0] - v[j];
+                if (cur < minv[j]) {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if (minv[j] < delta) {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for (int j = 0; j <= cols; ++j) {
+                if (used[j]) {
+                    u[match[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+        } while (match[j0] != 0);
+        // Augment along the found path.
+        do {
+            const int j1 = way[j0];
+            match[j0] = match[j1];
+            j0 = j1;
+        } while (j0 != 0);
+    }
+
+    std::vector<int> assignment(rows, -1);
+    for (int j = 1; j <= cols; ++j) {
+        if (match[j] > 0) {
+            assignment[match[j] - 1] = j - 1;
+        }
+    }
+    return assignment;
+}
+
+}  // namespace
+
+Placement
+PlaceClustersReference(const qec::StabilizerCode& code,
+                       const Partition& partition,
+                       const qccd::DeviceGraph& graph)
+{
+    const int k = partition.num_clusters;
+    const int num_traps = graph.num_traps();
+    if (k > num_traps) {
+        throw std::invalid_argument(
+            "device has fewer traps than clusters to place");
+    }
+    // Cluster centroids in code coordinates.
+    std::vector<Coord> centroid(k, Coord{0.0, 0.0});
+    std::vector<int> count(k, 0);
+    for (const auto& q : code.qubits()) {
+        const int c = partition.cluster_of[q.id.value];
+        centroid[c] = centroid[c] + q.coord;
+        ++count[c];
+    }
+    for (int c = 0; c < k; ++c) {
+        centroid[c] = centroid[c] * (1.0 / std::max(1, count[c]));
+    }
+    // Bounding boxes of centroids and trap positions.
+    auto bounds = [](const auto& coords) {
+        double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+        for (const Coord& c : coords) {
+            min_x = std::min(min_x, c.x);
+            max_x = std::max(max_x, c.x);
+            min_y = std::min(min_y, c.y);
+            max_y = std::max(max_y, c.y);
+        }
+        return std::array<double, 4>{min_x, max_x, min_y, max_y};
+    };
+    std::vector<Coord> trap_coords;
+    trap_coords.reserve(num_traps);
+    for (const NodeId t : graph.traps()) {
+        trap_coords.push_back(graph.node(t).coord);
+    }
+    const auto cb = bounds(centroid);
+    const auto tb = bounds(trap_coords);
+    // Uniform (aspect-preserving) scale: per-axis stretching would shear
+    // the code lattice relative to the trap lattice and destroy the
+    // locality the router depends on. Centre-align the two boxes.
+    const double sx =
+        (cb[1] - cb[0]) > 1e-9 ? (tb[1] - tb[0]) / (cb[1] - cb[0]) : 1e18;
+    const double sy =
+        (cb[3] - cb[2]) > 1e-9 ? (tb[3] - tb[2]) / (cb[3] - cb[2]) : 1e18;
+    double s = std::min(sx, sy);
+    if (s > 1e17) {
+        s = 1.0;  // degenerate (single-point) centroid cloud
+    }
+    // Never stretch beyond unit scale (see PlaceClusters).
+    s = std::min(s, 1.0);
+    const Coord code_centre{(cb[0] + cb[1]) / 2.0, (cb[2] + cb[3]) / 2.0};
+    const Coord dev_centre{(tb[0] + tb[1]) / 2.0, (tb[2] + tb[3]) / 2.0};
+    // Half-pitch bias (see PlaceClusters).
+    const double bias =
+        graph.topology() == qccd::TopologyKind::kGrid ? s : 0.0;
+    for (Coord& c : centroid) {
+        c = {dev_centre.x + (c.x - code_centre.x) * s + bias,
+             dev_centre.y + (c.y - code_centre.y) * s};
+    }
+    // Rectangular assignment: k clusters x num_traps traps.
+    std::vector<double> cost(static_cast<size_t>(k) * num_traps);
+    for (int c = 0; c < k; ++c) {
+        for (int t = 0; t < num_traps; ++t) {
+            cost[static_cast<size_t>(c) * num_traps + t] =
+                DistanceSquared(centroid[c], trap_coords[t]);
+        }
+    }
+    const std::vector<int> assignment =
+        SolveAssignmentReference(cost, k, num_traps);
+
+    Placement placement;
+    placement.cluster_trap.resize(k);
+    for (int c = 0; c < k; ++c) {
+        placement.cluster_trap[c] = graph.traps()[assignment[c]];
+    }
+    placement.cost = AssignmentCost(cost, num_traps, assignment);
+    placement.qubit_trap.resize(code.num_qubits());
+    for (const auto& q : code.qubits()) {
+        placement.qubit_trap[q.id.value] =
+            placement.cluster_trap[partition.cluster_of[q.id.value]];
+    }
+    return placement;
+}
+
+}  // namespace tiqec::compiler

@@ -76,6 +76,18 @@ RouteResult RouteCircuit(const circuit::Circuit& native,
                          const RouterOptions& options = {});
 
 /**
+ * Pre-overhaul reference router (per-gate BFS from scratch). Produces a
+ * byte-identical instruction stream to RouteCircuit — pinned by the
+ * differential suite in compiler_golden_test — at pre-overhaul speed.
+ * Used by differential tests and bench_compile_throughput only.
+ */
+RouteResult RouteCircuitReference(const circuit::Circuit& native,
+                                  const std::vector<char>& mobile,
+                                  const qccd::DeviceGraph& graph,
+                                  const Placement& placement,
+                                  const RouterOptions& options = {});
+
+/**
  * Emits the primitive sequence that walks `ion` along `path` (a node
  * sequence starting at the ion's current trap), applying each primitive
  * to `state` and appending to `out`: gate swaps to reach the chain end,

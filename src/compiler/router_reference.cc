@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Pre-overhaul reference implementation of the multi-pass router
+ * (see router.h for the algorithm description).
+ *
+ * This is the original per-gate BFS-from-scratch formulation: every
+ * FindPath call allocates fresh `seen`/`parent` vectors, every ReRoute
+ * rebuilds the full per-node availability tables, and detour rejection
+ * re-runs an unconstrained BFS per blocked gate. It is kept verbatim as
+ * the behavioural oracle for the overhauled hot path in router.cc: the
+ * differential suite in compiler_golden_test asserts byte-identical
+ * instruction streams, and bench_compile_throughput reports the
+ * before/after rounds-compiled/sec.
+ *
+ * Do not optimise this file; change it only when the routing *algorithm*
+ * deliberately changes (and update the golden tables in the same commit).
+ */
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+#include "compiler/router.h"
+
+namespace tiqec::compiler {
+
+namespace {
+
+using circuit::GateKind;
+using qccd::DeviceGraph;
+using qccd::DeviceState;
+using qccd::NodeKind;
+using qccd::OpKind;
+using qccd::PrimitiveOp;
+
+/**
+ * Pre-overhaul dependency DAG (per-gate predecessor/successor vectors).
+ * circuit::Dag has since moved to flat CSR storage; the reference keeps
+ * the original representation so the before/after benchmark measures the
+ * whole pre-overhaul compile, DAG construction included.
+ */
+class ReferenceDag
+{
+  public:
+    explicit ReferenceDag(const circuit::Circuit& circuit)
+        : preds_(circuit.size()),
+          succs_(circuit.size()),
+          depth_(circuit.size(), 0)
+    {
+        std::vector<GateId> last_on_qubit(circuit.num_qubits());
+        for (int i = 0; i < circuit.size(); ++i) {
+            const circuit::Gate& g = circuit.gates()[i];
+            const GateId id(i);
+            auto link = [&](QubitId q) {
+                const GateId prev = last_on_qubit[q.value];
+                if (prev.valid() && prev != id) {
+                    auto& p = preds_[id.value];
+                    if (std::find(p.begin(), p.end(), prev) == p.end()) {
+                        p.push_back(prev);
+                        succs_[prev.value].push_back(id);
+                    }
+                }
+                last_on_qubit[q.value] = id;
+            };
+            link(g.q0);
+            if (g.IsTwoQubit()) {
+                link(g.q1);
+            }
+        }
+        // Reverse topological depth sweep — unused by the router but part
+        // of the pre-overhaul construction cost being benchmarked.
+        for (int i = circuit.size() - 1; i >= 0; --i) {
+            int best = 0;
+            for (const GateId s : succs_[i]) {
+                best = std::max(best, depth_[s.value]);
+            }
+            depth_[i] = best + 1;
+            critical_path_ = std::max(critical_path_, depth_[i]);
+        }
+    }
+
+    int size() const { return static_cast<int>(preds_.size()); }
+    int CriticalPathLength() const { return critical_path_; }
+    const std::vector<GateId>& Predecessors(GateId g) const
+    {
+        return preds_[g.value];
+    }
+    const std::vector<GateId>& Successors(GateId g) const
+    {
+        return succs_[g.value];
+    }
+
+  private:
+    std::vector<std::vector<GateId>> preds_;
+    std::vector<std::vector<GateId>> succs_;
+    std::vector<int> depth_;
+    int critical_path_ = 0;
+};
+
+/** Pre-overhaul frontier tracker over ReferenceDag (identical ready-list
+ *  discipline to circuit::DagFrontier). */
+class ReferenceDagFrontier
+{
+  public:
+    explicit ReferenceDagFrontier(const ReferenceDag& dag)
+        : dag_(&dag),
+          pending_preds_(dag.size()),
+          ready_mask_(dag.size(), 0),
+          retired_(dag.size(), 0)
+    {
+        for (int i = 0; i < dag.size(); ++i) {
+            pending_preds_[i] =
+                static_cast<int>(dag.Predecessors(GateId(i)).size());
+            if (pending_preds_[i] == 0) {
+                ready_mask_[i] = 1;
+                ready_.push_back(GateId(i));
+            }
+        }
+    }
+
+    const std::vector<GateId>& Ready() const { return ready_; }
+    bool IsRetired(GateId g) const { return retired_[g.value]; }
+
+    void Retire(GateId g)
+    {
+        assert(ready_mask_[g.value] && !retired_[g.value]);
+        retired_[g.value] = 1;
+        ready_mask_[g.value] = 0;
+        ready_.erase(std::find(ready_.begin(), ready_.end(), g));
+        ++num_retired_;
+        for (const GateId s : dag_->Successors(g)) {
+            if (--pending_preds_[s.value] == 0) {
+                ready_mask_[s.value] = 1;
+                ready_.push_back(s);
+            }
+        }
+    }
+
+    int num_retired() const { return num_retired_; }
+    bool AllRetired() const { return num_retired_ == dag_->size(); }
+
+  private:
+    const ReferenceDag* dag_;
+    std::vector<int> pending_preds_;
+    std::vector<char> ready_mask_;
+    std::vector<char> retired_;
+    std::vector<GateId> ready_;
+    int num_retired_ = 0;
+};
+
+OpKind
+GateOpKind(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kMs: return OpKind::kMs;
+      case GateKind::kRx:
+      case GateKind::kRy:
+      case GateKind::kRz: return OpKind::kRotation;
+      case GateKind::kMeasure: return OpKind::kMeasure;
+      case GateKind::kReset: return OpKind::kReset;
+      default:
+        assert(false && "router requires a native-gate circuit");
+        return OpKind::kRotation;
+    }
+}
+
+class ReferenceRouter
+{
+  public:
+    ReferenceRouter(const circuit::Circuit& native,
+                    const std::vector<char>& mobile,
+                    const DeviceGraph& graph, const Placement& placement,
+                    const RouterOptions& options)
+        : native_(native),
+          mobile_(mobile),
+          options_(options),
+          graph_(graph),
+          dag_(native),
+          frontier_(dag_),
+          state_(graph, native.num_qubits()),
+          home_(placement.qubit_trap)
+    {
+        for (int q = 0; q < native.num_qubits(); ++q) {
+            state_.LoadIon(QubitId(q), placement.qubit_trap[q]);
+        }
+        // Per-qubit ordered list of two-qubit gate ids (for re-route
+        // look-ahead).
+        two_qubit_gates_.resize(native.num_qubits());
+        for (int i = 0; i < native.size(); ++i) {
+            const circuit::Gate& g = native.gates()[i];
+            if (g.IsTwoQubit()) {
+                two_qubit_gates_[g.q0.value].push_back(GateId(i));
+                two_qubit_gates_[g.q1.value].push_back(GateId(i));
+            }
+        }
+    }
+
+    RouteResult Run();
+
+  private:
+    struct Route
+    {
+        GateId gate;
+        QubitId mover;
+        std::vector<NodeId> path;
+    };
+
+    void EmitGate(GateId id);
+    /** Step (1): emits movement-free ready gates to fixpoint. */
+    int EmitLocalGates();
+    /** The mobile operand of a blocked two-qubit gate. */
+    QubitId MoverOf(const circuit::Gate& g) const;
+    /** BFS shortest path through components with remaining allocation. */
+    std::vector<NodeId> FindPath(NodeId src, NodeId dst,
+                                 const std::vector<int>& avail,
+                                 const std::vector<char>& seg_avail) const;
+    void Allocate(const std::vector<NodeId>& path, std::vector<int>& avail,
+                  std::vector<char>& seg_avail) const;
+    /** Steps (7): emits split/shuttle/junction/merge ops along a path. */
+    void EmitPath(QubitId ion, const std::vector<NodeId>& path);
+    /** Step (9): moves `ion` out of an at-capacity trap. */
+    void ReRoute(QubitId ion);
+    /** First pending two-qubit gate involving `q`, or invalid. */
+    GateId NextTwoQubitGate(QubitId q) const;
+
+    const circuit::Circuit& native_;
+    const std::vector<char>& mobile_;
+    RouterOptions options_;
+    const DeviceGraph& graph_;
+    ReferenceDag dag_;
+    ReferenceDagFrontier frontier_;
+    DeviceState state_;
+    std::vector<NodeId> home_;
+    std::vector<std::vector<GateId>> two_qubit_gates_;
+    std::vector<PrimitiveOp> out_;
+    int pass_ = 0;
+    int movement_ops_ = 0;
+};
+
+void
+ReferenceRouter::EmitGate(GateId id)
+{
+    const circuit::Gate& g = native_.gate(id);
+    PrimitiveOp op;
+    op.kind = GateOpKind(g.kind);
+    op.ion0 = g.q0;
+    op.ion1 = g.IsTwoQubit() ? g.q1 : QubitId();
+    op.node = state_.NodeOf(g.q0);
+    op.source_gate = id;
+    op.pass = pass_;
+    const auto err = state_.TryApply(op);
+    assert(!err.has_value());
+    (void)err;
+    out_.push_back(op);
+    frontier_.Retire(id);
+}
+
+int
+ReferenceRouter::EmitLocalGates()
+{
+    int emitted = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Snapshot: Retire mutates the ready list.
+        const std::vector<GateId> ready = frontier_.Ready();
+        for (const GateId id : ready) {
+            const circuit::Gate& g = native_.gate(id);
+            if (g.IsTwoQubit() &&
+                state_.NodeOf(g.q0) != state_.NodeOf(g.q1)) {
+                continue;  // needs routing
+            }
+            EmitGate(id);
+            ++emitted;
+            changed = true;
+        }
+    }
+    return emitted;
+}
+
+QubitId
+ReferenceRouter::MoverOf(const circuit::Gate& g) const
+{
+    const bool m0 = mobile_[g.q0.value] != 0;
+    const bool m1 = mobile_[g.q1.value] != 0;
+    if (m0 != m1) {
+        return m0 ? g.q0 : g.q1;
+    }
+    return g.q1;
+}
+
+std::vector<NodeId>
+ReferenceRouter::FindPath(NodeId src, NodeId dst,
+                          const std::vector<int>& avail,
+                          const std::vector<char>& seg_avail) const
+{
+    std::vector<NodeId> parent(graph_.num_nodes());
+    std::vector<char> seen(graph_.num_nodes(), 0);
+    std::deque<NodeId> queue;
+    queue.push_back(src);
+    seen[src.value] = 1;
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        if (u == dst) {
+            std::vector<NodeId> path;
+            for (NodeId v = dst; v != src; v = parent[v.value]) {
+                path.push_back(v);
+            }
+            path.push_back(src);
+            std::reverse(path.begin(), path.end());
+            return path;
+        }
+        for (const SegmentId seg : graph_.node(u).segments) {
+            if (!seg_avail[seg.value]) {
+                continue;
+            }
+            const NodeId v = graph_.Neighbor(u, seg);
+            if (seen[v.value] || avail[v.value] <= 0) {
+                continue;
+            }
+            seen[v.value] = 1;
+            parent[v.value] = u;
+            queue.push_back(v);
+        }
+    }
+    return {};
+}
+
+void
+ReferenceRouter::Allocate(const std::vector<NodeId>& path,
+                          std::vector<int>& avail,
+                          std::vector<char>& seg_avail) const
+{
+    for (size_t i = 1; i < path.size(); ++i) {
+        --avail[path[i].value];
+        const SegmentId seg = graph_.SegmentBetween(path[i - 1], path[i]);
+        assert(seg.valid());
+        seg_avail[seg.value] = 0;
+    }
+}
+
+void
+ReferenceRouter::EmitPath(QubitId ion, const std::vector<NodeId>& path)
+{
+    movement_ops_ += EmitMovementPath(state_, graph_, ion, path, pass_, out_);
+}
+
+GateId
+ReferenceRouter::NextTwoQubitGate(QubitId q) const
+{
+    for (const GateId id : two_qubit_gates_[q.value]) {
+        if (!frontier_.IsRetired(id)) {
+            return id;
+        }
+    }
+    return GateId();
+}
+
+void
+ReferenceRouter::ReRoute(QubitId ion)
+{
+    const NodeId here = state_.NodeOf(ion);
+    const int cap = graph_.node(here).capacity;
+    if (state_.Occupancy(here) <= cap - 1) {
+        return;  // invariant already satisfied
+    }
+    // Preferred target: the trap of the ion's next two-qubit partner if it
+    // has settle room, else the ion's own home trap (freed when it left;
+    // returning home keeps every ancilla adjacent to its data partners,
+    // which is what gives the distance-independent round time at
+    // capacity 2). Falling through to a nearest-free search only happens
+    // when both are taken.
+    auto settleable = [&](NodeId t) {
+        return t.valid() && t != here &&
+               state_.Occupancy(t) <= graph_.node(t).capacity - 2;
+    };
+    NodeId preferred;
+    if (options_.prefer_home) {
+        const GateId next = NextTwoQubitGate(ion);
+        if (next.valid()) {
+            const circuit::Gate& g = native_.gate(next);
+            const QubitId partner = g.q0 == ion ? g.q1 : g.q0;
+            const NodeId t = state_.NodeOf(partner);
+            if (settleable(t)) {
+                preferred = t;
+            }
+        }
+        if (!preferred.valid() && settleable(home_[ion.value])) {
+            preferred = home_[ion.value];
+        }
+    }
+    // BFS over current occupancies; transport components are free within
+    // the re-route phase (scheduler serialises any timing overlaps).
+    // Pass-through only needs transient capacity headroom; the chosen
+    // destination must additionally stay below capacity after arrival.
+    std::vector<int> pass_avail(graph_.num_nodes());
+    std::vector<char> can_settle(graph_.num_nodes(), 0);
+    for (int i = 0; i < graph_.num_nodes(); ++i) {
+        const auto& n = graph_.node(NodeId(i));
+        const int occ = state_.Occupancy(NodeId(i));
+        pass_avail[i] = n.capacity - occ;
+        can_settle[i] =
+            n.kind == NodeKind::kTrap && occ <= n.capacity - 2 ? 1 : 0;
+    }
+    std::vector<char> seg_avail(graph_.num_segments(), 1);
+    std::vector<NodeId> path;
+    if (preferred.valid()) {
+        path = FindPath(here, preferred, pass_avail, seg_avail);
+    }
+    if (path.empty()) {
+        // Nearest settleable trap: BFS from `here` through components with
+        // transient headroom, stopping at the first trap that can accept
+        // an ion while staying below capacity.
+        std::vector<NodeId> parent(graph_.num_nodes());
+        std::vector<char> seen(graph_.num_nodes(), 0);
+        std::deque<NodeId> queue;
+        queue.push_back(here);
+        seen[here.value] = 1;
+        NodeId found;
+        while (!queue.empty() && !found.valid()) {
+            const NodeId u = queue.front();
+            queue.pop_front();
+            for (const SegmentId seg : graph_.node(u).segments) {
+                const NodeId v = graph_.Neighbor(u, seg);
+                if (seen[v.value] || pass_avail[v.value] <= 0) {
+                    continue;
+                }
+                seen[v.value] = 1;
+                parent[v.value] = u;
+                if (can_settle[v.value]) {
+                    found = v;
+                    break;
+                }
+                queue.push_back(v);
+            }
+        }
+        if (!found.valid()) {
+            return;  // nowhere to go; capacity (though not the
+                     // cap-1 invariant) still holds
+        }
+        for (NodeId v = found; v != here; v = parent[v.value]) {
+            path.push_back(v);
+        }
+        path.push_back(here);
+        std::reverse(path.begin(), path.end());
+    }
+    EmitPath(ion, path);
+}
+
+RouteResult
+ReferenceRouter::Run()
+{
+    RouteResult result;
+    while (!frontier_.AllRetired()) {
+        const int before = frontier_.num_retired();
+        EmitLocalGates();
+        if (frontier_.AllRetired()) {
+            ++pass_;
+            break;
+        }
+        // Step (2): blocked ready two-qubit gates in priority (program)
+        // order.
+        std::vector<GateId> blocked;
+        for (const GateId id : frontier_.Ready()) {
+            const circuit::Gate& g = native_.gate(id);
+            if (g.IsTwoQubit() &&
+                state_.NodeOf(g.q0) != state_.NodeOf(g.q1)) {
+                blocked.push_back(id);
+            }
+        }
+        std::sort(blocked.begin(), blocked.end());
+        // Steps (3-6): sequential path allocation with component
+        // capacities.
+        std::vector<int> avail(graph_.num_nodes());
+        for (int i = 0; i < graph_.num_nodes(); ++i) {
+            avail[i] = graph_.node(NodeId(i)).capacity -
+                       state_.Occupancy(NodeId(i));
+        }
+        std::vector<char> seg_avail(graph_.num_segments(), 1);
+        const std::vector<int> unconstrained_avail(graph_.num_nodes(), 1);
+        const std::vector<char> all_segments(graph_.num_segments(), 1);
+        std::vector<Route> routes;
+        for (const GateId id : blocked) {
+            const circuit::Gate& g = native_.gate(id);
+            const QubitId mover = MoverOf(g);
+            const QubitId partner = g.q0 == mover ? g.q1 : g.q0;
+            // A previously allocated route may already carry this pass's
+            // mover; one route per ion per pass.
+            bool operand_taken = false;
+            for (const Route& r : routes) {
+                if (r.mover == mover || r.mover == partner) {
+                    operand_taken = true;
+                    break;
+                }
+            }
+            if (operand_taken) {
+                continue;
+            }
+            const std::vector<NodeId> path =
+                FindPath(state_.NodeOf(mover), state_.NodeOf(partner),
+                         avail, seg_avail);
+            if (path.empty()) {
+                continue;
+            }
+            // Reject detours: when the shortest physical route is blocked
+            // by this pass's allocations, deferring the gate one pass is
+            // far cheaper than dragging the ion through occupied traps
+            // (every pass-through costs a merge, gate swaps, and a split).
+            if (options_.reject_detours) {
+                const std::vector<NodeId> direct =
+                    FindPath(state_.NodeOf(mover), state_.NodeOf(partner),
+                             unconstrained_avail, all_segments);
+                if (!direct.empty() && path.size() > direct.size()) {
+                    continue;
+                }
+            }
+            Allocate(path, avail, seg_avail);
+            routes.push_back({id, mover, path});
+        }
+        if (routes.empty()) {
+            if (frontier_.num_retired() == before) {
+                std::ostringstream os;
+                os << "routing deadlock in pass " << pass_ << " with "
+                   << blocked.size() << " blocked gates";
+                result.error = os.str();
+                return result;
+            }
+            ++pass_;
+            continue;
+        }
+        // Step (7): movement primitives.
+        for (const Route& r : routes) {
+            EmitPath(r.mover, r.path);
+        }
+        // Step (8): the gates that required routing, plus any gates the
+        // new co-locations unblocked (multi-gate visits at high capacity).
+        for (const Route& r : routes) {
+            [[maybe_unused]] const circuit::Gate& g = native_.gate(r.gate);
+            assert(state_.NodeOf(g.q0) == state_.NodeOf(g.q1));
+            EmitGate(r.gate);
+        }
+        EmitLocalGates();
+        // Step (9): restore the pass-boundary invariants.
+        for (const Route& r : routes) {
+            ReRoute(r.mover);
+        }
+        ++pass_;
+    }
+    result.ok = true;
+    result.ops = std::move(out_);
+    result.num_passes = pass_;
+    result.num_movement_ops = movement_ops_;
+    return result;
+}
+
+}  // namespace
+
+RouteResult
+RouteCircuitReference(const circuit::Circuit& native,
+                      const std::vector<char>& mobile,
+                      const qccd::DeviceGraph& graph,
+                      const Placement& placement,
+                      const RouterOptions& options)
+{
+    assert(static_cast<int>(mobile.size()) == native.num_qubits());
+    ReferenceRouter router(native, mobile, graph, placement, options);
+    return router.Run();
+}
+
+}  // namespace tiqec::compiler

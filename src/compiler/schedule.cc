@@ -4,6 +4,30 @@
 
 namespace tiqec::compiler {
 
+Microseconds
+UnionMeasure(std::vector<std::pair<Microseconds, Microseconds>>& intervals)
+{
+    std::sort(intervals.begin(), intervals.end());
+    Microseconds total = 0.0;
+    Microseconds cur_start = 0.0;
+    Microseconds cur_end = -1.0;
+    for (const auto& [s, e] : intervals) {
+        if (s > cur_end) {
+            if (cur_end >= 0.0) {
+                total += cur_end - cur_start;
+            }
+            cur_start = s;
+            cur_end = e;
+        } else {
+            cur_end = std::max(cur_end, e);
+        }
+    }
+    if (cur_end >= 0.0) {
+        total += cur_end - cur_start;
+    }
+    return total;
+}
+
 void
 Schedule::RecomputeStats()
 {
@@ -18,23 +42,7 @@ Schedule::RecomputeStats()
             intervals.emplace_back(t.start, t.end());
         }
     }
-    std::sort(intervals.begin(), intervals.end());
-    Microseconds cur_start = 0.0;
-    Microseconds cur_end = -1.0;
-    for (const auto& [s, e] : intervals) {
-        if (s > cur_end) {
-            if (cur_end >= 0.0) {
-                movement_time += cur_end - cur_start;
-            }
-            cur_start = s;
-            cur_end = e;
-        } else {
-            cur_end = std::max(cur_end, e);
-        }
-    }
-    if (cur_end >= 0.0) {
-        movement_time += cur_end - cur_start;
-    }
+    movement_time = UnionMeasure(intervals);
 }
 
 }  // namespace tiqec::compiler

@@ -56,6 +56,14 @@ struct Schedule
     void RecomputeStats();
 };
 
+/**
+ * Total measure of the union of `intervals` (sorted in place). Shared by
+ * RecomputeStats and the fast scheduler's inline stats so the movement-
+ * time arithmetic can never diverge between them.
+ */
+Microseconds UnionMeasure(
+    std::vector<std::pair<Microseconds, Microseconds>>& intervals);
+
 }  // namespace tiqec::compiler
 
 #endif  // TIQEC_COMPILER_SCHEDULE_H

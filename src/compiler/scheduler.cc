@@ -1,7 +1,29 @@
+/**
+ * @file
+ * Overhauled list-scheduler hot path (see scheduler.h for the model,
+ * DESIGN.md §1 for the write-up). Timestamps are bit-identical to
+ * scheduler_reference.cc — pinned by the differential suite in
+ * compiler_golden_test — with these structural changes:
+ *
+ *  - capacity-1 junctions (all grid/linear junctions) track one scalar
+ *    free-at time; only multi-slot junctions (the switch hub has one
+ *    slot per trap) keep a min-heap of free slots keyed (free-at, slot),
+ *    which reproduces the reference's linear first-minimum scan;
+ *  - per-op kind dispatch (durations incl. cooling, resource flags) is
+ *    precomputed into dense lookup tables;
+ *  - the WISE cross-kind conflict search processes the other kinds'
+ *    scheduled intervals in nondecreasing start order (a single sweep
+ *    reaches the same least fixpoint the reference's repeated full
+ *    rescans converge to) over per-kind start-sorted interval lists;
+ *  - all working state is thread_local and reused across calls, and the
+ *    schedule stats are accumulated inline instead of via a second pass.
+ */
 #include "compiler/scheduler.h"
 
 #include <algorithm>
-#include <cassert>
+#include <queue>
+
+#include "common/check.h"
 
 namespace tiqec::compiler {
 
@@ -14,37 +36,77 @@ using qccd::PrimitiveOp;
 constexpr Microseconds kHeld = 1e30;
 
 /**
- * Earliest-free slot tracker for a multi-capacity resource with hold
- * semantics: an ion occupies a junction from the start of its entry until
- * the end of its exit, so Acquire marks a slot held (infinite) and
- * Release finalises it when the exit is scheduled.
+ * Min-heap of free slots for a multi-capacity junction with hold
+ * semantics (an ion occupies the junction from the start of its entry
+ * until the end of its exit). Held slots are absent from the heap, so an
+ * empty heap reports "infinitely" busy exactly like the reference's
+ * linear min over kHeld entries, and the (time, slot) key reproduces the
+ * reference's first-minimum tie-break.
  */
-class SlotResource
+class SlotHeap
 {
   public:
-    explicit SlotResource(int capacity = 1)
-        : slots_(std::max(1, capacity), 0.0)
+    explicit SlotHeap(int capacity)
     {
+        for (int i = 0; i < capacity; ++i) {
+            free_.push({0.0, i});
+        }
     }
 
     Microseconds EarliestFree() const
     {
-        return *std::min_element(slots_.begin(), slots_.end());
+        return free_.empty() ? kHeld : free_.top().first;
     }
 
     /** Marks the earliest slot held; returns its index. */
     int Acquire()
     {
-        const auto it = std::min_element(slots_.begin(), slots_.end());
-        *it = kHeld;
-        return static_cast<int>(it - slots_.begin());
+        TIQEC_CHECK(!free_.empty(),
+                    "junction entry beyond capacity (invalid stream)");
+        const int slot = free_.top().second;
+        free_.pop();
+        return slot;
     }
 
-    void Release(int slot, Microseconds at) { slots_[slot] = at; }
+    void Release(int slot, Microseconds at) { free_.push({at, slot}); }
 
   private:
-    std::vector<Microseconds> slots_;
+    using Slot = std::pair<Microseconds, int>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> free_;
 };
+
+// Per-kind resource flags.
+constexpr unsigned kUsesTrap = 1u << 0;
+constexpr unsigned kAcquiresSegment = 1u << 1;
+constexpr unsigned kReleasesSegment = 1u << 2;
+constexpr unsigned kIsMovement = 1u << 3;
+constexpr unsigned kIsTransport = 1u << 4;
+using qccd::kNumOpKinds;
+
+unsigned
+FlagsOf(OpKind kind)
+{
+    unsigned flags = 0;
+    if (kind == OpKind::kMs || kind == OpKind::kRotation ||
+        kind == OpKind::kMeasure || kind == OpKind::kReset ||
+        kind == OpKind::kGateSwap || kind == OpKind::kSplit ||
+        kind == OpKind::kMerge) {
+        flags |= kUsesTrap;
+    }
+    if (kind == OpKind::kSplit || kind == OpKind::kJunctionExit) {
+        flags |= kAcquiresSegment;
+    }
+    if (kind == OpKind::kMerge || kind == OpKind::kJunctionEnter) {
+        flags |= kReleasesSegment;
+    }
+    if (qccd::IsMovement(kind)) {
+        flags |= kIsMovement;
+    }
+    if (qccd::IsTransport(kind)) {
+        flags |= kIsTransport;
+    }
+    return flags;
+}
 
 }  // namespace
 
@@ -57,17 +119,87 @@ ScheduleStream(const std::vector<PrimitiveOp>& ops,
     Schedule schedule;
     schedule.ops.reserve(ops.size());
 
-    // Resource free-at times.
-    std::vector<Microseconds> trap_free(graph.num_nodes(), 0.0);
-    std::vector<Microseconds> segment_free(graph.num_segments(), 0.0);
-    std::vector<SlotResource> junction;
-    junction.reserve(graph.num_nodes());
-    for (const auto& n : graph.nodes()) {
-        junction.emplace_back(n.kind == NodeKind::kJunction ? n.capacity : 1);
-    }
-    std::vector<Microseconds> ion_free;
+    // Resource free-at times. All scratch is thread_local and reused
+    // across calls (the sweep engine schedules one stream per candidate
+    // per worker thread).
+    thread_local std::vector<Microseconds> trap_free;
+    thread_local std::vector<Microseconds> segment_free;
+    // Capacity-1 junctions (every grid/linear junction) are a scalar
+    // free-at per node; multi-slot junctions (switch hub) get a SlotHeap.
+    thread_local std::vector<Microseconds> junction_single;
+    thread_local std::vector<int> junction_multi_index;
+    thread_local std::vector<SlotHeap> junction_multi;
+    thread_local std::vector<Microseconds> ion_free;
     // Per-ion (junction node, slot) currently held between entry and exit.
-    std::vector<std::pair<int, int>> held_junction_slot;
+    thread_local std::vector<std::pair<int, int>> held_junction_slot;
+    trap_free.assign(graph.num_nodes(), 0.0);
+    segment_free.assign(graph.num_segments(), 0.0);
+    junction_single.assign(graph.num_nodes(), 0.0);
+    junction_multi_index.assign(graph.num_nodes(), -1);
+    junction_multi.clear();
+    for (int i = 0; i < graph.num_nodes(); ++i) {
+        const auto& n = graph.node(NodeId(i));
+        if (n.kind == NodeKind::kJunction && n.capacity > 1) {
+            junction_multi_index[i] =
+                static_cast<int>(junction_multi.size());
+            junction_multi.emplace_back(n.capacity);
+        }
+    }
+    auto junction_earliest = [&](int node) {
+        const int m = junction_multi_index[node];
+        return m < 0 ? junction_single[node]
+                     : junction_multi[m].EarliestFree();
+    };
+    auto junction_acquire = [&](int node) {
+        const int m = junction_multi_index[node];
+        if (m < 0) {
+            TIQEC_CHECK(junction_single[node] < kHeld,
+                        "junction entry beyond capacity (invalid stream)");
+            junction_single[node] = kHeld;
+            return 0;
+        }
+        return junction_multi[m].Acquire();
+    };
+    auto junction_release = [&](int node, int slot, Microseconds at) {
+        const int m = junction_multi_index[node];
+        if (m < 0) {
+            junction_single[node] = at;
+        } else {
+            junction_multi[m].Release(slot, at);
+        }
+    };
+    // Ion tables pre-sized in one scan (streams name ions densely).
+    int max_ion = -1;
+    for (const PrimitiveOp& op : ops) {
+        max_ion = std::max(max_ion, op.ion0.value);
+        if (op.ion1.valid()) {
+            max_ion = std::max(max_ion, op.ion1.value);
+        }
+    }
+    ion_free.assign(max_ion + 1, 0.0);
+    held_junction_slot.assign(max_ion + 1, {-1, -1});
+
+    thread_local std::vector<std::pair<Microseconds, Microseconds>>
+        movement_intervals;
+    movement_intervals.clear();
+
+    // Per-kind dispatch tables: duration (cooling included) and resource
+    // flags — the exact values the reference computes per op.
+    Microseconds duration_of[kNumOpKinds];
+    unsigned flags_of[kNumOpKinds];
+    for (int k = 0; k < kNumOpKinds; ++k) {
+        const auto kind = static_cast<OpKind>(k);
+        Microseconds d = timing.DurationOf(kind);
+        if (options.cooling_per_two_qubit_gate > 0.0) {
+            if (kind == OpKind::kMs) {
+                d += options.cooling_per_two_qubit_gate;
+            } else if (kind == OpKind::kGateSwap) {
+                d += 3.0 * options.cooling_per_two_qubit_gate;
+            }
+        }
+        duration_of[k] = d;
+        flags_of[k] = FlagsOf(kind);
+    }
 
     // Router pass movement barrier.
     Microseconds barrier = 0.0;         // all movement in passes < cur done by
@@ -78,10 +210,13 @@ ScheduleStream(const std::vector<PrimitiveOp>& ops,
     // kinds may never overlap in time (all dynamic electrodes share the
     // demultiplexed DAC bus, which broadcasts one waveform type at a
     // time), but any number of same-kind ops may co-occur. Scheduled
-    // transport intervals are kept per kind; a new op starts at the
-    // earliest instant where no other-kind interval overlaps it, which
-    // makes the ASAP scheduler discover the odd-even-sort style phase
-    // batching (all splits, then all shuttles, ...).
+    // transport intervals are kept per kind, sorted by start; a new op
+    // starts at the earliest instant where no other-kind interval
+    // overlaps it, found by one sweep over the other kinds' intervals in
+    // nondecreasing start order (the reference's repeated full rescans
+    // converge to the same least fixpoint), which makes the ASAP
+    // scheduler discover the odd-even-sort style phase batching (all
+    // splits, then all shuttles, ...).
     constexpr int kNumTransportKinds = 5;
     auto transport_rank = [](OpKind kind) {
         switch (kind) {
@@ -93,38 +228,61 @@ ScheduleStream(const std::vector<PrimitiveOp>& ops,
           default: return -1;
         }
     };
-    std::vector<std::vector<std::pair<Microseconds, Microseconds>>>
-        wise_intervals(kNumTransportKinds);
+    using Interval = std::pair<Microseconds, Microseconds>;
+    thread_local std::vector<std::vector<Interval>> wise_intervals;
+    wise_intervals.resize(kNumTransportKinds);
+    for (auto& intervals : wise_intervals) {
+        intervals.clear();
+    }
     auto wise_earliest = [&](int rank, Microseconds lower,
                              Microseconds duration) {
         Microseconds s = lower;
-        bool moved = true;
-        while (moved) {
-            moved = false;
+        // Merge-sweep the four other kinds' start-sorted interval lists.
+        size_t idx[kNumTransportKinds] = {};
+        while (true) {
+            int best = -1;
             for (int k = 0; k < kNumTransportKinds; ++k) {
-                if (k == rank) {
+                if (k == rank || idx[k] >= wise_intervals[k].size()) {
                     continue;
                 }
-                for (const auto& [a, b] : wise_intervals[k]) {
-                    if (a < s + duration && s < b) {
-                        s = b;
-                        moved = true;
-                    }
+                if (best < 0 || wise_intervals[k][idx[k]].first <
+                                    wise_intervals[best][idx[best]].first) {
+                    best = k;
                 }
             }
+            if (best < 0) {
+                break;
+            }
+            const auto& [a, b] = wise_intervals[best][idx[best]];
+            if (a >= s + duration) {
+                break;  // sorted: nothing later can overlap either
+            }
+            if (b > s) {
+                s = b;
+            }
+            ++idx[best];
         }
         return s;
+    };
+    auto wise_insert = [&](int rank, Microseconds start, Microseconds end) {
+        auto& intervals = wise_intervals[rank];
+        const auto pos = std::upper_bound(
+            intervals.begin(), intervals.end(), start,
+            [](Microseconds s, const Interval& iv) { return s < iv.first; });
+        intervals.insert(pos, {start, end});
     };
 
     for (const PrimitiveOp& op : ops) {
         if (op.pass != cur_pass) {
-            assert(op.pass > cur_pass);
+            TIQEC_CHECK(op.pass > cur_pass,
+                        "instruction stream pass numbers must not decrease");
             barrier = std::max(barrier, pass_move_end);
             pass_move_end = 0.0;
             cur_pass = op.pass;
             if (options.wise) {
                 // Movement in this pass starts at or after the barrier,
                 // so finished WISE intervals can no longer conflict.
+                // erase_if keeps each list start-sorted.
                 for (auto& intervals : wise_intervals) {
                     std::erase_if(intervals, [&](const auto& iv) {
                         return iv.second <= barrier;
@@ -132,21 +290,9 @@ ScheduleStream(const std::vector<PrimitiveOp>& ops,
                 }
             }
         }
-        Microseconds duration = timing.DurationOf(op.kind);
-        if (options.cooling_per_two_qubit_gate > 0.0) {
-            if (op.kind == OpKind::kMs) {
-                duration += options.cooling_per_two_qubit_gate;
-            } else if (op.kind == OpKind::kGateSwap) {
-                duration += 3.0 * options.cooling_per_two_qubit_gate;
-            }
-        }
-
-        // Grow the ion table lazily (streams name ions densely).
-        const auto need = static_cast<size_t>(
-            std::max(op.ion0.value, op.ion1.valid() ? op.ion1.value : 0) + 1);
-        if (ion_free.size() < need) {
-            ion_free.resize(need, 0.0);
-        }
+        const unsigned flags = flags_of[static_cast<int>(op.kind)];
+        const Microseconds duration =
+            duration_of[static_cast<int>(op.kind)];
 
         Microseconds start = ion_free[op.ion0.value];
         if (op.ion1.valid()) {
@@ -158,29 +304,21 @@ ScheduleStream(const std::vector<PrimitiveOp>& ops,
         // (merge, junction enter); junctions likewise between entry and
         // exit. Gates and split/merge engage the trap's single gate/
         // transport unit for their own duration.
-        const bool uses_trap =
-            op.kind == OpKind::kMs || op.kind == OpKind::kRotation ||
-            op.kind == OpKind::kMeasure || op.kind == OpKind::kReset ||
-            op.kind == OpKind::kGateSwap || op.kind == OpKind::kSplit ||
-            op.kind == OpKind::kMerge;
-        const bool acquires_segment = op.kind == OpKind::kSplit ||
-                                      op.kind == OpKind::kJunctionExit;
-        const bool releases_segment = op.kind == OpKind::kMerge ||
-                                      op.kind == OpKind::kJunctionEnter;
-        if (uses_trap && op.node.valid()) {
+        if ((flags & kUsesTrap) != 0 && op.node.valid()) {
             start = std::max(start, trap_free[op.node.value]);
         }
-        if (acquires_segment) {
-            assert(op.segment.valid());
+        if ((flags & kAcquiresSegment) != 0) {
+            TIQEC_CHECK(op.segment.valid(),
+                        "segment-acquiring op without a segment");
             start = std::max(start, segment_free[op.segment.value]);
         }
         if (op.kind == OpKind::kJunctionEnter) {
-            assert(op.node.valid());
-            start = std::max(start, junction[op.node.value].EarliestFree());
+            TIQEC_CHECK(op.node.valid(), "junction-enter without a node");
+            start = std::max(start, junction_earliest(op.node.value));
         }
-        if (qccd::IsMovement(op.kind)) {
+        if ((flags & kIsMovement) != 0) {
             start = std::max(start, barrier);
-            if (options.wise && qccd::IsTransport(op.kind)) {
+            if (options.wise && (flags & kIsTransport) != 0) {
                 start = wise_earliest(transport_rank(op.kind), start,
                                       duration);
             }
@@ -191,44 +329,46 @@ ScheduleStream(const std::vector<PrimitiveOp>& ops,
         if (op.ion1.valid()) {
             ion_free[op.ion1.value] = end;
         }
-        if (uses_trap && op.node.valid()) {
+        if ((flags & kUsesTrap) != 0 && op.node.valid()) {
             trap_free[op.node.value] = end;
         }
-        if (acquires_segment) {
+        if ((flags & kAcquiresSegment) != 0) {
             segment_free[op.segment.value] = kHeld;
         }
-        if (releases_segment) {
-            assert(op.segment.valid());
+        if ((flags & kReleasesSegment) != 0) {
+            TIQEC_CHECK(op.segment.valid(),
+                        "segment-releasing op without a segment");
             segment_free[op.segment.value] = end;
         }
         if (op.kind == OpKind::kJunctionEnter) {
-            const auto ion_idx = static_cast<size_t>(op.ion0.value);
-            if (held_junction_slot.size() <= ion_idx) {
-                held_junction_slot.resize(ion_idx + 1, {-1, -1});
-            }
-            held_junction_slot[ion_idx] = {op.node.value,
-                                           junction[op.node.value].Acquire()};
+            held_junction_slot[op.ion0.value] = {
+                op.node.value, junction_acquire(op.node.value)};
         }
         if (op.kind == OpKind::kJunctionExit) {
-            const auto ion_idx = static_cast<size_t>(op.ion0.value);
-            assert(ion_idx < held_junction_slot.size() &&
-                   held_junction_slot[ion_idx].first == op.node.value);
-            junction[op.node.value].Release(
-                held_junction_slot[ion_idx].second, end);
-            held_junction_slot[ion_idx] = {-1, -1};
+            auto& held = held_junction_slot[op.ion0.value];
+            TIQEC_CHECK(held.first == op.node.value,
+                        "junction-exit for ion " << op.ion0
+                                                 << " without a held slot");
+            junction_release(op.node.value, held.second, end);
+            held = {-1, -1};
         }
-        if (qccd::IsMovement(op.kind)) {
+        if ((flags & kIsMovement) != 0) {
             pass_move_end = std::max(pass_move_end, end);
-            if (options.wise && qccd::IsTransport(op.kind)) {
-                wise_intervals[transport_rank(op.kind)].emplace_back(start,
-                                                                     end);
+            if (options.wise && (flags & kIsTransport) != 0) {
+                wise_insert(transport_rank(op.kind), start, end);
             }
+            ++schedule.num_movement_ops;
+            movement_intervals.emplace_back(start, end);
         }
+        schedule.makespan = std::max(schedule.makespan, end);
 
         schedule.ops.push_back(
             {.op = op, .start = start, .duration = duration});
     }
-    schedule.RecomputeStats();
+    // Movement time = measure of the union of movement intervals —
+    // UnionMeasure is the same helper RecomputeStats uses, fed the
+    // reused buffer instead of a fresh pass and allocation.
+    schedule.movement_time = UnionMeasure(movement_intervals);
     return schedule;
 }
 

@@ -49,6 +49,18 @@ Schedule ScheduleStream(const std::vector<qccd::PrimitiveOp>& ops,
                         const qccd::TimingModel& timing,
                         const SchedulerOptions& options = {});
 
+/**
+ * Pre-overhaul reference scheduler (linear slot scans, quadratic WISE
+ * conflict fixpoint). Bit-identical timestamps to ScheduleStream —
+ * pinned by the differential suite in compiler_golden_test — at
+ * pre-overhaul speed. Used by differential tests and
+ * bench_compile_throughput only.
+ */
+Schedule ScheduleStreamReference(const std::vector<qccd::PrimitiveOp>& ops,
+                                 const qccd::DeviceGraph& graph,
+                                 const qccd::TimingModel& timing,
+                                 const SchedulerOptions& options = {});
+
 }  // namespace tiqec::compiler
 
 #endif  // TIQEC_COMPILER_SCHEDULER_H

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Pre-overhaul reference implementation of the list scheduler (see
+ * scheduler.h). Kept verbatim — linear junction-slot scans, quadratic
+ * WISE conflict fixpoint — as the behavioural oracle for the overhauled
+ * hot path in scheduler.cc: compiler_golden_test asserts bit-identical
+ * timestamps, bench_compile_throughput reports the before/after speed.
+ *
+ * Do not optimise this file; change it only when the scheduling policy
+ * deliberately changes (and update the golden tables in the same commit).
+ */
+#include <algorithm>
+#include <cassert>
+
+#include "compiler/scheduler.h"
+
+namespace tiqec::compiler {
+
+namespace {
+
+using qccd::NodeKind;
+using qccd::OpKind;
+using qccd::PrimitiveOp;
+
+constexpr Microseconds kHeld = 1e30;
+
+/**
+ * Earliest-free slot tracker for a multi-capacity resource with hold
+ * semantics: an ion occupies a junction from the start of its entry until
+ * the end of its exit, so Acquire marks a slot held (infinite) and
+ * Release finalises it when the exit is scheduled.
+ */
+class SlotResource
+{
+  public:
+    explicit SlotResource(int capacity = 1)
+        : slots_(std::max(1, capacity), 0.0)
+    {
+    }
+
+    Microseconds EarliestFree() const
+    {
+        return *std::min_element(slots_.begin(), slots_.end());
+    }
+
+    /** Marks the earliest slot held; returns its index. */
+    int Acquire()
+    {
+        const auto it = std::min_element(slots_.begin(), slots_.end());
+        *it = kHeld;
+        return static_cast<int>(it - slots_.begin());
+    }
+
+    void Release(int slot, Microseconds at) { slots_[slot] = at; }
+
+  private:
+    std::vector<Microseconds> slots_;
+};
+
+}  // namespace
+
+Schedule
+ScheduleStreamReference(const std::vector<PrimitiveOp>& ops,
+                        const qccd::DeviceGraph& graph,
+                        const qccd::TimingModel& timing,
+                        const SchedulerOptions& options)
+{
+    Schedule schedule;
+    schedule.ops.reserve(ops.size());
+
+    // Resource free-at times.
+    std::vector<Microseconds> trap_free(graph.num_nodes(), 0.0);
+    std::vector<Microseconds> segment_free(graph.num_segments(), 0.0);
+    std::vector<SlotResource> junction;
+    junction.reserve(graph.num_nodes());
+    for (const auto& n : graph.nodes()) {
+        junction.emplace_back(n.kind == NodeKind::kJunction ? n.capacity : 1);
+    }
+    std::vector<Microseconds> ion_free;
+    // Per-ion (junction node, slot) currently held between entry and exit.
+    std::vector<std::pair<int, int>> held_junction_slot;
+
+    // Router pass movement barrier.
+    Microseconds barrier = 0.0;         // all movement in passes < cur done by
+    Microseconds pass_move_end = 0.0;   // movement end watermark in cur pass
+    std::int32_t cur_pass = 0;
+
+    // WISE same-kind transport concurrency: transport ops of different
+    // kinds may never overlap in time (all dynamic electrodes share the
+    // demultiplexed DAC bus, which broadcasts one waveform type at a
+    // time), but any number of same-kind ops may co-occur. Scheduled
+    // transport intervals are kept per kind; a new op starts at the
+    // earliest instant where no other-kind interval overlaps it, which
+    // makes the ASAP scheduler discover the odd-even-sort style phase
+    // batching (all splits, then all shuttles, ...).
+    constexpr int kNumTransportKinds = 5;
+    auto transport_rank = [](OpKind kind) {
+        switch (kind) {
+          case OpKind::kShuttle: return 0;
+          case OpKind::kSplit: return 1;
+          case OpKind::kMerge: return 2;
+          case OpKind::kJunctionEnter: return 3;
+          case OpKind::kJunctionExit: return 4;
+          default: return -1;
+        }
+    };
+    std::vector<std::vector<std::pair<Microseconds, Microseconds>>>
+        wise_intervals(kNumTransportKinds);
+    auto wise_earliest = [&](int rank, Microseconds lower,
+                             Microseconds duration) {
+        Microseconds s = lower;
+        bool moved = true;
+        while (moved) {
+            moved = false;
+            for (int k = 0; k < kNumTransportKinds; ++k) {
+                if (k == rank) {
+                    continue;
+                }
+                for (const auto& [a, b] : wise_intervals[k]) {
+                    if (a < s + duration && s < b) {
+                        s = b;
+                        moved = true;
+                    }
+                }
+            }
+        }
+        return s;
+    };
+
+    for (const PrimitiveOp& op : ops) {
+        if (op.pass != cur_pass) {
+            assert(op.pass > cur_pass);
+            barrier = std::max(barrier, pass_move_end);
+            pass_move_end = 0.0;
+            cur_pass = op.pass;
+            if (options.wise) {
+                // Movement in this pass starts at or after the barrier,
+                // so finished WISE intervals can no longer conflict.
+                for (auto& intervals : wise_intervals) {
+                    std::erase_if(intervals, [&](const auto& iv) {
+                        return iv.second <= barrier;
+                    });
+                }
+            }
+        }
+        Microseconds duration = timing.DurationOf(op.kind);
+        if (options.cooling_per_two_qubit_gate > 0.0) {
+            if (op.kind == OpKind::kMs) {
+                duration += options.cooling_per_two_qubit_gate;
+            } else if (op.kind == OpKind::kGateSwap) {
+                duration += 3.0 * options.cooling_per_two_qubit_gate;
+            }
+        }
+
+        // Grow the ion table lazily (streams name ions densely).
+        const auto need = static_cast<size_t>(
+            std::max(op.ion0.value, op.ion1.valid() ? op.ion1.value : 0) + 1);
+        if (ion_free.size() < need) {
+            ion_free.resize(need, 0.0);
+        }
+
+        Microseconds start = ion_free[op.ion0.value];
+        if (op.ion1.valid()) {
+            start = std::max(start, ion_free[op.ion1.value]);
+        }
+
+        // Resource usage. Segments are held from the op that puts an ion
+        // into them (split, junction exit) until the op that takes it out
+        // (merge, junction enter); junctions likewise between entry and
+        // exit. Gates and split/merge engage the trap's single gate/
+        // transport unit for their own duration.
+        const bool uses_trap =
+            op.kind == OpKind::kMs || op.kind == OpKind::kRotation ||
+            op.kind == OpKind::kMeasure || op.kind == OpKind::kReset ||
+            op.kind == OpKind::kGateSwap || op.kind == OpKind::kSplit ||
+            op.kind == OpKind::kMerge;
+        const bool acquires_segment = op.kind == OpKind::kSplit ||
+                                      op.kind == OpKind::kJunctionExit;
+        const bool releases_segment = op.kind == OpKind::kMerge ||
+                                      op.kind == OpKind::kJunctionEnter;
+        if (uses_trap && op.node.valid()) {
+            start = std::max(start, trap_free[op.node.value]);
+        }
+        if (acquires_segment) {
+            assert(op.segment.valid());
+            start = std::max(start, segment_free[op.segment.value]);
+        }
+        if (op.kind == OpKind::kJunctionEnter) {
+            assert(op.node.valid());
+            start = std::max(start, junction[op.node.value].EarliestFree());
+        }
+        if (qccd::IsMovement(op.kind)) {
+            start = std::max(start, barrier);
+            if (options.wise && qccd::IsTransport(op.kind)) {
+                start = wise_earliest(transport_rank(op.kind), start,
+                                      duration);
+            }
+        }
+
+        const Microseconds end = start + duration;
+        ion_free[op.ion0.value] = end;
+        if (op.ion1.valid()) {
+            ion_free[op.ion1.value] = end;
+        }
+        if (uses_trap && op.node.valid()) {
+            trap_free[op.node.value] = end;
+        }
+        if (acquires_segment) {
+            segment_free[op.segment.value] = kHeld;
+        }
+        if (releases_segment) {
+            assert(op.segment.valid());
+            segment_free[op.segment.value] = end;
+        }
+        if (op.kind == OpKind::kJunctionEnter) {
+            const auto ion_idx = static_cast<size_t>(op.ion0.value);
+            if (held_junction_slot.size() <= ion_idx) {
+                held_junction_slot.resize(ion_idx + 1, {-1, -1});
+            }
+            held_junction_slot[ion_idx] = {op.node.value,
+                                           junction[op.node.value].Acquire()};
+        }
+        if (op.kind == OpKind::kJunctionExit) {
+            const auto ion_idx = static_cast<size_t>(op.ion0.value);
+            assert(ion_idx < held_junction_slot.size() &&
+                   held_junction_slot[ion_idx].first == op.node.value);
+            junction[op.node.value].Release(
+                held_junction_slot[ion_idx].second, end);
+            held_junction_slot[ion_idx] = {-1, -1};
+        }
+        if (qccd::IsMovement(op.kind)) {
+            pass_move_end = std::max(pass_move_end, end);
+            if (options.wise && qccd::IsTransport(op.kind)) {
+                wise_intervals[transport_rank(op.kind)].emplace_back(start,
+                                                                     end);
+            }
+        }
+
+        schedule.ops.push_back(
+            {.op = op, .start = start, .duration = duration});
+    }
+    schedule.RecomputeStats();
+    return schedule;
+}
+
+}  // namespace tiqec::compiler

@@ -1,10 +1,9 @@
 #include "qccd/device_state.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cstdlib>
-#include <iostream>
 #include <sstream>
+
+#include "common/check.h"
 
 namespace tiqec::qccd {
 
@@ -13,8 +12,7 @@ namespace {
 [[noreturn]] void
 Fail(const std::string& msg)
 {
-    std::cerr << "DeviceState constraint violation: " << msg << "\n";
-    std::abort();
+    throw CheckError("DeviceState constraint violation: " + msg);
 }
 
 }  // namespace
@@ -33,9 +31,11 @@ DeviceState::DeviceState(const DeviceGraph& graph, int num_ions)
 void
 DeviceState::LoadIon(QubitId ion, NodeId trap)
 {
-    assert(!node_[ion.value].valid() && !segment_[ion.value].valid());
+    TIQEC_CHECK(!node_[ion.value].valid() && !segment_[ion.value].valid(),
+                "loading already-placed ion " << ion);
     const DeviceNode& n = graph_->node(trap);
-    assert(n.kind == NodeKind::kTrap);
+    TIQEC_CHECK(n.kind == NodeKind::kTrap,
+                "loading ion " << ion << " into non-trap node " << trap);
     if (static_cast<int>(chains_[trap.value].size()) >= n.capacity) {
         Fail("loading ion into a full trap");
     }
@@ -58,10 +58,13 @@ int
 DeviceState::SwapsToEnd(QubitId ion, SegmentId seg) const
 {
     const NodeId trap = node_[ion.value];
-    assert(trap.valid() && place_[ion.value] == IonPlace::kTrap);
+    TIQEC_CHECK(trap.valid() && place_[ion.value] == IonPlace::kTrap,
+                "SwapsToEnd: ion " << ion << " is not in a trap");
     const auto& chain = chains_[trap.value];
     const auto it = std::find(chain.begin(), chain.end(), ion);
-    assert(it != chain.end());
+    TIQEC_CHECK(it != chain.end(),
+                "SwapsToEnd: ion " << ion << " missing from chain of trap "
+                                   << trap);
     const int idx = static_cast<int>(it - chain.begin());
     const int n = static_cast<int>(chain.size());
     // Side 0 (first incident segment) is the chain front; any other side
@@ -76,7 +79,9 @@ DeviceState::RemoveFromChain(NodeId trap, QubitId ion)
 {
     auto& chain = chains_[trap.value];
     const auto it = std::find(chain.begin(), chain.end(), ion);
-    assert(it != chain.end());
+    TIQEC_CHECK(it != chain.end(),
+                "RemoveFromChain: ion " << ion << " missing from chain of "
+                                        << "trap " << trap);
     chain.erase(it);
 }
 
@@ -86,7 +91,9 @@ DeviceState::ApplySwapTowardEnd(QubitId ion, SegmentId seg)
     const NodeId trap = node_[ion.value];
     auto& chain = chains_[trap.value];
     const auto it = std::find(chain.begin(), chain.end(), ion);
-    assert(it != chain.end());
+    TIQEC_CHECK(it != chain.end(),
+                "ApplySwapTowardEnd: ion " << ion << " missing from chain "
+                                           << "of trap " << trap);
     const auto& segs = graph_->node(trap).segments;
     const bool front = segs.empty() || segs.front() == seg;
     if (front) {
@@ -258,7 +265,11 @@ DeviceState::TryApply(const PrimitiveOp& op)
             return err("segment occupied");
         }
         auto& ions = junction_ions_[jxn.value];
-        ions.erase(std::find(ions.begin(), ions.end(), ion));
+        const auto it = std::find(ions.begin(), ions.end(), ion);
+        TIQEC_CHECK(it != ions.end(), "junction-exit: ion "
+                                          << ion << " missing from junction "
+                                          << jxn << " occupant list");
+        ions.erase(it);
         place_[ion.value] = IonPlace::kSegment;
         node_[ion.value] = NodeId();
         segment_[ion.value] = op.segment;

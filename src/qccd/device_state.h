@@ -68,8 +68,9 @@ class DeviceState
      */
     int SwapsToEnd(QubitId ion, SegmentId seg) const;
 
-    // -- Primitive applications (abort with a failure message on any
-    //    constraint violation; see TryApply for non-fatal checking). ------
+    // -- Primitive applications (throw tiqec::CheckError with a failure
+    //    message on any constraint violation — in release builds too; see
+    //    TryApply for non-throwing checking). ----------------------------
 
     void ApplySwapTowardEnd(QubitId ion, SegmentId seg);
     void ApplySplit(QubitId ion, SegmentId seg);

@@ -31,8 +31,13 @@ enum class OpKind : std::uint8_t {
     kJunctionEnter, ///< t10: segment -> junction
     kJunctionExit,  ///< t11: junction -> segment
     // Composite movement helper.
-    kGateSwap,      ///< swap two neighbouring ions in a trap (3 MS gates)
+    kGateSwap,      ///< swap two neighbouring ions in a trap (3 MS gates);
+                    ///< keep last — kNumOpKinds counts from it
 };
+
+/** Number of OpKind enumerators (dense, starting at 0) — sizes per-kind
+ *  dispatch tables; update the comment above if the enum grows. */
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kGateSwap) + 1;
 
 /** True for the reconfiguration primitives t7-t11. */
 constexpr bool

@@ -1,8 +1,9 @@
 #include "qec/code.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace tiqec::qec {
 
@@ -32,8 +33,9 @@ void
 StabilizerCode::AddCheck(QubitId ancilla, CheckType type,
                          std::vector<QubitId> data_order)
 {
-    assert(ancilla.valid());
-    assert(qubits_[ancilla.value].role == QubitRole::kAncilla);
+    TIQEC_CHECK(ancilla.valid(), "AddCheck: invalid ancilla id");
+    TIQEC_CHECK(qubits_[ancilla.value].role == QubitRole::kAncilla,
+                "AddCheck: qubit " << ancilla << " is not an ancilla");
     checks_.push_back(
         {.ancilla = ancilla, .type = type, .data_order = std::move(data_order)});
 }
@@ -109,6 +111,10 @@ RectangularSurfaceCode::RectangularSurfaceCode(int distance_x,
     }
     const int dx = distance_x;
     const int dy = distance_y;
+    // Pre-size for the full patch (dx*dy data + dx*dy-1 ancillas): the
+    // d=7/9 sweep workloads construct codes in bulk and the incremental
+    // push_back growth shows up there.
+    ReserveQubits(2 * dx * dy - 1, dx * dy - 1);
     // Data qubit (i, j) at doubled coordinate (2i+1, 2j+1).
     std::vector<QubitId> data(dx * dy);
     auto data_at = [&](int i, int j) -> QubitId {
@@ -160,7 +166,10 @@ RectangularSurfaceCode::RectangularSurfaceCode(int distance_x,
             }
         }
     }
-    assert(num_ancillas() == dx * dy - 1);
+    TIQEC_CHECK(num_ancillas() == dx * dy - 1,
+                "surface code " << dx << "x" << dy << " built "
+                                << num_ancillas() << " checks, expected "
+                                << dx * dy - 1);
     // Logical Z: horizontal data row j = 0. Logical X: vertical column
     // i = 0.
     for (int i = 0; i < dx; ++i) {
@@ -183,6 +192,7 @@ UnrotatedSurfaceCode::UnrotatedSurfaceCode(int distance)
     }
     const int d = distance;
     const int side = 2 * d - 1;
+    ReserveQubits(side * side, (side * side) / 2);
     // Qubits at all (x, y) in [0, side)^2: data where x + y is even,
     // X ancillas at (x odd, y even), Z ancillas at (x even, y odd).
     std::vector<QubitId> grid(side * side);

@@ -121,6 +121,14 @@ class StabilizerCode
     /** Adds a qubit and returns its id. */
     QubitId AddQubit(QubitRole role, Coord coord);
 
+    /** Pre-sizes the qubit/check tables (hint only; growth still works). */
+    void ReserveQubits(int num_qubits, int num_checks)
+    {
+        qubits_.reserve(num_qubits);
+        data_qubits_.reserve(num_qubits - num_checks);
+        checks_.reserve(num_checks);
+    }
+
     /** Adds a check; `ancilla` must already exist with the ancilla role. */
     void AddCheck(QubitId ancilla, CheckType type,
                   std::vector<QubitId> data_order);

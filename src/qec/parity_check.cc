@@ -7,6 +7,16 @@ BuildParityCheckRounds(const StabilizerCode& code, int rounds,
                        RoundMeasurementMap* out_map)
 {
     circuit::Circuit c(code.num_qubits());
+    {
+        int x_checks = 0;
+        int cnots = 0;
+        for (const Check& chk : code.checks()) {
+            x_checks += chk.type == CheckType::kX ? 1 : 0;
+            cnots += chk.Weight();
+        }
+        c.Reserve(rounds *
+                  (2 * code.num_ancillas() + 2 * x_checks + cnots));
+    }
     if (out_map != nullptr) {
         out_map->check_measurement.assign(
             rounds, std::vector<int>(code.num_ancillas(), -1));

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "common/disjoint_set.h"
 #include "common/hungarian.h"
 #include "common/rng.h"
@@ -269,12 +270,48 @@ TEST(StatsTest, WilsonIntervalEmpty)
     EXPECT_DOUBLE_EQ(est.rate, 0.0);
 }
 
+TEST(StatsTest, WilsonIntervalRejectsMoreSuccessesThanTrials)
+{
+    // k > n has no binomial interpretation; it used to silently return
+    // an interval around a rate above 1. The check must hold in release
+    // builds too (TIQEC_CHECK, not assert).
+    EXPECT_THROW(WilsonInterval(11, 10), CheckError);
+    EXPECT_THROW(WilsonInterval(1, 0), CheckError);
+    // The boundary k == n stays valid.
+    const auto est = WilsonInterval(10, 10);
+    EXPECT_DOUBLE_EQ(est.rate, 1.0);
+    EXPECT_DOUBLE_EQ(est.high, 1.0);
+    EXPECT_LT(est.low, 1.0);
+}
+
+TEST(StatsTest, CheckMacroReportsConditionAndContext)
+{
+    try {
+        TIQEC_CHECK(1 == 2, "context " << 42);
+        FAIL() << "TIQEC_CHECK(false) must throw";
+    } catch (const CheckError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("context 42"), std::string::npos);
+        EXPECT_NE(what.find("common_test.cc"), std::string::npos);
+    }
+}
+
 TEST(StatsTest, LineFitExact)
 {
     const auto fit = FitLine({1, 2, 3, 4}, {3, 5, 7, 9});
     EXPECT_NEAR(fit.slope, 2.0, 1e-12);
     EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
     EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(StatsTest, LineFitRejectsMismatchedOrTinyInputs)
+{
+    // These size invariants were debug-only asserts; in release builds a
+    // mismatch read out of bounds. They must throw in every build type.
+    EXPECT_THROW(FitLine({1.0, 2.0}, {1.0}), CheckError);
+    EXPECT_THROW(FitLine({1.0}, {1.0}), CheckError);
+    EXPECT_THROW(FitLine({}, {}), CheckError);
 }
 
 TEST(StatsTest, LineFitNoisy)

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "qccd/device_state.h"
 #include "qccd/timing.h"
 #include "qccd/topology.h"
@@ -259,6 +260,63 @@ TEST(DeviceStateInvariantTest, BelowCapacityCheck)
     EXPECT_TRUE(state.AllTrapsBelowCapacity());
     state.LoadIon(QubitId(1), g.traps()[0]);
     EXPECT_FALSE(state.AllTrapsBelowCapacity());
+}
+
+TEST(DeviceStateInvariantTest, StructuralViolationsThrowInReleaseBuilds)
+{
+    // These invariants used to live in assert()s (stripped under NDEBUG,
+    // leaving end() dereferences) or in an abort()ing handler. They must
+    // now throw tiqec::CheckError in every build type, so a corrupted
+    // stream fails its own candidate instead of killing a sweep.
+    const auto g = DeviceGraph::MakeLinear(3, 2);
+    DeviceState state(g, 3);
+    state.LoadIon(QubitId(0), g.traps()[0]);
+    state.LoadIon(QubitId(1), g.traps()[0]);
+
+    // Loading a third ion into a capacity-2 trap.
+    EXPECT_THROW(state.LoadIon(QubitId(2), g.traps()[0]), CheckError);
+    // Loading an ion twice.
+    EXPECT_THROW(state.LoadIon(QubitId(0), g.traps()[1]), CheckError);
+    // Loading into a junction: MakeLinear has no junctions, so exercise
+    // the trap-kind check through a grid's junction node.
+    const auto grid = DeviceGraph::MakeGrid(2, 2, 2);
+    DeviceState grid_state(grid, 1);
+    NodeId junction;
+    for (const auto& n : grid.nodes()) {
+        if (n.kind == NodeKind::kJunction) {
+            junction = n.id;
+            break;
+        }
+    }
+    ASSERT_TRUE(junction.valid());
+    EXPECT_THROW(grid_state.LoadIon(QubitId(0), junction), CheckError);
+
+    // SwapsToEnd on an ion that is not in a trap.
+    DeviceState empty(g, 1);
+    EXPECT_THROW(empty.SwapsToEnd(QubitId(0), g.segments()[0].id),
+                 CheckError);
+
+    // An invalid swap (ion already at the facing end) throws rather than
+    // corrupting the chain.
+    const SegmentId seg = g.node(g.traps()[0]).segments.front();
+    ASSERT_EQ(state.SwapsToEnd(QubitId(0), seg), 0);
+    EXPECT_THROW(state.ApplySwapTowardEnd(QubitId(0), seg), CheckError);
+}
+
+TEST(DeviceStateInvariantTest, ApplyHelpersThrowWithContext)
+{
+    // The Apply* wrappers surface TryApply's message inside the thrown
+    // error (previously they printed to stderr and aborted).
+    const auto g = DeviceGraph::MakeLinear(2, 2);
+    DeviceState state(g, 1);
+    state.LoadIon(QubitId(0), g.traps()[0]);
+    try {
+        state.ApplyMerge(QubitId(0), g.traps()[1]);
+        FAIL() << "merge of an ion that is not in a segment must throw";
+    } catch (const CheckError& e) {
+        EXPECT_NE(std::string(e.what()).find("not in a segment"),
+                  std::string::npos);
+    }
 }
 
 }  // namespace

@@ -247,6 +247,53 @@ TEST(SweepRunnerTest, SharedArtifactsAcrossSeedReplicasStayIndependent)
               outcomes[1].metrics.logical_errors);
 }
 
+TEST(SweepRunnerTest, LargeDistanceCandidatesRunEndToEnd)
+{
+    // d=7 and d=9 candidates through the full pipeline — compile, noise
+    // annotation, DEM build, Monte-Carlo sampling — on a small fixed
+    // budget; the compiler hot-path overhaul is what makes these sweep
+    // rows affordable. Bit-identity with the serial Evaluate loop must
+    // hold at these sizes too.
+    std::vector<SweepCandidate> candidates;
+    for (const int d : {7, 9}) {
+        SweepCandidate c;
+        c.code = qec::MakeCode("rotated", d);
+        c.arch.trap_capacity = 2;
+        c.arch.gate_improvement = 5.0;
+        c.options.max_shots = 1 << 9;
+        c.options.target_logical_errors = 0;  // fixed budget
+        candidates.push_back(std::move(c));
+    }
+    const std::vector<Metrics> serial = SerialEvaluateLoop(candidates);
+    SweepRunnerOptions opts;
+    opts.num_threads = 4;
+    std::vector<SweepCandidate> swept_candidates = candidates;
+    // A d=9 multi-round compile-only block (the fig9 shot-time shape);
+    // multi-round blocks are a sweep-engine extra, so it is not part of
+    // the serial comparison.
+    SweepCandidate block;
+    block.code = candidates.back().code;
+    block.arch.trap_capacity = 2;
+    block.compile_rounds = 5;
+    block.options.compile_only = true;
+    swept_candidates.push_back(std::move(block));
+    const std::vector<Metrics> swept =
+        SweepRunner(opts).Run(swept_candidates);
+    ASSERT_EQ(swept.size(), serial.size() + 1);
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("candidate " + std::to_string(i));
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ExpectBitIdentical(serial[i], swept[i]);
+    }
+    // The capacity-2 paper shape holds at scale: round time flat from
+    // d=7 to d=9.
+    EXPECT_DOUBLE_EQ(swept[0].round_time, swept[1].round_time);
+    // The d=9 five-round block compiles and its mean round time matches
+    // its makespan split across rounds.
+    ASSERT_TRUE(swept[2].ok) << swept[2].error;
+    EXPECT_DOUBLE_EQ(swept[2].round_time * 5.0, swept[2].shot_time);
+}
+
 TEST(SweepRunnerTest, NullCodeIsReportedNotDereferenced)
 {
     SweepCandidate c;  // no code
