@@ -28,6 +28,7 @@
 #include "sim/dem.h"
 #include "sim/memory_experiment.h"
 #include "sim/noisy_circuit.h"
+#include "workloads/experiment.h"
 
 namespace tiqec::core {
 
@@ -77,13 +78,16 @@ struct SimArtifacts
     sim::DetectorErrorModel dem;
 };
 
-/** Build-sim stage: the noisy memory experiment over `rounds` rounds
- *  plus its detector error model (the decoder graph source). */
+/** Build-sim stage: the noisy experiment the workload spec selects
+ *  (memory / stability / surgery, workloads/experiment.h) over `rounds`
+ *  rounds plus its detector error model (the decoder graph source).
+ *  Throws std::invalid_argument when the code cannot host the workload
+ *  (e.g. surgery on a plain patch). */
 SimArtifacts BuildSimArtifacts(const qec::StabilizerCode& code,
                                const CompileArtifacts& arts,
                                const noise::RoundNoiseProfile& profile,
                                const ArchitectureConfig& arch, int rounds,
-                               sim::MemoryBasis basis);
+                               const workloads::WorkloadSpec& spec);
 
 /**
  * Fills the compiler/noise/resource metrics (everything except the

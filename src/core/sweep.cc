@@ -25,8 +25,25 @@ using CompileKey = std::tuple<const void*, const void*, int /*topology*/,
 /** + the noise scenario (the profile depends on the improvement factor
  *  and, through the compile key's wiring, on WISE cooling). */
 using NoiseKey = std::tuple<CompileKey, double /*gate_improvement*/>;
-/** + the experiment shape. */
-using SimKey = std::tuple<NoiseKey, int /*rounds*/, int /*basis*/>;
+/** + the experiment shape. The workload joins `rounds` and `basis` in
+ *  the key (not the compile/noise keys): a memory, a stability, and a
+ *  surgery candidate on the same merged code and device share the
+ *  compiled schedule and noise profile and differ only here. */
+using SimKey = std::tuple<NoiseKey, int /*rounds*/, int /*basis*/,
+                          int /*workload*/>;
+
+SimKey
+SimKeyOf(const NoiseKey& nk, const SweepCandidate& c, int rounds)
+{
+    // Only the memory workload reads the basis; normalising it out of
+    // the key for surgery/stability keeps basis-varying candidate lists
+    // sharing one experiment/DEM entry.
+    const int basis =
+        c.options.workload == workloads::WorkloadKind::kMemory
+            ? static_cast<int>(c.options.basis)
+            : 0;
+    return {nk, rounds, basis, static_cast<int>(c.options.workload)};
+}
 
 CompileKey
 CompileKeyOf(const SweepCandidate& c)
@@ -202,8 +219,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             if (!noise_cache.at(nk).ok) {
                 continue;
             }
-            const SimKey sk{nk, RoundsOf(c),
-                            static_cast<int>(c.options.basis)};
+            const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
             sim_cache.try_emplace(sk);
             exemplar.try_emplace(sk, &c);
         }
@@ -223,7 +239,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                     entry.arts = BuildSimArtifacts(
                         *c.code, *compile_cache.at(ck),
                         noise_cache.at(nk).profile, c.arch, RoundsOf(c),
-                        c.options.basis);
+                        c.options.workload_spec());
                     entry.ok = true;
                 } catch (const std::exception& e) {
                     entry.error = e.what();
@@ -252,7 +268,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         if (!noise_cache.at(nk).ok) {
             continue;
         }
-        const SimKey sk{nk, RoundsOf(c), static_cast<int>(c.options.basis)};
+        const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
         const SimEntry& sim_entry = sim_cache.at(sk);
         if (!sim_entry.ok) {
             continue;
@@ -376,8 +392,8 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             metrics.ok = true;
             continue;
         }
-        const SimKey sk{NoiseKey{ck, c.arch.gate_improvement}, RoundsOf(c),
-                        static_cast<int>(c.options.basis)};
+        const SimKey sk = SimKeyOf(NoiseKey{ck, c.arch.gate_improvement},
+                                   c, RoundsOf(c));
         const SimEntry& sim_entry = sim_cache.at(sk);
         if (!sim_entry.ok) {
             metrics.error = sim_entry.error;

@@ -18,6 +18,13 @@
  * commit in shard-index order (see sim::LerShardRun). A candidate that
  * fails to compile is reported with `ok == false` and a message; the
  * rest of the sweep proceeds.
+ *
+ * Candidates choose their simulated workload through
+ * `EvaluationOptions::workload` (memory | stability | surgery, see
+ * workloads/experiment.h and DESIGN.md §5). The workload enters only
+ * the experiment/DEM cache key, so e.g. a surgery and a stability
+ * candidate on the same merged code share the compiled schedule and
+ * noise profile.
  */
 #ifndef TIQEC_CORE_SWEEP_H
 #define TIQEC_CORE_SWEEP_H

@@ -107,12 +107,12 @@ BuildSimArtifacts(const qec::StabilizerCode& code,
                   const CompileArtifacts& arts,
                   const noise::RoundNoiseProfile& profile,
                   const ArchitectureConfig& arch, int rounds,
-                  sim::MemoryBasis basis)
+                  const workloads::WorkloadSpec& spec)
 {
     SimArtifacts sim_arts;
-    sim_arts.experiment =
-        sim::BuildMemory(code, arts.compiled.qec_circuit, profile,
-                         NoiseParamsFor(arch), rounds, basis);
+    sim_arts.experiment = workloads::BuildExperiment(
+        code, arts.compiled.qec_circuit, profile, NoiseParamsFor(arch),
+        rounds, spec);
     sim_arts.dem = sim::BuildDem(sim_arts.experiment);
     return sim_arts;
 }
@@ -178,23 +178,32 @@ Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
         return metrics;
     }
     const int rounds = options.rounds > 0 ? options.rounds : code.distance();
-    const noise::RoundNoiseProfile profile =
-        AnnotateCandidate(code, arch, arts);
-    FillCompileMetrics(code, arch, arts, &profile, rounds, metrics);
-    if (options.compile_only) {
-        metrics.ok = true;
-        return metrics;
-    }
+    // Post-compile failures (a workload the code cannot host, a decode
+    // failure) report like compile failures instead of throwing, so the
+    // serial entry point isolates a broken candidate exactly as the
+    // sweep engine does.
+    try {
+        const noise::RoundNoiseProfile profile =
+            AnnotateCandidate(code, arch, arts);
+        FillCompileMetrics(code, arch, arts, &profile, rounds, metrics);
+        if (options.compile_only) {
+            metrics.ok = true;
+            return metrics;
+        }
 
-    const SimArtifacts sim_arts = BuildSimArtifacts(
-        code, arts, profile, arch, rounds, options.basis);
-    const LerEstimate ler = EstimateLogicalErrorRate(
-        sim_arts.experiment, sim_arts.dem, rounds, options);
-    metrics.shots = ler.shots;
-    metrics.logical_errors = ler.logical_errors;
-    metrics.ler_per_shot = ler.ler_per_shot;
-    metrics.ler_per_round = ler.ler_per_round;
-    metrics.ok = true;
+        const SimArtifacts sim_arts = BuildSimArtifacts(
+            code, arts, profile, arch, rounds, options.workload_spec());
+        const LerEstimate ler = EstimateLogicalErrorRate(
+            sim_arts.experiment, sim_arts.dem, rounds, options);
+        metrics.shots = ler.shots;
+        metrics.logical_errors = ler.logical_errors;
+        metrics.ler_per_shot = ler.ler_per_shot;
+        metrics.ler_per_round = ler.ler_per_round;
+        metrics.ok = true;
+    } catch (const std::exception& e) {
+        metrics.ok = false;
+        metrics.error = e.what();
+    }
     return metrics;
 }
 

@@ -22,6 +22,7 @@
 #include "resources/resource_model.h"
 #include "sim/memory_experiment.h"
 #include "sim/parallel_sampler.h"
+#include "workloads/experiment.h"
 
 namespace tiqec::core {
 
@@ -35,7 +36,12 @@ struct EvaluationOptions
     std::uint64_t seed = 0x5EED;
     /** Skip the (expensive) logical-error simulation. */
     bool compile_only = false;
-    /** Protected logical memory (paper evaluates memory-Z). */
+    /** Simulated workload (DESIGN.md §5). Memory is the paper's
+     *  logical-identity benchmark; surgery and stability run the
+     *  joint-parity measurement on a merged double patch and require
+     *  the candidate's code to be a `qec::MergedPatchCode`. */
+    workloads::WorkloadKind workload = workloads::WorkloadKind::kMemory;
+    /** Protected logical memory (memory workload only). */
     sim::MemoryBasis basis = sim::MemoryBasis::kZ;
     /** Monte-Carlo worker threads; 0 means hardware concurrency. The
      *  result is bit-identical for every value (see DESIGN.md §3.4). */
@@ -45,6 +51,12 @@ struct EvaluationOptions
     /** Decode pipeline for the Monte-Carlo estimate. kBatch (default)
      *  and kScalar are bit-identical; kScalar is the reference path. */
     sim::DecodePath decode_path = sim::DecodePath::kBatch;
+
+    /** The experiment shape these options select. */
+    workloads::WorkloadSpec workload_spec() const
+    {
+        return {.kind = workload, .basis = basis};
+    }
 };
 
 struct Metrics

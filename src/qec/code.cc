@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "qec/surgery.h"
 
 namespace tiqec::qec {
 
@@ -250,6 +251,14 @@ MakeCode(const std::string& family, int distance)
     }
     if (family == "unrotated") {
         return std::make_unique<UnrotatedSurfaceCode>(distance);
+    }
+    if (family == "merged_xx") {
+        return std::make_unique<MergedPatchCode>(distance,
+                                                 SurgeryParity::kXX);
+    }
+    if (family == "merged_zz") {
+        return std::make_unique<MergedPatchCode>(distance,
+                                                 SurgeryParity::kZZ);
     }
     throw std::invalid_argument("unknown code family: " + family);
 }

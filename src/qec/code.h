@@ -205,7 +205,9 @@ class UnrotatedSurfaceCode : public StabilizerCode
     explicit UnrotatedSurfaceCode(int distance);
 };
 
-/** Factory by benchmark name: "repetition", "rotated", "unrotated". */
+/** Factory by benchmark name: "repetition", "rotated", "unrotated",
+ *  plus the lattice-surgery merged double patches "merged_xx" /
+ *  "merged_zz" (qec/surgery.h; `distance` is the per-patch distance). */
 std::unique_ptr<StabilizerCode> MakeCode(const std::string& family,
                                          int distance);
 

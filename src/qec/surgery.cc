@@ -1,0 +1,92 @@
+#include "qec/surgery.h"
+
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace tiqec::qec {
+
+std::string
+SurgeryParityName(SurgeryParity parity)
+{
+    switch (parity) {
+      case SurgeryParity::kXX: return "xx";
+      case SurgeryParity::kZZ: return "zz";
+    }
+    return "?";
+}
+
+CheckType
+SurgeryParityCheckType(SurgeryParity parity)
+{
+    return parity == SurgeryParity::kXX ? CheckType::kX : CheckType::kZ;
+}
+
+MergedPatchCode::MergedPatchCode(int patch_distance, SurgeryParity parity)
+    : RectangularSurfaceCode(
+          parity == SurgeryParity::kXX ? 2 * patch_distance + 1
+                                       : patch_distance,
+          parity == SurgeryParity::kXX ? patch_distance
+                                       : 2 * patch_distance + 1),
+      patch_distance_(patch_distance),
+      parity_(parity)
+{
+    const int d = patch_distance;
+    // Position of a qubit along the merge axis, in patch-index units:
+    // data qubits sit at doubled coordinate 2*i + 1, plaquette ancillas
+    // at 2*a. Patch A occupies data indices [0, d), the seam is index d,
+    // patch B is (d, 2d].
+    const bool horizontal = parity == SurgeryParity::kXX;
+    auto data_index = [&](const CodeQubit& q) {
+        const double c = horizontal ? q.coord.x : q.coord.y;
+        return static_cast<int>((c - 1.0) / 2.0);
+    };
+    auto plaquette_index = [&](const CodeQubit& q) {
+        const double c = horizontal ? q.coord.x : q.coord.y;
+        return static_cast<int>(c / 2.0);
+    };
+
+    for (const QubitId q : data_qubits()) {
+        const int i = data_index(qubit(q));
+        if (i < d) {
+            patch_a_data_.push_back(q);
+        } else if (i == d) {
+            seam_data_.push_back(q);
+        } else {
+            patch_b_data_.push_back(q);
+        }
+        if (i == 0) {
+            patch_a_logical_.push_back(q);
+        } else if (i == 2 * d) {
+            patch_b_logical_.push_back(q);
+        }
+    }
+    // The joint-parity checks are the parity-type checks in the two
+    // plaquette columns (kXX) / rows (kZZ) adjacent to the seam: exactly
+    // the parity-type checks whose support touches the seam, and exactly
+    // the ones absent from the split configuration (left/right boundary
+    // columns host no X checks; top/bottom rows host no Z checks).
+    const CheckType joint_type = SurgeryParityCheckType(parity);
+    const std::vector<Check>& all = checks();
+    for (int k = 0; k < static_cast<int>(all.size()); ++k) {
+        if (all[k].type != joint_type) {
+            continue;
+        }
+        const int a = plaquette_index(qubit(all[k].ancilla));
+        if (a == d || a == d + 1) {
+            joint_parity_checks_.push_back(k);
+        }
+    }
+    TIQEC_CHECK(static_cast<int>(seam_data_.size()) == d,
+                "merged patch d=" << d << " built " << seam_data_.size()
+                                  << " seam qubits");
+    TIQEC_CHECK(static_cast<int>(patch_a_data_.size()) == d * d &&
+                    static_cast<int>(patch_b_data_.size()) == d * d,
+                "merged patch d=" << d << " patch sizes "
+                                  << patch_a_data_.size() << "/"
+                                  << patch_b_data_.size());
+    TIQEC_CHECK(!joint_parity_checks_.empty(),
+                "merged patch d=" << d << " has no joint-parity checks");
+}
+
+}  // namespace tiqec::qec

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Merged-patch construction for lattice surgery (paper §8): a logical
+ * two-qubit parity measurement temporarily merges two distance-d surface
+ * code patches across their facing boundaries into one (2d+1) x d
+ * rectangle (one extra data-qubit seam between the patches), measures
+ * the merged patch's stabilizers for d rounds, and splits again.
+ *
+ * The merged patch is *exactly* a `RectangularSurfaceCode` — the paper's
+ * argument that its architectural conclusions survive surgery rests on
+ * the merged region having the same local check structure as a single
+ * patch — so `MergedPatchCode` derives from it and only adds the surgery
+ * bookkeeping the workload builders need:
+ *
+ *  - which data qubits belong to patch A, patch B, and the seam,
+ *  - the joint-parity check set: the checks of the measured parity type
+ *    that span the seam. These did not exist before the merge, so their
+ *    first-round outcomes are individually random, but the product of
+ *    their operators is X(column d-1) * X(column d+1) for an X (X) merge
+ *    (resp. Z on rows d-1 / d+1 for Z (X) Z) — a product of the two
+ *    patch logicals up to in-patch stabilizers — so the product of their
+ *    first-round outcomes *is* the measured joint parity,
+ *  - per-patch logical operator supports of the measured parity type
+ *    (the outermost data column/row of each patch), which the surgery
+ *    experiment reads out as its per-patch observables.
+ *
+ * Orientation follows the base class conventions (Z boundaries on the
+ * left/right columns, X boundaries on the top/bottom rows): an X (X) X
+ * joint parity merges horizontally across the Z boundaries, a Z (X) Z
+ * parity merges vertically across the X boundaries.
+ */
+#ifndef TIQEC_QEC_SURGERY_H
+#define TIQEC_QEC_SURGERY_H
+
+#include <string>
+#include <vector>
+
+#include "qec/code.h"
+
+namespace tiqec::qec {
+
+/** Joint logical parity measured by a two-patch merge. */
+enum class SurgeryParity : std::uint8_t
+{
+    kXX,  ///< X_A (X) X_B: horizontal merge across the Z boundaries
+    kZZ,  ///< Z_A (X) Z_B: vertical merge across the X boundaries
+};
+
+std::string SurgeryParityName(SurgeryParity parity);
+
+/** Pauli type of the joint-parity checks ("merge type"). */
+CheckType SurgeryParityCheckType(SurgeryParity parity);
+
+/**
+ * Two distance-d patches merged for a joint-parity measurement:
+ * a (2d+1) x d (kXX) or d x (2d+1) (kZZ) rectangular surface code with
+ * the surgery metadata described in the file comment.
+ */
+class MergedPatchCode : public RectangularSurfaceCode
+{
+  public:
+    MergedPatchCode(int patch_distance, SurgeryParity parity);
+
+    int patch_distance() const { return patch_distance_; }
+    SurgeryParity parity() const { return parity_; }
+
+    /** Data qubits of the two original patches and of the seam between
+     *  them (disjoint; their union is `data_qubits()`). */
+    const std::vector<QubitId>& patch_a_data() const { return patch_a_data_; }
+    const std::vector<QubitId>& patch_b_data() const { return patch_b_data_; }
+    const std::vector<QubitId>& seam_data() const { return seam_data_; }
+
+    /** Ordinals (into `checks()`) of the joint-parity checks: the
+     *  parity-type checks spanning the seam. The product of their
+     *  first-round outcomes is the measured joint parity. */
+    const std::vector<int>& joint_parity_checks() const
+    {
+        return joint_parity_checks_;
+    }
+
+    /** Support of patch A's / patch B's logical of the measured parity
+     *  type (outermost data column for kXX, data row for kZZ). */
+    const std::vector<QubitId>& patch_a_logical() const
+    {
+        return patch_a_logical_;
+    }
+    const std::vector<QubitId>& patch_b_logical() const
+    {
+        return patch_b_logical_;
+    }
+
+  private:
+    int patch_distance_;
+    SurgeryParity parity_;
+    std::vector<QubitId> patch_a_data_;
+    std::vector<QubitId> patch_b_data_;
+    std::vector<QubitId> seam_data_;
+    std::vector<int> joint_parity_checks_;
+    std::vector<QubitId> patch_a_logical_;
+    std::vector<QubitId> patch_b_logical_;
+};
+
+}  // namespace tiqec::qec
+
+#endif  // TIQEC_QEC_SURGERY_H

@@ -1,8 +1,9 @@
 #include "sim/memory_experiment.h"
 
 #include <cassert>
-#include <map>
 #include <vector>
+
+#include "sim/round_ops.h"
 
 namespace tiqec::sim {
 
@@ -14,8 +15,6 @@ BuildMemory(const qec::StabilizerCode& code,
             MemoryBasis basis)
 {
     assert(rounds >= 1);
-    assert(static_cast<int>(profile.gate_noise.size()) ==
-           round_circuit.size());
     // The "anchor" check type is stabilised by the prepared state, so its
     // round-0 outcomes are deterministic and it carries the space-like
     // final layer; the other type only gets consecutive-round detectors.
@@ -23,22 +22,7 @@ BuildMemory(const qec::StabilizerCode& code,
                                       ? qec::CheckType::kZ
                                       : qec::CheckType::kX;
     NoisyCircuit sim(code.num_qubits());
-
-    // Ancilla id -> check ordinal, for measurement bookkeeping.
-    std::map<int, int> check_of_ancilla;
-    for (int k = 0; k < code.num_ancillas(); ++k) {
-        check_of_ancilla[code.checks()[k].ancilla.value] = k;
-    }
-    // Swap-noise events grouped by the QEC gate they follow.
-    std::map<int, std::vector<const noise::SwapNoise*>> swaps_after;
-    std::vector<const noise::SwapNoise*> swaps_at_start;
-    for (const auto& swap : profile.swaps) {
-        if (swap.after_qec_gate.valid()) {
-            swaps_after[swap.after_qec_gate.value].push_back(&swap);
-        } else {
-            swaps_at_start.push_back(&swap);
-        }
-    }
+    const RoundOps round_ops(code, round_circuit, profile);
 
     // Transversal preparation of the data qubits: |0>^n for memory-Z,
     // |+>^n (reset then H) for memory-X.
@@ -50,51 +34,10 @@ BuildMemory(const qec::StabilizerCode& code,
     }
 
     // meas[r][k] = record index of check k's measurement in round r.
-    std::vector<std::vector<int>> meas(
-        rounds, std::vector<int>(code.num_ancillas(), -1));
+    std::vector<std::vector<int>> meas(rounds);
 
     for (int r = 0; r < rounds; ++r) {
-        for (const auto* swap : swaps_at_start) {
-            sim.AddDepolarize2(swap->a.value, swap->b.value, swap->p);
-        }
-        for (int gi = 0; gi < round_circuit.size(); ++gi) {
-            const circuit::Gate& g = round_circuit.gates()[gi];
-            const noise::GateNoise& gn = profile.gate_noise[gi];
-            switch (g.kind) {
-              case circuit::GateKind::kReset:
-                sim.AddReset(g.q0.value, gn.p_q0);
-                break;
-              case circuit::GateKind::kH:
-                sim.AddH(g.q0.value);
-                sim.AddDepolarize1(g.q0.value, gn.p_q0);
-                break;
-              case circuit::GateKind::kCnot:
-                sim.AddCnot(g.q0.value, g.q1.value);
-                sim.AddDepolarize2(g.q0.value, g.q1.value, gn.p_pair);
-                sim.AddDepolarize1(g.q0.value, gn.p_q0);
-                sim.AddDepolarize1(g.q1.value, gn.p_q1);
-                break;
-              case circuit::GateKind::kMeasure: {
-                const int k = check_of_ancilla.at(g.q0.value);
-                meas[r][k] = sim.AddMeasure(g.q0.value, gn.p_q0);
-                break;
-              }
-              default:
-                assert(false && "unexpected gate in a parity-check round");
-                break;
-            }
-            const auto it = swaps_after.find(gi);
-            if (it != swaps_after.end()) {
-                for (const auto* swap : it->second) {
-                    sim.AddDepolarize2(swap->a.value, swap->b.value,
-                                       swap->p);
-                }
-            }
-        }
-        // Idle / reconfiguration dephasing accumulated over the round.
-        for (int q = 0; q < code.num_qubits(); ++q) {
-            sim.AddZError(q, profile.idle_z[q]);
-        }
+        round_ops.AppendRound(sim, meas[r]);
         // Time-like detectors.
         for (int k = 0; k < code.num_ancillas(); ++k) {
             const auto& chk = code.checks()[k];

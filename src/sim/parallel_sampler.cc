@@ -133,9 +133,9 @@ LerShardRun::LerShardRun(const NoisyCircuit& circuit,
                       ? 0
                       : (max_shots + shard_shots_ - 1) / shard_shots_)
 {
-    // Decoding compares against observable 0; an observable-free
-    // circuit would read out of bounds (NDEBUG builds compile asserts
-    // out, so this must be a real check).
+    // Decoding compares predictions against the tracked observables; an
+    // observable-free circuit would read out of bounds (NDEBUG builds
+    // compile asserts out, so this must be a real check).
     if (circuit.num_observables() < 1) {
         throw std::invalid_argument(
             "LerShardRun: circuit has no logical observable");
@@ -169,6 +169,12 @@ LerShardRun::RunOneShard(decoder::UnionFindDecoder& decoder)
     const SampleBatch batch = sim.Sample(shard_n);
     std::int64_t errors = 0;
     bool abandoned = false;
+    // A shot is a logical error when the decoder's prediction mismatches
+    // the actual flip of ANY tracked observable: one observable for the
+    // memory and stability workloads, three (joint parity + both patch
+    // logicals) for surgery. For a single observable this reduces
+    // bit-exactly to the historical observable-0 comparison.
+    const int num_obs = batch.num_observables();
     if (decode_path_ == DecodePath::kBatch) {
         // Cooperative early stop: DecodeBatch polls the flag once per
         // 64-shot word; an abandoned shard is past the committed stop
@@ -183,11 +189,17 @@ LerShardRun::RunOneShard(decoder::UnionFindDecoder& decoder)
         } else {
             // A trivial shot predicts 0, so its error bit is just the
             // observable bit; a decoded shot's is predicted XOR actual.
-            // Both collapse into one word-parallel popcount.
+            // Both collapse into one word-parallel popcount of the
+            // per-shot any-observable mismatch mask.
+            const size_t words = static_cast<size_t>(batch.words());
             for (int w = 0; w < batch.words(); ++w) {
-                const std::uint64_t actual =
-                    batch.ObservableWord(0, w) & batch.WordValidMask(w);
-                errors += std::popcount(predictions[w] ^ actual);
+                std::uint64_t mismatch = 0;
+                for (int o = 0; o < num_obs; ++o) {
+                    mismatch |=
+                        predictions[static_cast<size_t>(o) * words + w] ^
+                        batch.ObservableWord(o, w);
+                }
+                errors += std::popcount(mismatch & batch.WordValidMask(w));
             }
         }
     } else {
@@ -199,9 +211,11 @@ LerShardRun::RunOneShard(decoder::UnionFindDecoder& decoder)
             }
             const std::uint32_t predicted =
                 decoder.Decode(batch.SyndromeOf(s));
-            const std::uint32_t actual =
-                batch.Observable(0, s) ? 1u : 0u;
-            errors += (predicted ^ actual) & 1u;
+            std::uint32_t actual = 0;
+            for (int o = 0; o < num_obs; ++o) {
+                actual |= (batch.Observable(o, s) ? 1u : 0u) << o;
+            }
+            errors += predicted != actual ? 1 : 0;
         }
     }
     if (abandoned) {

@@ -1,0 +1,66 @@
+#include "workloads/experiment.h"
+
+#include <stdexcept>
+
+#include "qec/surgery.h"
+#include "workloads/memory.h"
+#include "workloads/surgery.h"
+
+namespace tiqec::workloads {
+
+std::string
+WorkloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::kMemory: return "memory";
+      case WorkloadKind::kStability: return "stability";
+      case WorkloadKind::kSurgery: return "surgery";
+    }
+    return "?";
+}
+
+WorkloadKind
+ParseWorkloadKind(const std::string& name)
+{
+    if (name == "memory") {
+        return WorkloadKind::kMemory;
+    }
+    if (name == "stability") {
+        return WorkloadKind::kStability;
+    }
+    if (name == "surgery") {
+        return WorkloadKind::kSurgery;
+    }
+    throw std::invalid_argument(
+        "unknown workload: \"" + name +
+        "\" (expected memory, stability, or surgery)");
+}
+
+std::unique_ptr<Experiment>
+MakeExperiment(const qec::StabilizerCode& code, const WorkloadSpec& spec)
+{
+    if (spec.kind == WorkloadKind::kMemory) {
+        return std::make_unique<MemoryExperiment>(code, spec.basis);
+    }
+    const auto* merged = dynamic_cast<const qec::MergedPatchCode*>(&code);
+    if (merged == nullptr) {
+        throw std::invalid_argument(
+            WorkloadKindName(spec.kind) + " workload requires a "
+            "qec::MergedPatchCode (got code \"" + code.name() + "\")");
+    }
+    return std::make_unique<SurgeryExperiment>(
+        *merged, spec.kind == WorkloadKind::kSurgery);
+}
+
+sim::NoisyCircuit
+BuildExperiment(const qec::StabilizerCode& code,
+                const circuit::Circuit& round_circuit,
+                const noise::RoundNoiseProfile& profile,
+                const noise::NoiseParams& params, int rounds,
+                const WorkloadSpec& spec)
+{
+    return MakeExperiment(code, spec)->Build(round_circuit, profile,
+                                             params, rounds);
+}
+
+}  // namespace tiqec::workloads

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The memory workload behind the experiment interface: a thin adapter
+ * over `sim::BuildMemory`, so the interface path is bit-identical to
+ * the historical direct call (pinned by tests/workloads_test.cc).
+ */
+#ifndef TIQEC_WORKLOADS_MEMORY_H
+#define TIQEC_WORKLOADS_MEMORY_H
+
+#include "workloads/experiment.h"
+
+namespace tiqec::workloads {
+
+class MemoryExperiment : public Experiment
+{
+  public:
+    MemoryExperiment(const qec::StabilizerCode& code,
+                     sim::MemoryBasis basis)
+        : code_(&code), basis_(basis)
+    {
+    }
+
+    WorkloadKind kind() const override { return WorkloadKind::kMemory; }
+    std::string name() const override
+    {
+        return basis_ == sim::MemoryBasis::kZ ? "memory_z" : "memory_x";
+    }
+    int num_observables() const override { return 1; }
+
+    sim::NoisyCircuit Build(const circuit::Circuit& round_circuit,
+                            const noise::RoundNoiseProfile& profile,
+                            const noise::NoiseParams& params,
+                            int rounds) const override
+    {
+        return sim::BuildMemory(*code_, round_circuit, profile, params,
+                                rounds, basis_);
+    }
+
+  private:
+    const qec::StabilizerCode* code_;
+    sim::MemoryBasis basis_;
+};
+
+}  // namespace tiqec::workloads
+
+#endif  // TIQEC_WORKLOADS_MEMORY_H
