@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -352,30 +353,39 @@ PrintThroughputTable()
 {
     const int shots = 1 << 15;
     const int reps = 3;
+    std::vector<bench::JsonRecord> records;
     std::printf("\n=== Decode throughput, %d shots/point ===\n", shots);
     std::printf("legacy = pre-pipeline per-shot decode (SyndromeOf + "
                 "per-call scratch)\n"
-                "scalar = DecodePath::kScalar (SyndromeOf + persistent "
-                "scratch)\n"
-                "batch  = DecodePath::kBatch (mask + sparse extraction "
-                "+ DecodeBatch)\n\n");
-    std::printf("%-4s %-6s %11s %13s %13s %13s %9s %9s\n", "d", "gates",
-                "nontrivial", "legacy(sh/s)", "scalar(sh/s)",
-                "batch(sh/s)", "vs legacy", "vs scalar");
-    tiqec::bench::Rule(86);
+                "scalar = DecodePath::kScalar, correlated stage off "
+                "(matches legacy errors)\n"
+                "batch  = DecodePath::kBatch, correlated stage off "
+                "(mask + sparse extraction + DecodeBatch)\n"
+                "corr   = DecodePath::kBatch, weighted forest + "
+                "hyperedge stage (production default; fewer errors)\n\n");
+    std::printf("%-4s %-6s %11s %13s %13s %13s %13s %9s %9s\n", "d",
+                "gates", "nontrivial", "legacy(sh/s)", "scalar(sh/s)",
+                "batch(sh/s)", "corr(sh/s)", "vs legacy", "corr cost");
+    tiqec::bench::Rule(100);
     for (const int d : {3, 5}) {
         for (const double improvement : {1.0, 3.0, 10.0}) {
             const Workload w = MakeWorkload(d, improvement, shots);
+            decoder::UnionFindDecoder::Options plain_opts;
+            plain_opts.correlated = false;
             LegacyScalarDecoder legacy_decoder(w.dem);
-            decoder::UnionFindDecoder scalar_decoder(w.dem);
-            decoder::UnionFindDecoder batch_decoder(w.dem);
+            decoder::UnionFindDecoder scalar_decoder(w.dem, plain_opts);
+            decoder::UnionFindDecoder batch_decoder(w.dem, plain_opts);
+            decoder::UnionFindDecoder corr_decoder(w.dem);
             std::vector<std::uint64_t> predictions;
+            std::vector<std::uint64_t> corr_predictions;
             const std::int64_t legacy_errors =
                 LegacyErrors(legacy_decoder, w.batch);
             const std::int64_t scalar_errors =
                 ScalarErrors(scalar_decoder, w.batch);
             const std::int64_t batch_errors =
                 BatchErrors(batch_decoder, w.batch, predictions);
+            const std::int64_t corr_errors =
+                BatchErrors(corr_decoder, w.batch, corr_predictions);
             if (scalar_errors != batch_errors ||
                 legacy_errors != batch_errors) {
                 std::printf("MISMATCH d=%d: legacy=%lld scalar=%lld "
@@ -398,20 +408,54 @@ PrintThroughputTable()
                 benchmark::DoNotOptimize(
                     BatchErrors(batch_decoder, w.batch, predictions));
             });
+            const double corr_tput = ShotsPerSec(shots, reps, [&]() {
+                benchmark::DoNotOptimize(BatchErrors(
+                    corr_decoder, w.batch, corr_predictions));
+            });
             const double frac =
                 static_cast<double>(w.batch.CountNonTrivialShots()) /
                 shots;
             std::printf("%-4d %-6.0f %10.1f%% %13.0f %13.0f %13.0f "
-                        "%8.2fx %8.2fx\n",
+                        "%13.0f %8.2fx %8.2fx\n",
                         d, improvement, 100.0 * frac, legacy_tput,
-                        scalar_tput, batch_tput,
+                        scalar_tput, batch_tput, corr_tput,
                         batch_tput / legacy_tput,
-                        batch_tput / scalar_tput);
+                        batch_tput / corr_tput);
+            struct PathPoint
+            {
+                const char* path;
+                double tput;
+                std::int64_t errors;
+                bool correlated;
+            };
+            for (const PathPoint& p :
+                 {PathPoint{"legacy", legacy_tput, legacy_errors, false},
+                  {"scalar", scalar_tput, scalar_errors, false},
+                  {"batch", batch_tput, batch_errors, false},
+                  {"batch_correlated", corr_tput, corr_errors, true}}) {
+                bench::JsonRecord r;
+                r.Add("workload", "memory_z");
+                r.Add("distance", d);
+                r.Add("gate_improvement", improvement);
+                r.Add("decode_path", p.path);
+                r.Add("correlated_decoder", p.correlated);
+                r.Add("shots", static_cast<std::int64_t>(shots));
+                r.Add("nontrivial_fraction", frac);
+                r.Add("metric", "shots_per_sec");
+                r.Add("value", p.tput);
+                r.Add("best_of", reps);
+                r.Add("errors", p.errors);
+                r.Add("errors_agree", legacy_errors == batch_errors &&
+                                          scalar_errors == batch_errors);
+                records.push_back(std::move(r));
+            }
         }
     }
     std::printf("\n(acceptance: batch >= 2x the legacy scalar baseline "
-                "at d=5, 1X gates; all three paths count identical "
-                "errors)\n");
+                "at d=5, 1X gates; legacy/scalar/batch count identical "
+                "errors; corr trades throughput for fewer errors)\n");
+    bench::WriteBenchJson("BENCH_decode.json", "decode_throughput",
+                          records);
 }
 
 void

@@ -44,6 +44,7 @@
 #include "core/pipeline.h"
 #include "core/sweep.h"
 #include "qec/surgery.h"
+#include "workloads/experiment.h"
 
 namespace {
 
@@ -53,6 +54,7 @@ struct Row
 {
     core::SweepCandidate candidate;
     int qubits = 0;
+    int distance = 0;
 };
 
 core::SweepCandidate
@@ -73,17 +75,69 @@ MakeCandidate(std::shared_ptr<const qec::StabilizerCode> code,
     return c;
 }
 
+/** "e0/e1/e2" per-observable error counts, "-" when unavailable. */
+std::string
+PerObsString(const core::Metrics& m)
+{
+    if (!m.ok || m.per_observable_errors.empty()) {
+        return "-";
+    }
+    std::string out;
+    for (size_t o = 0; o < m.per_observable_errors.size(); ++o) {
+        if (o > 0) {
+            out += "/";
+        }
+        out += std::to_string(m.per_observable_errors[o]);
+    }
+    return out;
+}
+
 void
 PrintRow(const Row& row, const core::Metrics& m)
 {
-    std::printf("%-24s %7d %11s %8s %9lld %7lld %12s %12s\n",
+    std::printf("%-30s %6d %11s %9lld %7lld %-17s %12s %12s %5d %9s\n",
                 row.candidate.label.c_str(), row.qubits,
                 bench::NumOrNan(m.round_time, m.ok).c_str(),
-                bench::NumOrNan(m.movement_ops_per_round, m.ok).c_str(),
                 static_cast<long long>(m.shots),
                 static_cast<long long>(m.logical_errors),
+                PerObsString(m).c_str(),
                 bench::NumOrNan(m.ler_per_shot.rate, m.ok, "%.3e").c_str(),
-                bench::NumOrNan(m.ler_per_round, m.ok, "%.3e").c_str());
+                bench::NumOrNan(m.ler_per_round, m.ok, "%.3e").c_str(),
+                m.dem_undecomposable,
+                bench::NumOrNan(m.dem_dropped_probability, m.ok, "%.1e")
+                    .c_str());
+}
+
+/** One JSON record per table row (the BENCH_surgery.json snapshot). */
+bench::JsonRecord
+RowRecord(const Row& row, const core::Metrics& m)
+{
+    bench::JsonRecord r;
+    r.Add("label", row.candidate.label);
+    r.Add("workload",
+          workloads::WorkloadKindName(row.candidate.options.workload));
+    r.Add("distance", row.distance);
+    r.Add("gate_improvement", row.candidate.arch.gate_improvement);
+    r.Add("rounds", row.candidate.options.rounds);
+    r.Add("correlated_decoder", row.candidate.options.correlated);
+    r.Add("qubits", row.qubits);
+    r.Add("ok", m.ok);
+    r.Add("shots", m.shots);
+    r.Add("logical_errors", m.logical_errors);
+    r.Add("per_observable_errors", m.per_observable_errors);
+    r.Add("metric", "ler_per_shot");
+    r.Add("value", m.ler_per_shot.rate);
+    r.Add("best_of", 1);
+    r.Add("ler_low", m.ler_per_shot.low);
+    r.Add("ler_high", m.ler_per_shot.high);
+    r.Add("ler_per_round", m.ler_per_round);
+    r.Add("round_time_us", m.round_time);
+    r.Add("dem_hyperedges", m.dem_hyperedges);
+    r.Add("dem_undecomposable", m.dem_undecomposable);
+    r.Add("dem_dropped_probability", m.dem_dropped_probability);
+    r.Add("dem_undecomposable_probability",
+          m.dem_undecomposable_probability);
+    return r;
 }
 
 bool
@@ -106,10 +160,14 @@ main(int argc, char** argv)
 
     std::printf("=== Lattice surgery & stability LER (grid, capacity 2; "
                 "paper §8) ===\n");
-    std::printf("%-24s %7s %11s %8s %9s %7s %12s %12s\n", "workload",
-                "qubits", "round (us)", "moves", "shots", "errors",
-                "LER/shot", "LER/round");
-    bench::Rule(98);
+    std::printf("surgery rows: per-obs = joint parity / patch A / patch "
+                "B; _plain = elementary decoder (correlated stage off); "
+                "undec/drop_p = DEM mechanisms dropped from decoding\n");
+    std::printf("%-30s %6s %11s %9s %7s %-17s %12s %12s %5s %9s\n",
+                "workload", "qubits", "round (us)", "shots", "errors",
+                "per-obs errors", "LER/shot", "LER/round", "undec",
+                "drop_p");
+    bench::Rule(127);
 
     // One candidate list for everything: the engine compiles each
     // distinct (code, arch) once and shares it across the surgery,
@@ -136,23 +194,34 @@ main(int argc, char** argv)
                                 single, workloads::WorkloadKind::kMemory,
                                 improvement, max_shots, d,
                                 "memory_single" + suffix),
-                            single->num_qubits()});
+                            single->num_qubits(), d});
             rows.push_back({MakeCandidate(
                                 merged, workloads::WorkloadKind::kMemory,
                                 improvement, max_shots, d,
                                 "memory_merged" + suffix),
-                            merged->num_qubits()});
+                            merged->num_qubits(), d});
             rows.push_back({MakeCandidate(
                                 merged, workloads::WorkloadKind::kSurgery,
                                 improvement, max_shots, d,
                                 "surgery_xx" + suffix),
-                            merged->num_qubits()});
+                            merged->num_qubits(), d});
+            // The correlated-vs-plain A/B: the same surgery workload
+            // decoded with the hyperedge stage disabled. Shares the
+            // compiled schedule, DEM, and shard streams through the
+            // sweep cache, so the only difference is the decoder.
+            Row plain{MakeCandidate(
+                          merged, workloads::WorkloadKind::kSurgery,
+                          improvement, max_shots, d,
+                          "surgery_xx_plain" + suffix),
+                      merged->num_qubits(), d};
+            plain.candidate.options.correlated = false;
+            rows.push_back(std::move(plain));
             rows.push_back({MakeCandidate(
                                 merged,
                                 workloads::WorkloadKind::kStability,
                                 improvement, max_shots, d,
                                 "stability_xx" + suffix),
-                            merged->num_qubits()});
+                            merged->num_qubits(), d});
         }
     }
     std::vector<core::SweepCandidate> candidates;
@@ -167,9 +236,35 @@ main(int argc, char** argv)
 
     bool ok = true;
     double single_round = 0.0;
+    std::vector<bench::JsonRecord> records;
     for (size_t i = 0; i < rows.size(); ++i) {
         const core::Metrics& m = metrics[i];
         PrintRow(rows[i], m);
+        records.push_back(RowRecord(rows[i], m));
+        // The tentpole's A/B gate: at 1X noise the correlated decoder
+        // must strictly beat the elementary baseline on the surgery
+        // workload — both on the any-observable count and on the joint
+        // parity itself. (_plain rows follow their correlated twin.)
+        const bool is_plain =
+            rows[i].candidate.label.rfind("surgery_xx_plain", 0) == 0;
+        if (is_plain && i > 0 && m.ok && metrics[i - 1].ok &&
+            rows[i].candidate.arch.gate_improvement == 1.0) {
+            const core::Metrics& corr = metrics[i - 1];
+            if (corr.logical_errors >= m.logical_errors ||
+                corr.per_observable_errors.empty() ||
+                m.per_observable_errors.empty() ||
+                corr.per_observable_errors[0] >=
+                    m.per_observable_errors[0]) {
+                std::fprintf(stderr,
+                             "FAIL: %s: correlated decoder does not beat "
+                             "the elementary baseline (any-obs %lld vs "
+                             "%lld)\n",
+                             rows[i - 1].candidate.label.c_str(),
+                             static_cast<long long>(corr.logical_errors),
+                             static_cast<long long>(m.logical_errors));
+                ok = false;
+            }
+        }
         // The §8 flatness claim: every merged-patch row of a (d,
         // improvement) group must match the single-patch round time.
         // A failed single row invalidates its group's baseline (instead
@@ -225,6 +320,8 @@ main(int argc, char** argv)
             core::SweepRunner(sopts).Run(stab);
         for (size_t i = 0; i < stab.size(); ++i) {
             const core::Metrics& m = stab_metrics[i];
+            records.push_back(
+                RowRecord({stab[i], merged->num_qubits(), 3}, m));
             std::printf("%-24s %9lld %7lld %12s %12s\n",
                         stab[i].label.c_str(),
                         static_cast<long long>(m.shots),
@@ -247,6 +344,8 @@ main(int argc, char** argv)
             }
         }
     }
+
+    bench::WriteBenchJson("BENCH_surgery.json", "surgery_ler", records);
 
     if (smoke) {
         // Determinism gate: the whole surgery sweep must be

@@ -14,6 +14,8 @@
 
 #include <charconv>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -157,13 +159,29 @@ RunLerSweep(const std::string& family, const std::vector<int>& distances,
 
 /** Field-exact Metrics comparison (doubles compared bit-for-bit): the
  *  sweep engine's contract is *bit*-identity with the serial loop, not
- *  closeness. */
+ *  closeness. Covers the per-observable breakdown and the DEM
+ *  decomposition diagnostics alongside the combined figures. */
 inline bool
 MetricsBitIdentical(const core::Metrics& a, const core::Metrics& b)
 {
     auto same_double = [](double x, double y) {
         return std::memcmp(&x, &y, sizeof(double)) == 0;
     };
+    auto same_estimate = [&](const BinomialEstimate& x,
+                             const BinomialEstimate& y) {
+        return same_double(x.rate, y.rate) && same_double(x.low, y.low) &&
+               same_double(x.high, y.high);
+    };
+    if (a.per_observable_errors != b.per_observable_errors ||
+        a.per_observable_ler.size() != b.per_observable_ler.size()) {
+        return false;
+    }
+    for (size_t o = 0; o < a.per_observable_ler.size(); ++o) {
+        if (!same_estimate(a.per_observable_ler[o],
+                           b.per_observable_ler[o])) {
+            return false;
+        }
+    }
     return a.ok == b.ok && a.error == b.error &&
            same_double(a.round_time, b.round_time) &&
            same_double(a.shot_time, b.shot_time) &&
@@ -176,10 +194,163 @@ MetricsBitIdentical(const core::Metrics& a, const core::Metrics& b)
            same_double(a.idle_dephasing_data_qubit,
                        b.idle_dephasing_data_qubit) &&
            a.shots == b.shots && a.logical_errors == b.logical_errors &&
-           same_double(a.ler_per_shot.rate, b.ler_per_shot.rate) &&
-           same_double(a.ler_per_shot.low, b.ler_per_shot.low) &&
-           same_double(a.ler_per_shot.high, b.ler_per_shot.high) &&
-           same_double(a.ler_per_round, b.ler_per_round);
+           same_estimate(a.ler_per_shot, b.ler_per_shot) &&
+           same_double(a.ler_per_round, b.ler_per_round) &&
+           a.dem_hyperedges == b.dem_hyperedges &&
+           a.dem_undecomposable == b.dem_undecomposable &&
+           same_double(a.dem_dropped_probability,
+                       b.dem_dropped_probability) &&
+           same_double(a.dem_undecomposable_probability,
+                       b.dem_undecomposable_probability);
+}
+
+/**
+ * Dependency-free JSON emitter for machine-readable bench snapshots
+ * (`BENCH_decode.json`, `BENCH_surgery.json`). One document per bench
+ * binary:
+ *
+ *   { "bench": ..., "toolchain": {...}, "results": [ {record}, ... ] }
+ *
+ * Records are flat objects assembled key-by-key; values are typed by
+ * the Add overload. Best-of-N metrics carry their rep count so a reader
+ * can tell a single measurement from a best-of selection. The writer
+ * deliberately has no pretty-printing knobs or nesting beyond one
+ * object per record — the consumers are diff tools and plot scripts,
+ * not humans.
+ */
+class JsonRecord
+{
+  public:
+    void
+    Add(const std::string& key, const std::string& value)
+    {
+        AddRaw(key, "\"" + Escape(value) + "\"");
+    }
+    void
+    Add(const std::string& key, const char* value)
+    {
+        Add(key, std::string(value));
+    }
+    void
+    Add(const std::string& key, std::int64_t value)
+    {
+        AddRaw(key, std::to_string(value));
+    }
+    void
+    Add(const std::string& key, int value)
+    {
+        AddRaw(key, std::to_string(value));
+    }
+    void
+    Add(const std::string& key, bool value)
+    {
+        AddRaw(key, value ? "true" : "false");
+    }
+    void
+    Add(const std::string& key, double value)
+    {
+        char buf[64];
+        // %.17g round-trips every finite double; JSON has no NaN/Inf,
+        // so non-finite values are emitted as null.
+        if (std::isfinite(value)) {
+            std::snprintf(buf, sizeof(buf), "%.17g", value);
+            AddRaw(key, buf);
+        } else {
+            AddRaw(key, "null");
+        }
+    }
+    void
+    Add(const std::string& key, const std::vector<std::int64_t>& values)
+    {
+        std::string array = "[";
+        for (size_t i = 0; i < values.size(); ++i) {
+            if (i > 0) {
+                array += ",";
+            }
+            array += std::to_string(values[i]);
+        }
+        AddRaw(key, array + "]");
+    }
+
+    const std::string&
+    body() const
+    {
+        return body_;
+    }
+
+    static std::string
+    Escape(const std::string& s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+                out += c;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+  private:
+    void
+    AddRaw(const std::string& key, const std::string& raw)
+    {
+        if (!body_.empty()) {
+            body_ += ",";
+        }
+        body_ += "\"" + Escape(key) + "\":" + raw;
+    }
+
+    std::string body_;
+};
+
+/** The toolchain record every bench snapshot carries: compiler banner,
+ *  language standard, and build type, from predefined macros so the
+ *  snapshot states what actually produced it. */
+inline JsonRecord
+ToolchainRecord()
+{
+    JsonRecord toolchain;
+    toolchain.Add("compiler", __VERSION__);
+    toolchain.Add("cplusplus", static_cast<std::int64_t>(__cplusplus));
+#ifdef NDEBUG
+    toolchain.Add("build_type", "release");
+#else
+    toolchain.Add("build_type", "debug");
+#endif
+    return toolchain;
+}
+
+/** Writes `{ "bench": name, "toolchain": {...}, "results": [...] }` to
+ *  `path`. Returns false (with a stderr warning) if the file cannot be
+ *  written; benches treat the snapshot as best-effort output. */
+inline bool
+WriteBenchJson(const std::string& path, const std::string& bench_name,
+               const std::vector<JsonRecord>& results)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"toolchain\":{%s},\"results\":[",
+                 JsonRecord::Escape(bench_name).c_str(),
+                 ToolchainRecord().body().c_str());
+    for (size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(f, "%s{%s}", i > 0 ? "," : "",
+                     results[i].body().c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), results.size());
+    return true;
 }
 
 /** Outcome of `RunSweepEngineBench`. */

@@ -103,13 +103,14 @@ void FillCompileMetrics(const qec::StabilizerCode& code,
                         const noise::RoundNoiseProfile* profile,
                         int rounds, Metrics& metrics);
 
-/** Wraps sampler totals into a `LerEstimate` (Wilson interval,
- *  per-round conversion) — shared by `EstimateLogicalErrorRate` and the
- *  sweep engine so both report identical statistics. */
-LerEstimate FinishLerEstimate(std::int64_t shots,
-                              std::int64_t logical_errors,
-                              std::int64_t shards, bool early_stopped,
-                              int rounds);
+/** Wraps sampler totals into a `LerEstimate` (Wilson intervals for the
+ *  any-observable and per-observable counts, per-round conversion) —
+ *  shared by `EstimateLogicalErrorRate` and the sweep engine so both
+ *  report identical statistics. */
+LerEstimate FinishLerEstimate(
+    std::int64_t shots, std::int64_t logical_errors,
+    const std::vector<std::int64_t>& per_observable_errors,
+    std::int64_t shards, bool early_stopped, int rounds);
 
 }  // namespace tiqec::core
 

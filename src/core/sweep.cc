@@ -279,6 +279,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         sopts.seed = c.options.seed;
         sopts.shard_shots = c.options.shard_shots;
         sopts.decode_path = c.options.decode_path;
+        sopts.correlated = c.options.correlated;
         try {
             state->run = std::make_unique<sim::LerShardRun>(
                 sim_entry.arts.experiment, sim_entry.arts.dem, sopts,
@@ -317,8 +318,13 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                         auto it = decoders.find(i);
                         if (it == decoders.end()) {
                             it = decoders
-                                     .emplace(i, decoder::UnionFindDecoder(
-                                                     st.run->dem()))
+                                     .emplace(
+                                         i,
+                                         decoder::UnionFindDecoder(
+                                             st.run->dem(),
+                                             decoder::UnionFindDecoder::
+                                                 Options{st.run
+                                                             ->correlated()}))
                                      .first;
                         }
                         while (st.run->RunOneShard(it->second)) {
@@ -384,7 +390,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             // The sampler reports an empty estimate for a non-positive
             // budget (Evaluate parity).
             const LerEstimate ler =
-                FinishLerEstimate(0, 0, 0, false, RoundsOf(c));
+                FinishLerEstimate(0, 0, {}, 0, false, RoundsOf(c));
             metrics.shots = ler.shots;
             metrics.logical_errors = ler.logical_errors;
             metrics.ler_per_shot = ler.ler_per_shot;
@@ -405,13 +411,21 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             continue;
         }
         const sim::LogicalErrorEstimate run = st.run->Finish();
-        const LerEstimate ler =
-            FinishLerEstimate(run.shots, run.logical_errors, run.shards,
-                              run.early_stopped, st.rounds);
+        const LerEstimate ler = FinishLerEstimate(
+            run.shots, run.logical_errors, run.per_observable_errors,
+            run.shards, run.early_stopped, st.rounds);
         metrics.shots = ler.shots;
         metrics.logical_errors = ler.logical_errors;
         metrics.ler_per_shot = ler.ler_per_shot;
         metrics.ler_per_round = ler.ler_per_round;
+        metrics.per_observable_errors = ler.per_observable_errors;
+        metrics.per_observable_ler = ler.per_observable_ler;
+        metrics.dem_hyperedges = sim_entry.arts.dem.num_hyperedges;
+        metrics.dem_undecomposable = sim_entry.arts.dem.num_undecomposable;
+        metrics.dem_dropped_probability =
+            sim_entry.arts.dem.dropped_probability;
+        metrics.dem_undecomposable_probability =
+            sim_entry.arts.dem.undecomposable_probability;
         metrics.ok = true;
     }
     return outcomes;

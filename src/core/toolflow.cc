@@ -151,6 +151,7 @@ FillCompileMetrics(const qec::StabilizerCode& code,
 
 LerEstimate
 FinishLerEstimate(std::int64_t shots, std::int64_t logical_errors,
+                  const std::vector<std::int64_t>& per_observable_errors,
                   std::int64_t shards, bool early_stopped, int rounds)
 {
     LerEstimate ler;
@@ -164,6 +165,13 @@ FinishLerEstimate(std::int64_t shots, std::int64_t logical_errors,
     const double p = ler.ler_per_shot.rate;
     ler.ler_per_round =
         p < 1.0 ? 1.0 - std::pow(1.0 - p, 1.0 / rounds) : 1.0;
+    ler.per_observable_errors = per_observable_errors;
+    ler.per_observable_ler.reserve(per_observable_errors.size());
+    for (const std::int64_t e : per_observable_errors) {
+        ler.per_observable_ler.push_back(
+            WilsonInterval(static_cast<std::uint64_t>(e),
+                           static_cast<std::uint64_t>(shots)));
+    }
     return ler;
 }
 
@@ -199,6 +207,13 @@ Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
         metrics.logical_errors = ler.logical_errors;
         metrics.ler_per_shot = ler.ler_per_shot;
         metrics.ler_per_round = ler.ler_per_round;
+        metrics.per_observable_errors = ler.per_observable_errors;
+        metrics.per_observable_ler = ler.per_observable_ler;
+        metrics.dem_hyperedges = sim_arts.dem.num_hyperedges;
+        metrics.dem_undecomposable = sim_arts.dem.num_undecomposable;
+        metrics.dem_dropped_probability = sim_arts.dem.dropped_probability;
+        metrics.dem_undecomposable_probability =
+            sim_arts.dem.undecomposable_probability;
         metrics.ok = true;
     } catch (const std::exception& e) {
         metrics.ok = false;
@@ -221,10 +236,12 @@ EstimateLogicalErrorRate(const sim::NoisyCircuit& experiment,
     sopts.num_threads = options.num_threads;
     sopts.shard_shots = options.shard_shots;
     sopts.decode_path = options.decode_path;
+    sopts.correlated = options.correlated;
     sim::ParallelSampler sampler(experiment, sopts);
     const sim::LogicalErrorEstimate run = sampler.EstimateLogicalErrors(
         dem, options.max_shots, options.target_logical_errors);
-    return FinishLerEstimate(run.shots, run.logical_errors, run.shards,
+    return FinishLerEstimate(run.shots, run.logical_errors,
+                             run.per_observable_errors, run.shards,
                              run.early_stopped, rounds);
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "core/architecture.h"
@@ -51,6 +52,10 @@ struct EvaluationOptions
     /** Decode pipeline for the Monte-Carlo estimate. kBatch (default)
      *  and kScalar are bit-identical; kScalar is the reference path. */
     sim::DecodePath decode_path = sim::DecodePath::kBatch;
+    /** Probability-aware decoding (weighted peeling forest + correlated
+     *  hyperedge stage). Off gives the unweighted elementary-graph
+     *  baseline, for A/B comparisons. */
+    bool correlated = true;
 
     /** The experiment shape these options select. */
     workloads::WorkloadSpec workload_spec() const
@@ -77,10 +82,26 @@ struct Metrics
     double idle_dephasing_data_qubit = 0.0;
 
     // Logical error rate (per shot of `rounds` rounds, and per round).
+    // `logical_errors` counts shots mismatching ANY tracked observable;
+    // the per-observable vectors break the same committed shard prefix
+    // down by observable (joint parity + both patch logicals from one
+    // surgery run), so max(per_observable_errors) <= logical_errors <=
+    // sum(per_observable_errors). Empty for a zero-shot budget.
     std::int64_t shots = 0;
     std::int64_t logical_errors = 0;
     BinomialEstimate ler_per_shot;
     double ler_per_round = 0.0;
+    std::vector<std::int64_t> per_observable_errors;
+    std::vector<BinomialEstimate> per_observable_ler;
+
+    // DEM extraction diagnostics (sim::DetectorErrorModel): how much of
+    // the error-mechanism probability mass the decoder graph actually
+    // represents. Any non-zero dropped/undecomposable mass is a decoding
+    // floor the LER can never beat, so it is surfaced in every table.
+    int dem_hyperedges = 0;
+    int dem_undecomposable = 0;
+    double dem_dropped_probability = 0.0;
+    double dem_undecomposable_probability = 0.0;
 
     // Control-hardware estimate for the minimal device (paper §5.2).
     resources::ResourceEstimate resources;
@@ -90,11 +111,16 @@ struct Metrics
 struct LerEstimate
 {
     std::int64_t shots = 0;
+    /** Shots mismatching ANY tracked observable. */
     std::int64_t logical_errors = 0;
     /** Committed sampler shards (the contiguous prefix counted). */
     std::int64_t shards = 0;
     BinomialEstimate ler_per_shot;
     double ler_per_round = 0.0;
+    /** Per-observable mismatch counts and rates over the same committed
+     *  prefix (empty for a zero-shot budget). */
+    std::vector<std::int64_t> per_observable_errors;
+    std::vector<BinomialEstimate> per_observable_ler;
     bool early_stopped = false;
 };
 

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
+#include <map>
 #include <stdexcept>
 
 namespace tiqec::decoder {
 
-UnionFindDecoder::UnionFindDecoder(const sim::DetectorErrorModel& dem)
+UnionFindDecoder::UnionFindDecoder(const sim::DetectorErrorModel& dem,
+                                   const Options& options)
     : num_detectors_(dem.num_detectors)
 {
     edges_.reserve(dem.edges.size());
@@ -36,6 +39,98 @@ UnionFindDecoder::UnionFindDecoder(const sim::DetectorErrorModel& dem)
     grown_adj_.resize(n);
     parent_edge_.assign(n, -1);
     visited_.assign(n, 0);
+
+    weighted_ = options.correlated;
+    if (weighted_) {
+        edge_weight_.reserve(edges_.size());
+        for (const auto& e : dem.edges) {
+            edge_weight_.push_back(
+                -std::log(std::clamp(e.p, 1e-15, 1.0)));
+        }
+    }
+
+    if (!options.correlated || dem.hyperedges.empty()) {
+        return;
+    }
+
+    // ---- Stage-2 arbitration, per decomposition edge set ----------------
+    // Competing interpretations of one realised edge set: the
+    // independent-edges baseline (residual 0) versus every mechanism
+    // variant that decomposes onto exactly that set. The most probable
+    // interpretation wins statically; only winners whose observable
+    // action differs from the edge XOR need a runtime entry (a winning
+    // consistent interpretation vetoes nothing but corrects nothing).
+    const auto odds_of = [](double p) {
+        return p < 1.0 ? p / (1.0 - p) : 1e300;
+    };
+    std::map<std::vector<std::int32_t>, std::vector<int>> by_edge_set;
+    for (size_t i = 0; i < dem.hyperedges.size(); ++i) {
+        std::vector<std::int32_t> key(dem.hyperedges[i].edges.begin(),
+                                      dem.hyperedges[i].edges.end());
+        std::sort(key.begin(), key.end());
+        by_edge_set[std::move(key)].push_back(static_cast<int>(i));
+    }
+    struct Winner
+    {
+        const std::vector<std::int32_t>* edge_set;
+        std::uint32_t residual;
+        int mechanism;
+        double p;
+    };
+    std::vector<Winner> winners;
+    for (const auto& [edge_set, variants] : by_edge_set) {
+        double baseline = 1.0;
+        std::uint32_t edge_obs = 0;
+        for (const std::int32_t ei : edge_set) {
+            baseline *= odds_of(dem.edges[ei].p);
+            edge_obs ^= dem.edges[ei].obs_mask;
+        }
+        double best_odds = baseline;
+        int best = -1;
+        for (const int vi : variants) {
+            const double odds = odds_of(dem.hyperedges[vi].p);
+            if (odds > best_odds) {
+                best_odds = odds;
+                best = vi;
+            }
+        }
+        if (best < 0) {
+            continue;  // independent-edges interpretation wins
+        }
+        const auto& h = dem.hyperedges[best];
+        const std::uint32_t residual = h.obs_mask ^ edge_obs;
+        if (residual != 0) {
+            winners.push_back({&edge_set, residual, h.mechanism, h.p});
+        }
+    }
+    std::stable_sort(winners.begin(), winners.end(),
+                     [](const Winner& a, const Winner& b) {
+                         return a.p > b.p;
+                     });
+
+    std::map<int, std::int32_t> dense_mech;
+    hyper_off_.push_back(0);
+    edge_hyper_.resize(edges_.size());
+    for (const Winner& w : winners) {
+        const auto idx = static_cast<std::int32_t>(hyper_residual_.size());
+        for (const std::int32_t ei : *w.edge_set) {
+            hyper_edge_list_.push_back(ei);
+            edge_hyper_[ei].push_back(idx);
+        }
+        hyper_off_.push_back(
+            static_cast<std::int32_t>(hyper_edge_list_.size()));
+        hyper_residual_.push_back(w.residual);
+        const auto [it, inserted] = dense_mech.emplace(
+            w.mechanism, static_cast<std::int32_t>(dense_mech.size()));
+        hyper_mech_.push_back(it->second);
+    }
+    stage2_ = !hyper_residual_.empty();
+    if (stage2_) {
+        edge_used_.assign(edges_.size(), 0);
+        edge_claimed_.assign(edges_.size(), 0);
+        hyper_seen_.assign(hyper_residual_.size(), 0);
+        mech_claimed_.assign(dense_mech.size(), 0);
+    }
 }
 
 int
@@ -66,6 +161,117 @@ UnionFindDecoder::ResetScratch()
     touched_nodes_.clear();
     grown_edges_.clear();
     order_.clear();
+    if (stage2_) {
+        for (const std::int32_t ei : used_edges_) {
+            edge_used_[ei] = 0;
+            edge_claimed_[ei] = 0;
+        }
+        used_edges_.clear();
+        for (const std::int32_t hi : hyper_cands_) {
+            hyper_seen_[hi] = 0;
+        }
+        hyper_cands_.clear();
+        for (const std::int32_t m : mechs_claimed_) {
+            mech_claimed_[m] = 0;
+        }
+        mechs_claimed_.clear();
+    }
+}
+
+void
+UnionFindDecoder::BuildBfsForest()
+{
+    // order_ doubles as the BFS queue (nodes are appended once and
+    // scanned once), so no per-decode queue allocation.
+    auto bfs_from = [&](std::int32_t start) {
+        size_t head = order_.size();
+        order_.push_back(start);
+        while (head < order_.size()) {
+            const std::int32_t node = order_[head++];
+            for (const std::int32_t ei : grown_adj_[node]) {
+                const Edge& e = edges_[ei];
+                const int other = e.u == node ? e.v : e.u;
+                if (other == BoundaryNode() || visited_[other]) {
+                    continue;
+                }
+                visited_[other] = 1;
+                parent_edge_[other] = ei;
+                order_.push_back(other);
+            }
+        }
+    };
+    for (const std::int32_t ei : grown_edges_) {
+        const Edge& e = edges_[ei];
+        if (e.v == BoundaryNode() && !visited_[e.u]) {
+            visited_[e.u] = 1;
+            parent_edge_[e.u] = ei;  // parent is the boundary
+            bfs_from(e.u);
+        }
+    }
+    for (const std::int32_t node : touched_nodes_) {
+        if (!visited_[node]) {
+            visited_[node] = 1;
+            parent_edge_[node] = -1;  // interior forest root
+            bfs_from(node);
+        }
+    }
+}
+
+void
+UnionFindDecoder::BuildWeightedForest()
+{
+    // Multi-source Dijkstra under w = -log p: every node's parent edge
+    // lies on its most probable path to the boundary (or to the cluster
+    // root), so the peel drains defects along likely error strings
+    // instead of arbitrary BFS trees. Lazy deletion: stale heap entries
+    // are skipped via visited_. Ties break on (node, edge) so decodes
+    // are deterministic for any probability assignment.
+    auto greater = [](const HeapEntry& a, const HeapEntry& b) {
+        if (a.dist != b.dist) {
+            return a.dist > b.dist;
+        }
+        if (a.node != b.node) {
+            return a.node > b.node;
+        }
+        return a.pe > b.pe;
+    };
+    auto run = [&]() {
+        while (!heap_.empty()) {
+            std::pop_heap(heap_.begin(), heap_.end(), greater);
+            const HeapEntry top = heap_.back();
+            heap_.pop_back();
+            if (visited_[top.node]) {
+                continue;
+            }
+            visited_[top.node] = 1;
+            parent_edge_[top.node] = top.pe;
+            order_.push_back(top.node);
+            for (const std::int32_t ei : grown_adj_[top.node]) {
+                const Edge& e = edges_[ei];
+                const int other = e.u == top.node ? e.v : e.u;
+                if (other == BoundaryNode() || visited_[other]) {
+                    continue;
+                }
+                heap_.push_back({top.dist + edge_weight_[ei],
+                                 static_cast<std::int32_t>(other), ei});
+                std::push_heap(heap_.begin(), heap_.end(), greater);
+            }
+        }
+    };
+    for (const std::int32_t ei : grown_edges_) {
+        const Edge& e = edges_[ei];
+        if (e.v == BoundaryNode() && !visited_[e.u]) {
+            heap_.push_back({edge_weight_[ei], e.u, ei});
+            std::push_heap(heap_.begin(), heap_.end(), greater);
+        }
+    }
+    run();
+    for (const std::int32_t node : touched_nodes_) {
+        if (!visited_[node]) {
+            heap_.push_back({0.0, node, -1});  // interior forest root
+            run();
+        }
+    }
 }
 
 std::uint32_t
@@ -187,42 +393,14 @@ UnionFindDecoder::Decode(std::span<const int> syndrome)
             grown_adj_[e.v].push_back(ei);
         }
     }
-    // Trees must root at the boundary where possible, so each BFS runs to
-    // exhaustion before any new root is seeded; otherwise every cluster
+    // Trees must root at the boundary where possible, so each search runs
+    // to exhaustion before any new root is seeded; otherwise every cluster
     // node would become its own parentless root and defects could never
-    // drain along tree edges. order_ doubles as the BFS queue (nodes are
-    // appended once and scanned once), so no per-decode queue allocation.
-    auto bfs_from = [&](std::int32_t start) {
-        size_t head = order_.size();
-        order_.push_back(start);
-        while (head < order_.size()) {
-            const std::int32_t node = order_[head++];
-            for (const std::int32_t ei : grown_adj_[node]) {
-                const Edge& e = edges_[ei];
-                const int other = e.u == node ? e.v : e.u;
-                if (other == BoundaryNode() || visited_[other]) {
-                    continue;
-                }
-                visited_[other] = 1;
-                parent_edge_[other] = ei;
-                order_.push_back(other);
-            }
-        }
-    };
-    for (const std::int32_t ei : grown_edges_) {
-        const Edge& e = edges_[ei];
-        if (e.v == BoundaryNode() && !visited_[e.u]) {
-            visited_[e.u] = 1;
-            parent_edge_[e.u] = ei;  // parent is the boundary
-            bfs_from(e.u);
-        }
-    }
-    for (const std::int32_t node : touched_nodes_) {
-        if (!visited_[node]) {
-            visited_[node] = 1;
-            parent_edge_[node] = -1;  // interior forest root
-            bfs_from(node);
-        }
+    // drain along tree edges.
+    if (weighted_) {
+        BuildWeightedForest();
+    } else {
+        BuildBfsForest();
     }
     // Peel from the leaves (reverse BFS order).
     for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
@@ -240,10 +418,57 @@ UnionFindDecoder::Decode(std::span<const int> syndrome)
         }
         const Edge& e = edges_[ei];
         correction ^= e.obs_mask;
+        if (stage2_) {
+            edge_used_[ei] = 1;
+            used_edges_.push_back(ei);
+        }
         defect_[node] = 0;
         const int other = e.u == node ? e.v : e.u;
         if (other != BoundaryNode()) {
             defect_[other] ^= 1;
+        }
+    }
+
+    // ---- Correlated stage 2 ---------------------------------------------
+    // Entries whose decomposition edges all appear in the realised
+    // correction claim those edges in priority order (at most one
+    // interpretation per mechanism) and re-apply their residual
+    // observable action — the part of the mechanism's true effect the
+    // elementary edge XOR got wrong.
+    if (stage2_ && !used_edges_.empty()) {
+        for (const std::int32_t ei : used_edges_) {
+            for (const std::int32_t hi : edge_hyper_[ei]) {
+                if (!hyper_seen_[hi]) {
+                    hyper_seen_[hi] = 1;
+                    hyper_cands_.push_back(hi);
+                }
+            }
+        }
+        std::sort(hyper_cands_.begin(), hyper_cands_.end());
+        for (const std::int32_t hi : hyper_cands_) {
+            const std::int32_t mech = hyper_mech_[hi];
+            if (mech_claimed_[mech]) {
+                continue;
+            }
+            bool applies = true;
+            for (std::int32_t k = hyper_off_[hi]; k < hyper_off_[hi + 1];
+                 ++k) {
+                const std::int32_t ei = hyper_edge_list_[k];
+                if (!edge_used_[ei] || edge_claimed_[ei]) {
+                    applies = false;
+                    break;
+                }
+            }
+            if (!applies) {
+                continue;
+            }
+            for (std::int32_t k = hyper_off_[hi]; k < hyper_off_[hi + 1];
+                 ++k) {
+                edge_claimed_[hyper_edge_list_[k]] = 1;
+            }
+            mech_claimed_[mech] = 1;
+            mechs_claimed_.push_back(mech);
+            correction ^= hyper_residual_[hi];
         }
     }
 

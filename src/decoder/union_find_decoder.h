@@ -20,6 +20,17 @@
  * bottleneck of every Monte-Carlo LER estimate, so all per-decode
  * scratch persists across calls and whole batches decode through
  * `DecodeBatch` (see DESIGN.md §3.4 and bench/bench_decode_throughput).
+ *
+ * A correlated second stage (DESIGN.md §3.6) repairs the observable
+ * action of multi-detector mechanisms the elementary graph mislabels:
+ * at construction, every DEM hyperedge variant is arbitrated against
+ * the independent-edges interpretation of its decomposition edge set
+ * (odds p/(1-p) vs the product of the edges' odds), and the winners
+ * with a non-zero residual observable action are indexed by edge. After
+ * peeling, any active entry whose decomposition edges all appear in the
+ * realised correction claims them (at most one interpretation per
+ * mechanism, highest-probability first) and XORs its residual into the
+ * prediction.
  */
 #ifndef TIQEC_DECODER_UNION_FIND_DECODER_H
 #define TIQEC_DECODER_UNION_FIND_DECODER_H
@@ -37,12 +48,35 @@ namespace tiqec::decoder {
 class UnionFindDecoder
 {
   public:
+    struct Options
+    {
+        /** Enables the probability-aware decode: the peeling forest
+         *  follows most-probable paths (w = -log p, using the mass the
+         *  decomposition pass folds into the elementary edges), and the
+         *  correlated second stage re-applies hyperedge mechanisms'
+         *  residual observable action when the realised correction
+         *  matches their decomposition. Off gives the unweighted
+         *  elementary-graph decoder (the PR-5 baseline). */
+        bool correlated = true;
+    };
+
     /** Builds the decoding graph from a DEM. Edges with p == 0 are kept
      *  (zero-weight structure can still be used for decomposition). */
-    explicit UnionFindDecoder(const sim::DetectorErrorModel& dem);
+    explicit UnionFindDecoder(const sim::DetectorErrorModel& dem)
+        : UnionFindDecoder(dem, Options())
+    {
+    }
+    UnionFindDecoder(const sim::DetectorErrorModel& dem,
+                     const Options& options);
 
     int num_detectors() const { return num_detectors_; }
     int num_edges() const { return static_cast<int>(edges_.size()); }
+    /** Hyperedge interpretations that survived arbitration and carry a
+     *  non-zero residual (0 when Options::correlated is false). */
+    int num_active_hyperedges() const
+    {
+        return static_cast<int>(hyper_residual_.size());
+    }
 
     /**
      * Decodes one syndrome (list of fired detector indices).
@@ -104,9 +138,24 @@ class UnionFindDecoder
         std::vector<std::int32_t> frontier;
     };
 
+    /** Lazy-deletion Dijkstra heap entry for the weighted forest. */
+    struct HeapEntry
+    {
+        double dist;
+        std::int32_t node;
+        std::int32_t pe;  ///< parent edge (-1 for interior roots)
+    };
+
     int BoundaryNode() const { return num_detectors_; }
 
     int Find(int x);
+
+    /** Spanning-forest builders over the grown edges: unweighted BFS
+     *  (the PR-5 baseline) or most-probable-path Dijkstra under
+     *  w = -log p. Both root boundary-touching clusters at the boundary
+     *  and append nodes to order_ parent-before-child for the peel. */
+    void BuildBfsForest();
+    void BuildWeightedForest();
 
     /** Restores all touched scratch to its idle state; called on every
      *  exit path of the decode core (including the throwing one). */
@@ -133,6 +182,33 @@ class UnionFindDecoder
     std::vector<std::int32_t> order_;
     std::vector<std::int32_t> parent_edge_;
     std::vector<char> visited_;
+
+    // Weighted-forest tables and scratch (edge_weight_ empty and heap_
+    // unused when Options::correlated is false).
+    bool weighted_ = false;
+    std::vector<double> edge_weight_;  ///< -log p, clamped
+    std::vector<HeapEntry> heap_;
+
+    // Correlated stage-2 tables, built once at construction (all empty
+    // when Options::correlated is false or no entry wins arbitration).
+    // Entries are stored in priority order: descending mechanism
+    // probability, ties broken by decomposition edge set.
+    bool stage2_ = false;
+    std::vector<std::int32_t> hyper_off_;        ///< CSR into hyper_edge_list_
+    std::vector<std::int32_t> hyper_edge_list_;  ///< sorted edge indices
+    std::vector<std::uint32_t> hyper_residual_;  ///< obs XOR to re-apply
+    std::vector<std::int32_t> hyper_mech_;       ///< dense mechanism id
+    std::vector<std::vector<std::int32_t>> edge_hyper_;  ///< edge -> entries
+
+    // Correlated stage-2 scratch, reset via used_edges_ / hyper_cands_ /
+    // mechs_claimed_ in ResetScratch.
+    std::vector<char> edge_used_;
+    std::vector<char> edge_claimed_;
+    std::vector<std::int32_t> used_edges_;
+    std::vector<char> hyper_seen_;
+    std::vector<std::int32_t> hyper_cands_;
+    std::vector<char> mech_claimed_;
+    std::vector<std::int32_t> mechs_claimed_;
 
     // DecodeBatch scratch.
     std::vector<std::uint64_t> mask_scratch_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <map>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 namespace tiqec::sim {
 
@@ -87,7 +90,10 @@ DetectorErrorModel::Stats() const
        << num_observables << " edges=" << edges.size()
        << " components=" << num_components
        << " decomposed=" << num_decomposed
-       << " undecomposable=" << num_undecomposable
+       << " hyperedges=" << num_hyperedges << " (variants="
+       << hyperedges.size() << ", p=" << hyperedge_probability << ")"
+       << " undecomposable=" << num_undecomposable << " (p="
+       << undecomposable_probability << ")"
        << " dropped_p=" << dropped_probability;
     return os.str();
 }
@@ -240,8 +246,11 @@ BuildDem(const NoisyCircuit& circuit,
     // First pass: elementary (<= 2 detector) mechanisms become edges
     // directly. Edges are keyed by (d0, d1, obs): mechanisms with the
     // same endpoints but different logical action stay distinct here and
-    // are coalesced at the end.
+    // are coalesced at the end. pair_variants indexes every variant of a
+    // (d0, d1) pair, so the decomposition search below is linear in the
+    // variants of a pair, never in 2^num_observables.
     std::map<std::tuple<int, int, std::uint32_t>, size_t> edge_index;
+    std::map<std::pair<int, int>, std::vector<size_t>> pair_variants;
     auto canon = [](int d0, int d1) {
         if (d1 != DemEdge::kBoundary && d0 > d1) {
             std::swap(d0, d1);
@@ -258,24 +267,8 @@ BuildDem(const NoisyCircuit& circuit,
             return;
         }
         edge_index[key] = dem.edges.size();
+        pair_variants[std::make_pair(a, b)].push_back(dem.edges.size());
         dem.edges.push_back({a, b, p, obs_mask});
-    };
-    /** Existing elementary edge between (d0, d1) with any obs, or -1. */
-    auto find_edge = [&](int d0, int d1, std::uint32_t obs) -> int {
-        const auto [a, b] = canon(d0, d1);
-        const auto it = edge_index.find(std::make_tuple(a, b, obs));
-        return it == edge_index.end() ? -1
-                                      : static_cast<int>(it->second);
-    };
-    auto find_edge_any_obs = [&](int d0, int d1) -> int {
-        for (std::uint32_t obs = 0;
-             obs < (1u << std::max(1, circuit.num_observables())); ++obs) {
-            const int e = find_edge(d0, d1, obs);
-            if (e >= 0) {
-                return e;
-            }
-        }
-        return -1;
     };
     std::vector<std::pair<Key, double>> composite;
     for (const auto& [key, p] : merged) {
@@ -283,6 +276,7 @@ BuildDem(const NoisyCircuit& circuit,
             // Pure observable flip with no detector signature: invisible
             // to any decoder; drop it (counted).
             ++dem.num_undecomposable;
+            dem.undecomposable_probability += p;
             continue;
         }
         if (key.dets.size() == 1) {
@@ -293,80 +287,200 @@ BuildDem(const NoisyCircuit& circuit,
             composite.emplace_back(key, p);
         }
     }
-    // Second pass: decompose composite mechanisms into existing
-    // elementary edges, requiring the decomposition's total observable
-    // action to match the mechanism's. A fabricated edge would poison
-    // the decoding graph, so mechanisms that cannot be expressed in
-    // existing edges are dropped instead (their probability mass is the
-    // `num_undecomposable` diagnostic).
+    // Second pass: decompose composite mechanisms onto existing
+    // elementary edges with a backtracking perfect-matching search over
+    // the signature's detectors, where any detector may take a boundary
+    // edge instead of a partner (the greedy pair-then-leftover scheme
+    // this replaces failed on signatures that need boundary absorption
+    // mid-matching). A matching whose total observable action equals the
+    // mechanism's folds the probability into its edges exactly as
+    // before; every composite mechanism additionally records its
+    // structural matchings as hyperedge variants for the decoder's
+    // correlated second stage. A fabricated edge would poison the
+    // decoding graph, so signatures with no matching at all are still
+    // dropped (`num_undecomposable`).
+    constexpr int kMaxVariants = 8;
+    constexpr int kSearchBudget = 4096;
     for (const auto& [key, p] : composite) {
-        std::vector<int> rest = key.dets;
-        std::uint32_t acc_obs = 0;
-        std::vector<int> part_edges;
-        bool ok = true;
-        while (rest.size() >= 2) {
-            bool found = false;
-            for (size_t a = 0; a < rest.size() && !found; ++a) {
-                for (size_t b = a + 1; b < rest.size() && !found; ++b) {
-                    const int e = find_edge_any_obs(rest[a], rest[b]);
-                    if (e < 0) {
-                        continue;
+        std::vector<int> chosen;
+        int budget = kSearchBudget;
+        // Canonical DFS order (deterministic): the smallest remaining
+        // detector pairs with partners in ascending order before its
+        // boundary option; edge variants in ascending obs order.
+        std::function<bool(const std::vector<int>&, std::uint32_t)>
+            exact = [&](const std::vector<int>& rest,
+                        std::uint32_t acc) -> bool {
+            if (rest.empty()) {
+                return acc == key.obs;
+            }
+            if (--budget < 0) {
+                return false;
+            }
+            const int x = rest.front();
+            for (size_t j = 1; j < rest.size(); ++j) {
+                const auto it = pair_variants.find(canon(x, rest[j]));
+                if (it == pair_variants.end()) {
+                    continue;
+                }
+                std::vector<int> sub;
+                sub.reserve(rest.size() - 2);
+                for (size_t t = 1; t < rest.size(); ++t) {
+                    if (t != j) {
+                        sub.push_back(rest[t]);
                     }
-                    part_edges.push_back(e);
-                    acc_obs ^= dem.edges[e].obs_mask;
-                    rest.erase(rest.begin() + b);
-                    rest.erase(rest.begin() + a);
-                    found = true;
+                }
+                for (const size_t e : it->second) {
+                    chosen.push_back(static_cast<int>(e));
+                    if (exact(sub, acc ^ dem.edges[e].obs_mask)) {
+                        return true;
+                    }
+                    chosen.pop_back();
                 }
             }
-            if (!found) {
-                ok = false;
-                break;
+            const auto boundary = pair_variants.find(
+                std::make_pair(x, DemEdge::kBoundary));
+            if (boundary != pair_variants.end()) {
+                const std::vector<int> sub(rest.begin() + 1, rest.end());
+                for (const size_t e : boundary->second) {
+                    chosen.push_back(static_cast<int>(e));
+                    if (exact(sub, acc ^ dem.edges[e].obs_mask)) {
+                        return true;
+                    }
+                    chosen.pop_back();
+                }
             }
-        }
-        if (ok && rest.size() == 1) {
-            // The leftover detector must pair with the boundary through
-            // an edge carrying exactly the residual observable action.
-            const int e =
-                find_edge(rest[0], DemEdge::kBoundary, key.obs ^ acc_obs);
-            if (e >= 0) {
-                part_edges.push_back(e);
-                acc_obs ^= dem.edges[e].obs_mask;
-                rest.clear();
-            } else {
-                ok = false;
+            return false;
+        };
+        const bool exact_found = exact(key.dets, 0);
+        if (exact_found) {
+            for (const int e : chosen) {
+                double& q = dem.edges[e].p;
+                q = q * (1.0 - p) + p * (1.0 - q);
             }
+            ++dem.num_decomposed;
         }
-        if (!ok || acc_obs != key.obs) {
-            ++dem.num_undecomposable;
+        // Record the mechanism's structural matchings (over each pair's
+        // first variant) as hyperedge variants of one mechanism group,
+        // whether or not an exact matching existed: the peeling forest
+        // may realise ANY matching of the signature, and only variants
+        // whose observable XOR differs from the mechanism's need the
+        // second-stage correction — but consistent variants must be
+        // present too, so a more probable consistent interpretation can
+        // veto a correction (the decoder arbitrates per edge set).
+        std::vector<std::vector<int>> variants;
+        chosen.clear();
+        budget = kSearchBudget;
+        std::function<void(const std::vector<int>&)> enumerate =
+            [&](const std::vector<int>& rest) {
+            if (static_cast<int>(variants.size()) >= kMaxVariants ||
+                --budget < 0) {
+                return;
+            }
+            if (rest.empty()) {
+                std::vector<int> sorted = chosen;
+                std::sort(sorted.begin(), sorted.end());
+                if (std::find(variants.begin(), variants.end(), sorted) ==
+                    variants.end()) {
+                    variants.push_back(std::move(sorted));
+                }
+                return;
+            }
+            const int x = rest.front();
+            for (size_t j = 1; j < rest.size(); ++j) {
+                const auto it = pair_variants.find(canon(x, rest[j]));
+                if (it == pair_variants.end()) {
+                    continue;
+                }
+                std::vector<int> sub;
+                sub.reserve(rest.size() - 2);
+                for (size_t t = 1; t < rest.size(); ++t) {
+                    if (t != j) {
+                        sub.push_back(rest[t]);
+                    }
+                }
+                chosen.push_back(static_cast<int>(it->second.front()));
+                enumerate(sub);
+                chosen.pop_back();
+            }
+            const auto boundary = pair_variants.find(
+                std::make_pair(x, DemEdge::kBoundary));
+            if (boundary != pair_variants.end()) {
+                const std::vector<int> sub(rest.begin() + 1, rest.end());
+                chosen.push_back(
+                    static_cast<int>(boundary->second.front()));
+                enumerate(sub);
+                chosen.pop_back();
+            }
+        };
+        enumerate(key.dets);
+        if (variants.empty()) {
+            if (!exact_found) {
+                ++dem.num_undecomposable;
+                dem.undecomposable_probability += p;
+            }
             continue;
         }
-        for (const int e : part_edges) {
-            double& q = dem.edges[e].p;
-            q = q * (1.0 - p) + p * (1.0 - q);
+        const int mech = dem.num_hyperedges++;
+        dem.hyperedge_probability += p;
+        for (std::vector<int>& v : variants) {
+            dem.hyperedges.push_back(
+                {key.dets, std::move(v), p, key.obs, mech});
         }
-        ++dem.num_decomposed;
     }
     // Final pass: parallel edges with conflicting observable masks cannot
     // be told apart by a syndrome decoder; keep the most probable one
-    // (exactly what weighted matching would effectively do) and drop the
-    // rest, which bounds the decoder's intrinsic ambiguity floor.
-    std::map<std::pair<int, int>, size_t> best;
+    // (exactly what weighted matching would effectively do) and demote
+    // the rest to single-edge hyperedges shadowing the kept edge, so the
+    // conflicting mass stays represented and reported instead of
+    // silently vanishing. Hyperedge decompositions are remapped onto the
+    // surviving edge indices.
+    std::map<std::pair<int, int>, size_t> slot_of_pair;
     std::vector<DemEdge> kept;
-    for (const DemEdge& e : dem.edges) {
+    std::vector<size_t> remap(dem.edges.size(), 0);
+    struct Loser
+    {
+        DemEdge edge;
+        size_t slot;
+    };
+    std::vector<Loser> losers;
+    for (size_t i = 0; i < dem.edges.size(); ++i) {
+        const DemEdge& e = dem.edges[i];
         const auto key = std::make_pair(e.d0, e.d1);
-        const auto it = best.find(key);
-        if (it == best.end()) {
-            best[key] = kept.size();
+        const auto it = slot_of_pair.find(key);
+        if (it == slot_of_pair.end()) {
+            slot_of_pair[key] = kept.size();
+            remap[i] = kept.size();
             kept.push_back(e);
-        } else if (e.p > kept[it->second].p) {
-            dem.dropped_probability += kept[it->second].p;
-            kept[it->second] = e;
-        } else {
-            dem.dropped_probability += e.p;
+            continue;
         }
+        remap[i] = it->second;
+        DemEdge& winner = kept[it->second];
+        const DemEdge loser_edge = e.p > winner.p ? winner : e;
+        if (e.p > winner.p) {
+            winner = e;
+        }
+        dem.dropped_probability += loser_edge.p;
+        losers.push_back({loser_edge, it->second});
     }
     dem.edges = std::move(kept);
+    for (DemHyperedge& h : dem.hyperedges) {
+        for (int& e : h.edges) {
+            e = static_cast<int>(remap[static_cast<size_t>(e)]);
+        }
+        std::sort(h.edges.begin(), h.edges.end());
+    }
+    for (const Loser& l : losers) {
+        std::vector<int> dets = {l.edge.d0};
+        if (l.edge.d1 != DemEdge::kBoundary) {
+            dets.push_back(l.edge.d1);
+        }
+        dem.hyperedges.push_back({std::move(dets),
+                                  {static_cast<int>(l.slot)},
+                                  l.edge.p,
+                                  l.edge.obs_mask,
+                                  dem.num_hyperedges++});
+        dem.hyperedge_probability += l.edge.p;
+    }
     return dem;
 }
 

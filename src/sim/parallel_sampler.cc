@@ -42,7 +42,8 @@ ParallelSampler::ParallelSampler(const NoisyCircuit& circuit,
       seed_(options.seed),
       num_threads_(ResolveWorkerThreads(options.num_threads)),
       shard_shots_(ResolveShardShots(options.shard_shots)),
-      decode_path_(options.decode_path)
+      decode_path_(options.decode_path),
+      correlated_(options.correlated)
 {
 }
 
@@ -122,6 +123,7 @@ LerShardRun::LerShardRun(const NoisyCircuit& circuit,
       seed_(options.seed),
       shard_shots_(ResolveShardShots(options.shard_shots)),
       decode_path_(options.decode_path),
+      correlated_(options.correlated),
       max_shots_(max_shots),
       target_logical_errors_(target_logical_errors),
       // A non-positive target means "no early stop": without this, the
@@ -140,6 +142,7 @@ LerShardRun::LerShardRun(const NoisyCircuit& circuit,
         throw std::invalid_argument(
             "LerShardRun: circuit has no logical observable");
     }
+    committed_per_obs_.assign(circuit.num_observables(), 0);
 }
 
 bool
@@ -167,14 +170,18 @@ LerShardRun::RunOneShard(decoder::UnionFindDecoder& decoder)
     FrameSimulator sim(*circuit_,
                        Rng(seed_, static_cast<std::uint64_t>(k)));
     const SampleBatch batch = sim.Sample(shard_n);
-    std::int64_t errors = 0;
     bool abandoned = false;
     // A shot is a logical error when the decoder's prediction mismatches
     // the actual flip of ANY tracked observable: one observable for the
     // memory and stability workloads, three (joint parity + both patch
     // logicals) for surgery. For a single observable this reduces
-    // bit-exactly to the historical observable-0 comparison.
+    // bit-exactly to the historical observable-0 comparison. Each
+    // observable's own mismatch count is also tracked, so one surgery
+    // run yields the joint parity and both patch logicals at once.
     const int num_obs = batch.num_observables();
+    ShardOutcome outcome_rec;
+    outcome_rec.shots = shard_n;
+    outcome_rec.per_obs.assign(num_obs, 0);
     if (decode_path_ == DecodePath::kBatch) {
         // Cooperative early stop: DecodeBatch polls the flag once per
         // 64-shot word; an abandoned shard is past the committed stop
@@ -189,17 +196,21 @@ LerShardRun::RunOneShard(decoder::UnionFindDecoder& decoder)
         } else {
             // A trivial shot predicts 0, so its error bit is just the
             // observable bit; a decoded shot's is predicted XOR actual.
-            // Both collapse into one word-parallel popcount of the
-            // per-shot any-observable mismatch mask.
+            // Both collapse into word-parallel popcounts: one per
+            // observable plane, plus the OR of the planes for the
+            // any-observable count.
             const size_t words = static_cast<size_t>(batch.words());
             for (int w = 0; w < batch.words(); ++w) {
+                const std::uint64_t valid = batch.WordValidMask(w);
                 std::uint64_t mismatch = 0;
                 for (int o = 0; o < num_obs; ++o) {
-                    mismatch |=
+                    const std::uint64_t diff =
                         predictions[static_cast<size_t>(o) * words + w] ^
                         batch.ObservableWord(o, w);
+                    outcome_rec.per_obs[o] += std::popcount(diff & valid);
+                    mismatch |= diff;
                 }
-                errors += std::popcount(mismatch & batch.WordValidMask(w));
+                outcome_rec.errors += std::popcount(mismatch & valid);
             }
         }
     } else {
@@ -215,22 +226,28 @@ LerShardRun::RunOneShard(decoder::UnionFindDecoder& decoder)
             for (int o = 0; o < num_obs; ++o) {
                 actual |= (batch.Observable(o, s) ? 1u : 0u) << o;
             }
-            errors += predicted != actual ? 1 : 0;
+            const std::uint32_t diff = predicted ^ actual;
+            outcome_rec.errors += diff != 0 ? 1 : 0;
+            for (int o = 0; o < num_obs; ++o) {
+                outcome_rec.per_obs[o] += (diff >> o) & 1;
+            }
         }
     }
     if (abandoned) {
         return true;
     }
     std::lock_guard<std::mutex> lock(mu_);
-    pending_.emplace(k, std::make_pair(
-                            static_cast<std::int64_t>(shard_n), errors));
+    pending_.emplace(k, std::move(outcome_rec));
     while (!target_reached_) {
         auto it = pending_.find(next_commit_);
         if (it == pending_.end()) {
             break;
         }
-        committed_shots_ += it->second.first;
-        committed_errors_ += it->second.second;
+        committed_shots_ += it->second.shots;
+        committed_errors_ += it->second.errors;
+        for (int o = 0; o < num_obs; ++o) {
+            committed_per_obs_[o] += it->second.per_obs[o];
+        }
         pending_.erase(it);
         ++next_commit_;
         if (has_target_ && committed_errors_ >= target_logical_errors_) {
@@ -247,6 +264,7 @@ LerShardRun::Finish() const
     LogicalErrorEstimate out;
     out.shots = committed_shots_;
     out.logical_errors = committed_errors_;
+    out.per_observable_errors = committed_per_obs_;
     out.shards = next_commit_;
     out.early_stopped = target_reached_;
     return out;
@@ -265,10 +283,12 @@ ParallelSampler::EstimateLogicalErrors(const DetectorErrorModel& dem,
     options.num_threads = num_threads_;
     options.shard_shots = shard_shots_;
     options.decode_path = decode_path_;
+    options.correlated = correlated_;
     LerShardRun run(*circuit_, dem, options, max_shots,
                     target_logical_errors);
     RunWorkers(num_threads_, run.num_shards(), [&run, &dem]() {
-        decoder::UnionFindDecoder uf(dem);
+        decoder::UnionFindDecoder uf(
+            dem, decoder::UnionFindDecoder::Options{run.correlated()});
         while (run.RunOneShard(uf)) {
         }
     });

@@ -27,7 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <utility>
+#include <vector>
 
 #include "sim/dem.h"
 #include "sim/frame_simulator.h"
@@ -63,13 +63,23 @@ struct ParallelSamplerOptions
     int shard_shots = 1 << 12;
     /** Decode pipeline used by EstimateLogicalErrors. */
     DecodePath decode_path = DecodePath::kBatch;
+    /** Probability-aware decoding (weighted peeling forest + correlated
+     *  hyperedge stage, decoder::UnionFindDecoder::Options). Off gives
+     *  the unweighted elementary-graph baseline. */
+    bool correlated = true;
 };
 
 /** Outcome of a sharded sample-and-decode run. */
 struct LogicalErrorEstimate
 {
     std::int64_t shots = 0;
+    /** Shots where the prediction mismatched ANY tracked observable. */
     std::int64_t logical_errors = 0;
+    /** Mismatch count per tracked observable over the same committed
+     *  shard prefix (empty for a zero-shot budget). Invariants:
+     *  max(per_observable_errors) <= logical_errors <=
+     *  sum(per_observable_errors). */
+    std::vector<std::int64_t> per_observable_errors;
     /** Number of committed shards (the contiguous prefix counted). */
     std::int64_t shards = 0;
     bool early_stopped = false;
@@ -106,6 +116,9 @@ class LerShardRun
 
     const DetectorErrorModel& dem() const { return *dem_; }
     std::int64_t num_shards() const { return num_shards_; }
+    /** The decoder configuration this run expects: decoders passed to
+     *  `RunOneShard` must be built with Options{correlated()}. */
+    bool correlated() const { return correlated_; }
 
     /** False once every shard has been claimed or the early-stop flag is
      *  set — i.e. a worker visiting this run would find nothing to do.
@@ -128,11 +141,20 @@ class LerShardRun
     LogicalErrorEstimate Finish() const;
 
   private:
+    /** One shard's decode outcome, buffered until its turn to commit. */
+    struct ShardOutcome
+    {
+        std::int64_t shots = 0;
+        std::int64_t errors = 0;
+        std::vector<std::int64_t> per_obs;
+    };
+
     const NoisyCircuit* circuit_;
     const DetectorErrorModel* dem_;
     std::uint64_t seed_;
     int shard_shots_;
     DecodePath decode_path_;
+    bool correlated_;
     std::int64_t max_shots_;
     std::int64_t target_logical_errors_;
     bool has_target_;
@@ -146,10 +168,11 @@ class LerShardRun
     // committed contiguous prefix is ever reported, so the totals cannot
     // depend on worker scheduling.
     std::mutex mu_;
-    std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> pending_;
+    std::map<std::int64_t, ShardOutcome> pending_;
     std::int64_t next_commit_ = 0;
     std::int64_t committed_shots_ = 0;
     std::int64_t committed_errors_ = 0;
+    std::vector<std::int64_t> committed_per_obs_;
     bool target_reached_ = false;
 };
 
@@ -198,6 +221,7 @@ class ParallelSampler
     int num_threads_;
     int shard_shots_;
     DecodePath decode_path_;
+    bool correlated_;
 };
 
 }  // namespace tiqec::sim

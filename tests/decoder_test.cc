@@ -9,12 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "compiler/compiler.h"
 #include "decoder/union_find_decoder.h"
 #include "noise/annotator.h"
+#include "qec/surgery.h"
 #include "sim/dem.h"
 #include "sim/frame_simulator.h"
 #include "sim/memory_experiment.h"
+#include "workloads/experiment.h"
 
 namespace tiqec::decoder {
 namespace {
@@ -174,6 +178,138 @@ TEST(UnionFindDecoderTest, NoConflictingParallelEdges)
             << ")";
         seen[key] = e.obs_mask;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Correlated second stage: hyperedge arbitration on hand-built DEMs
+// ---------------------------------------------------------------------------
+
+/** Two disjoint elementary edges plus one correlated mechanism whose
+ *  true action flips obs 0 while its decomposition XOR is 0. */
+DetectorErrorModel
+HyperedgeDem()
+{
+    DetectorErrorModel dem;
+    dem.num_detectors = 4;
+    dem.num_observables = 1;
+    dem.edges.push_back({0, 1, 0.01, 0});
+    dem.edges.push_back({2, 3, 0.01, 0});
+    dem.hyperedges.push_back({{0, 1, 2, 3}, {0, 1}, 0.001, 1, 0});
+    dem.num_hyperedges = 1;
+    return dem;
+}
+
+TEST(CorrelatedDecodeTest, ResidualAppliedWhenDecompositionRealised)
+{
+    // Mechanism odds 1e-3 beat the independent-edges odds ~1e-4, so the
+    // winning interpretation of the realised pair {e0, e1} is the
+    // mechanism, and its residual (obs 1) must be re-applied.
+    UnionFindDecoder decoder(HyperedgeDem());
+    EXPECT_EQ(decoder.num_active_hyperedges(), 1);
+    EXPECT_EQ(decoder.Decode({0, 1, 2, 3}), 1u);
+    // A partial realisation is NOT the mechanism: one pair alone keeps
+    // the elementary interpretation.
+    EXPECT_EQ(decoder.Decode({0, 1}), 0u);
+    EXPECT_EQ(decoder.Decode({2, 3}), 0u);
+    // The stage-2 scratch must reset between decodes.
+    EXPECT_EQ(decoder.Decode({0, 1, 2, 3}), 1u);
+}
+
+TEST(CorrelatedDecodeTest, BaselineWinsWhenEdgesMoreProbable)
+{
+    DetectorErrorModel dem = HyperedgeDem();
+    // Make the independent-edges interpretation the more probable one
+    // (odds ~0.11 vs 1e-3): the mechanism loses arbitration statically.
+    dem.edges[0].p = 0.25;
+    dem.edges[1].p = 0.25;
+    UnionFindDecoder decoder(dem);
+    EXPECT_EQ(decoder.num_active_hyperedges(), 0);
+    EXPECT_EQ(decoder.Decode({0, 1, 2, 3}), 0u);
+}
+
+TEST(CorrelatedDecodeTest, ConsistentMechanismVetoesResidual)
+{
+    DetectorErrorModel dem = HyperedgeDem();
+    // A more probable variant of a second mechanism shares the edge set
+    // but its true action matches the decomposition XOR: it wins the
+    // arbitration and the inconsistent mechanism must not fire.
+    dem.hyperedges.push_back({{0, 1, 2, 3}, {0, 1}, 0.005, 0, 1});
+    dem.num_hyperedges = 2;
+    UnionFindDecoder decoder(dem);
+    EXPECT_EQ(decoder.num_active_hyperedges(), 0);
+    EXPECT_EQ(decoder.Decode({0, 1, 2, 3}), 0u);
+}
+
+TEST(CorrelatedDecodeTest, CorrelatedOffGivesElementaryBaseline)
+{
+    UnionFindDecoder decoder(HyperedgeDem(),
+                             UnionFindDecoder::Options{false});
+    EXPECT_EQ(decoder.num_active_hyperedges(), 0);
+    EXPECT_EQ(decoder.Decode({0, 1, 2, 3}), 0u);
+}
+
+TEST(CorrelatedDecodeTest, ClaimedEdgesBlockOverlappingMechanisms)
+{
+    DetectorErrorModel dem;
+    dem.num_detectors = 6;
+    dem.num_observables = 2;
+    dem.edges.push_back({0, 1, 0.01, 0});
+    dem.edges.push_back({2, 3, 0.01, 0});
+    dem.edges.push_back({4, 5, 0.01, 0});
+    // Mechanism 0 (p .002) decomposes onto {e0, e1}, mechanism 1
+    // (p .001) onto {e1, e2}; both realised, but e1 can only be claimed
+    // once — the higher-probability mechanism wins and the overlapping
+    // one must not apply its residual on half-claimed evidence.
+    dem.hyperedges.push_back({{0, 1, 2, 3}, {0, 1}, 0.002, 1, 0});
+    dem.hyperedges.push_back({{2, 3, 4, 5}, {1, 2}, 0.001, 2, 1});
+    dem.num_hyperedges = 2;
+    UnionFindDecoder decoder(dem);
+    EXPECT_EQ(decoder.num_active_hyperedges(), 2);
+    EXPECT_EQ(decoder.Decode({0, 1, 2, 3, 4, 5}), 1u);
+    // With only mechanism 1's decomposition realised, it fires.
+    EXPECT_EQ(decoder.Decode({2, 3, 4, 5}), 2u);
+}
+
+/** On the compiled d=3 surgery DEM, decoding each hyperedge mechanism's
+ *  own detector signature must reproduce the mechanism's observable
+ *  action for strictly more mechanisms with the correlated stage than
+ *  without it (the mechanisms are exactly the signatures the elementary
+ *  graph mislabels). */
+TEST(CorrelatedDecodeTest, RecoversMechanismActionsOnCompiledSurgeryDem)
+{
+    const qec::MergedPatchCode code(3, qec::SurgeryParity::kXX);
+    const qccd::TimingModel timing;
+    const auto graph =
+        compiler::MakeDeviceFor(code, qccd::TopologyKind::kGrid, 2);
+    auto result = compiler::CompileParityCheckRounds(code, 1, graph, timing);
+    ASSERT_TRUE(result.ok) << result.error;
+    noise::NoiseParams params;
+    params.gate_improvement = 1.0;
+    const auto profile =
+        noise::AnnotateRound(code, graph, result, params, timing);
+    workloads::WorkloadSpec spec{.kind = workloads::WorkloadKind::kSurgery,
+                                 .basis = sim::MemoryBasis::kZ};
+    const sim::NoisyCircuit circuit = workloads::BuildExperiment(
+        code, result.qec_circuit, profile, params, 3, spec);
+    const DetectorErrorModel dem = sim::BuildDem(circuit);
+    ASSERT_GT(dem.num_hyperedges, 0);
+
+    UnionFindDecoder correlated(dem);
+    UnionFindDecoder plain(dem, UnionFindDecoder::Options{false});
+    EXPECT_GT(correlated.num_active_hyperedges(), 0);
+    int correlated_correct = 0;
+    int plain_correct = 0;
+    int last_mechanism = -1;
+    for (const auto& h : dem.hyperedges) {
+        if (h.mechanism == last_mechanism) {
+            continue;  // one decode per mechanism, not per variant
+        }
+        last_mechanism = h.mechanism;
+        std::vector<int> syndrome(h.dets.begin(), h.dets.end());
+        correlated_correct += correlated.Decode(syndrome) == h.obs_mask;
+        plain_correct += plain.Decode(syndrome) == h.obs_mask;
+    }
+    EXPECT_GT(correlated_correct, plain_correct);
 }
 
 TEST(LogicalErrorTest, SuppressionWithDistance)

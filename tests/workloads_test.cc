@@ -321,6 +321,7 @@ struct PinnedDem
     int observables;
     int edges;
     int components;
+    int hyperedge_mechanisms;
 };
 
 /** Golden DEM stats for the kXX surgery/stability experiments at d=3/5
@@ -330,10 +331,10 @@ struct PinnedDem
 TEST(SurgeryExperimentTest, PinnedDemStatsAtD3AndD5)
 {
     const std::vector<PinnedDem> pinned = {
-        {3, WorkloadKind::kSurgery, 56, 3, 266, 4533},
-        {3, WorkloadKind::kStability, 56, 1, 266, 4533},
-        {5, WorkloadKind::kSurgery, 264, 3, 1318, 21835},
-        {5, WorkloadKind::kStability, 264, 1, 1318, 21835},
+        {3, WorkloadKind::kSurgery, 56, 3, 266, 4533, 345},
+        {3, WorkloadKind::kStability, 56, 1, 266, 4533, 345},
+        {5, WorkloadKind::kSurgery, 264, 3, 1318, 21835, 2725},
+        {5, WorkloadKind::kStability, 264, 1, 1318, 21835, 2725},
     };
     for (const PinnedDem& pin : pinned) {
         SCOPED_TRACE("d=" + std::to_string(pin.d) + " " +
@@ -352,10 +353,18 @@ TEST(SurgeryExperimentTest, PinnedDemStatsAtD3AndD5)
         EXPECT_EQ(dem.num_observables, pin.observables);
         EXPECT_EQ(static_cast<int>(dem.edges.size()), pin.edges);
         EXPECT_EQ(dem.num_components, pin.components);
-        // No conflicting parallel edges, and the hyperedge mechanisms
-        // the union-find graph cannot express stay a small minority.
+        // No probability mass may be lost: no conflicting parallel
+        // edges dropped, no undecomposable mechanisms — the backtracking
+        // decomposition matches every composite signature, and each one
+        // is kept as hyperedge variants for the correlated decode stage.
         EXPECT_EQ(dem.dropped_probability, 0.0);
-        EXPECT_LT(dem.num_undecomposable, dem.num_components / 50);
+        EXPECT_EQ(dem.num_undecomposable, 0);
+        EXPECT_EQ(dem.undecomposable_probability, 0.0);
+        EXPECT_EQ(dem.num_hyperedges, pin.hyperedge_mechanisms);
+        EXPECT_EQ(dem.num_decomposed, pin.hyperedge_mechanisms);
+        EXPECT_GE(static_cast<int>(dem.hyperedges.size()),
+                  pin.hyperedge_mechanisms);
+        EXPECT_GT(dem.hyperedge_probability, 0.0);
     }
 }
 
