@@ -184,6 +184,7 @@ main(int argc, char** argv)
     tiqec::bench::Rule(70);
 
     bool all_identical = true;
+    std::vector<tiqec::bench::JsonRecord> records;
     const std::vector<int> distances =
         smoke ? std::vector<int>{3, 7} : std::vector<int>{3, 5, 7, 9};
     for (const int d : distances) {
@@ -192,19 +193,37 @@ main(int argc, char** argv)
               tiqec::qccd::TopologyKind::kSwitch}) {
             const Row row = MeasureOne(d, topology, smoke);
             all_identical = all_identical && row.identical;
+            const double speedup =
+                row.ref_rounds_per_sec > 0.0
+                    ? row.fast_rounds_per_sec / row.ref_rounds_per_sec
+                    : 0.0;
             std::printf("%-4d %-8s %16.0f %16.0f %9.2fx %10s\n",
                         row.distance,
                         tiqec::qccd::TopologyKindName(row.topology).c_str(),
                         row.ref_rounds_per_sec, row.fast_rounds_per_sec,
-                        row.ref_rounds_per_sec > 0.0
-                            ? row.fast_rounds_per_sec /
-                                  row.ref_rounds_per_sec
-                            : 0.0,
-                        row.identical ? "yes" : "NO");
+                        speedup, row.identical ? "yes" : "NO");
+            tiqec::bench::JsonRecord r;
+            r.Add("distance", row.distance);
+            r.Add("topology",
+                  tiqec::qccd::TopologyKindName(row.topology));
+            r.Add("trap_capacity", 2);
+            r.Add("metric", "rounds_per_sec");
+            r.Add("reference", row.ref_rounds_per_sec);
+            r.Add("fast", row.fast_rounds_per_sec);
+            // The speedup ratio is the machine-portable figure: the
+            // regression gate compares it across hosts, where absolute
+            // rounds/sec are not comparable.
+            r.Add("speedup", speedup);
+            r.Add("identical", row.identical);
+            r.Add("best_of", smoke ? 2 : 5);
+            r.Add("smoke", smoke);
+            records.push_back(std::move(r));
         }
     }
     std::printf("\n(the overhaul targets >= 3x at d=7; output "
                 "byte-identity is the hard invariant — timing is "
                 "reported, not asserted)\n");
+    tiqec::bench::WriteBenchJson("BENCH_compile.json",
+                                 "compile_throughput", records);
     return all_identical ? 0 : 1;
 }

@@ -18,9 +18,12 @@ using namespace tiqec;
 using core::ArchitectureConfig;
 
 void
-PrintFigure10()
+PrintFigure10(bool smoke)
 {
-    const std::vector<int> distances = {3, 5, 7, 9};
+    const std::vector<int> distances =
+        smoke ? std::vector<int>{3, 5} : std::vector<int>{3, 5, 7, 9};
+    const std::int64_t max_shots = smoke ? 1 << 13 : 1 << 17;
+    std::vector<tiqec::bench::JsonRecord> records;
     std::printf("\n=== Figure 10: logical error rate per shot vs distance "
                 "(grid, capacity 2, memory-Z, d rounds) ===\n");
     std::printf("%-14s", "improvement");
@@ -33,7 +36,7 @@ PrintFigure10()
         ArchitectureConfig arch;
         arch.gate_improvement = improvement;
         const auto sweep = tiqec::bench::RunLerSweep(
-            "rotated", distances, arch, 1 << 17, 150);
+            "rotated", distances, arch, max_shots, 150);
         std::printf("%-12.0fX ", improvement);
         size_t k = 0;
         for (const int d : distances) {
@@ -44,6 +47,18 @@ PrintFigure10()
                 std::printf(" %12s", "-");
             }
         }
+        for (size_t i = 0; i < sweep.distances.size(); ++i) {
+            tiqec::bench::JsonRecord r;
+            r.Add("gate_improvement", improvement);
+            r.Add("distance", sweep.distances[i]);
+            r.Add("smoke", smoke);
+            r.Add("metric", "ler_per_shot");
+            r.Add("value", sweep.ler_per_shot[i]);
+            r.Add("ler_per_round", sweep.ler_per_round[i]);
+            r.Add("round_time_us", sweep.round_time[i]);
+            r.Add("logical_errors", sweep.errors[i]);
+            records.push_back(std::move(r));
+        }
         const auto projection = sweep.ProjectPerRound();
         if (projection.valid()) {
             std::printf(" %18d\n",
@@ -51,9 +66,20 @@ PrintFigure10()
         } else {
             std::printf(" %18s\n", "no suppression");
         }
+        tiqec::bench::JsonRecord p;
+        p.Add("gate_improvement", improvement);
+        p.Add("smoke", smoke);
+        p.Add("metric", "distance_for_ler_1e-9");
+        p.Add("fit_valid", projection.valid());
+        if (projection.valid()) {
+            p.Add("value", projection.DistanceForTarget(1e-9));
+        }
+        records.push_back(std::move(p));
     }
     std::printf("\n(paper: 10X improvement reaches 1e-9 at d=13; 5X needs "
                 "d=18; 1X shows little suppression)\n");
+    tiqec::bench::WriteBenchJson("BENCH_fig10.json",
+                                 "fig10_ler_gate_improvement", records);
 }
 
 void
@@ -78,7 +104,12 @@ BENCHMARK(BM_LerPointD5FiveX);
 int
 main(int argc, char** argv)
 {
-    PrintFigure10();
+    // --smoke: trimmed axes + JSON snapshot only (see fig8a).
+    const bool smoke = tiqec::bench::StripFlag(&argc, argv, "--smoke");
+    PrintFigure10(smoke);
+    if (smoke) {
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -32,16 +32,17 @@ struct CapacityProjection
 };
 
 CapacityProjection
-ProjectCapacity(int capacity)
+ProjectCapacity(int capacity, bool smoke)
 {
     ArchitectureConfig arch;
     arch.trap_capacity = capacity;
     arch.gate_improvement = 5.0;
     const std::vector<int> distances =
-        capacity == 2 ? std::vector<int>{3, 5, 7, 9}
-                      : std::vector<int>{3, 5, 7};
-    const auto sweep = tiqec::bench::RunLerSweep("rotated", distances, arch,
-                                                 1 << 16, 120);
+        smoke          ? std::vector<int>{3, 5}
+        : capacity == 2 ? std::vector<int>{3, 5, 7, 9}
+                        : std::vector<int>{3, 5, 7};
+    const auto sweep = tiqec::bench::RunLerSweep(
+        "rotated", distances, arch, smoke ? 1 << 13 : 1 << 16, 120);
     CapacityProjection out;
     out.capacity = capacity;
     out.projection = sweep.ProjectPerRound();
@@ -60,8 +61,9 @@ ElectrodesForDistance(int distance, int capacity)
 }
 
 void
-PrintFigure11()
+PrintFigure11(bool smoke)
 {
+    std::vector<tiqec::bench::JsonRecord> records;
     std::printf("\n=== Figure 11: electrodes required to reach a target "
                 "logical error rate (5X improvement, grid) ===\n");
     const std::vector<double> targets = {1e-6, 1e-9, 1e-12};
@@ -78,21 +80,35 @@ PrintFigure11()
     std::printf("\n");
     tiqec::bench::Rule(10 + 23 * static_cast<int>(targets.size()));
     for (const int capacity : {2, 5, 12}) {
-        const CapacityProjection proj = ProjectCapacity(capacity);
+        const CapacityProjection proj = ProjectCapacity(capacity, smoke);
         std::printf("%-10d", capacity);
         for (const double target : targets) {
+            tiqec::bench::JsonRecord r;
+            r.Add("trap_capacity", capacity);
+            r.Add("target_ler_per_round", target);
+            r.Add("gate_improvement", 5.0);
+            r.Add("smoke", smoke);
+            r.Add("fit_valid", proj.valid);
             if (!proj.valid) {
                 std::printf(" %10s %11s", "-", "no fit");
+                records.push_back(std::move(r));
                 continue;
             }
             const int d = proj.projection.DistanceForTarget(target);
-            std::printf(" %10d %11lld", d,
-                        ElectrodesForDistance(d, capacity));
+            const long long electrodes =
+                ElectrodesForDistance(d, capacity);
+            std::printf(" %10d %11lld", d, electrodes);
+            r.Add("distance", d);
+            r.Add("metric", "num_electrodes");
+            r.Add("value", static_cast<std::int64_t>(electrodes));
+            records.push_back(std::move(r));
         }
         std::printf("\n");
     }
     std::printf("\n(paper: capacity 2 is the most hardware-efficient "
                 "design point by orders of magnitude)\n");
+    tiqec::bench::WriteBenchJson("BENCH_fig11.json", "fig11_electrodes",
+                                 records);
 }
 
 void
@@ -111,7 +127,12 @@ BENCHMARK(BM_ResourceEstimate);
 int
 main(int argc, char** argv)
 {
-    PrintFigure11();
+    // --smoke: trimmed axes + JSON snapshot only (see fig8a).
+    const bool smoke = tiqec::bench::StripFlag(&argc, argv, "--smoke");
+    PrintFigure11(smoke);
+    if (smoke) {
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

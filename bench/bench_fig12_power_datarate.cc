@@ -20,8 +20,9 @@ using namespace tiqec;
 using core::ArchitectureConfig;
 
 void
-PrintFigure12()
+PrintFigure12(bool smoke)
 {
+    std::vector<tiqec::bench::JsonRecord> records;
     std::printf("\n=== Figure 12: data rate and power per logical qubit to "
                 "reach a target LER (standard wiring, 5X) ===\n");
     const std::vector<double> targets = {1e-6, 1e-9, 1e-12};
@@ -33,15 +34,23 @@ PrintFigure12()
         arch.trap_capacity = capacity;
         arch.gate_improvement = 5.0;
         const std::vector<int> distances =
-            capacity == 2 ? std::vector<int>{3, 5, 7, 9}
-                          : std::vector<int>{3, 5, 7};
+            smoke          ? std::vector<int>{3, 5}
+            : capacity == 2 ? std::vector<int>{3, 5, 7, 9}
+                            : std::vector<int>{3, 5, 7};
         const auto sweep = tiqec::bench::RunLerSweep(
-            "rotated", distances, arch, 1 << 16, 120);
+            "rotated", distances, arch, smoke ? 1 << 13 : 1 << 16, 120);
         const auto projection = sweep.ProjectPerRound();
         for (const double target : targets) {
+            tiqec::bench::JsonRecord r;
+            r.Add("trap_capacity", capacity);
+            r.Add("target_ler_per_round", target);
+            r.Add("gate_improvement", 5.0);
+            r.Add("smoke", smoke);
+            r.Add("fit_valid", projection.valid());
             if (!projection.valid()) {
                 std::printf("%-10d %8.0e %14s %12s %12s\n", capacity,
                             target, "no fit", "-", "-");
+                records.push_back(std::move(r));
                 continue;
             }
             const int d = projection.DistanceForTarget(target);
@@ -53,10 +62,16 @@ PrintFigure12()
             std::printf("%-10d %8.0e %14d %12.1f %12.1f\n", capacity,
                         target, d, est.standard_data_rate_gbps,
                         est.standard_power_w);
+            r.Add("distance", d);
+            r.Add("data_rate_gbps", est.standard_data_rate_gbps);
+            r.Add("power_w", est.standard_power_w);
+            records.push_back(std::move(r));
         }
     }
     std::printf("\n(paper: ~1.3 Tbit/s and ~780 W for 1e-9 even at the "
                 "optimal capacity 2)\n");
+    tiqec::bench::WriteBenchJson("BENCH_fig12.json",
+                                 "fig12_power_datarate", records);
 }
 
 void
@@ -76,7 +91,12 @@ BENCHMARK(BM_ProjectionFit);
 int
 main(int argc, char** argv)
 {
-    PrintFigure12();
+    // --smoke: trimmed axes + JSON snapshot only (see fig8a).
+    const bool smoke = tiqec::bench::StripFlag(&argc, argv, "--smoke");
+    PrintFigure12(smoke);
+    if (smoke) {
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

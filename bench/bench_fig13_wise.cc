@@ -30,8 +30,9 @@ struct WiseRow
 };
 
 void
-PrintFigure13()
+PrintFigure13(bool smoke)
 {
+    std::vector<tiqec::bench::JsonRecord> records;
     std::printf("\n=== Figure 13(a): data rate (Gbit/s) vs achieved LER "
                 "per wiring scheme (5X improvement) ===\n");
     std::printf("%-26s %6s %14s %14s %12s\n", "scheme", "d",
@@ -43,7 +44,8 @@ PrintFigure13()
         {5, WiringKind::kWise},
         {12, WiringKind::kWise},
     };
-    const std::vector<int> distances = {3, 5, 7};
+    const std::vector<int> distances =
+        smoke ? std::vector<int>{3, 5} : std::vector<int>{3, 5, 7};
 
     // One engine sweep over every (scheme, distance) cell; each
     // distance's code object is shared so standard and WISE rows at the
@@ -60,7 +62,7 @@ PrintFigure13()
             c.arch.trap_capacity = row.capacity;
             c.arch.wiring = row.wiring;
             c.arch.gate_improvement = 5.0;
-            c.options.max_shots = 1 << 15;
+            c.options.max_shots = smoke ? 1 << 12 : 1 << 15;
             c.options.target_logical_errors = 100;
             candidates.push_back(std::move(c));
         }
@@ -80,8 +82,16 @@ PrintFigure13()
                           row.capacity,
                           row.wiring == WiringKind::kWise ? " (cooled)"
                                                           : "");
+            tiqec::bench::JsonRecord r;
+            r.Add("wiring", core::WiringKindName(row.wiring));
+            r.Add("trap_capacity", row.capacity);
+            r.Add("distance", d);
+            r.Add("gate_improvement", 5.0);
+            r.Add("smoke", smoke);
             if (!m.ok) {
                 std::printf("%-26s %6d %14s\n", scheme, d, "NaN");
+                tiqec::bench::AddMetrics(r, m);
+                records.push_back(std::move(r));
                 continue;
             }
             const double rate = row.wiring == WiringKind::kWise
@@ -89,6 +99,9 @@ PrintFigure13()
                                     : m.resources.standard_data_rate_gbps;
             std::printf("%-26s %6d %14.3e %14.0f %12.2f\n", scheme, d,
                         m.ler_per_shot.rate, m.round_time, rate);
+            r.Add("data_rate_gbps", rate);
+            tiqec::bench::AddMetrics(r, m);
+            records.push_back(std::move(r));
         }
     }
 
@@ -99,20 +112,29 @@ PrintFigure13()
     tiqec::bench::Rule(56);
     // Project distance-for-target per scheme from compile-only timing and
     // the measured LER fits.
+    const std::vector<int> fit_distances =
+        smoke ? std::vector<int>{3, 5} : std::vector<int>{3, 5, 7};
     for (const WiringKind wiring :
          {WiringKind::kStandard, WiringKind::kWise}) {
         ArchitectureConfig arch;
         arch.wiring = wiring;
         arch.gate_improvement = 5.0;
-        const auto sweep = tiqec::bench::RunLerSweep("rotated", {3, 5, 7},
-                                                     arch, 1 << 15, 100);
+        const auto sweep = tiqec::bench::RunLerSweep(
+            "rotated", fit_distances, arch, smoke ? 1 << 13 : 1 << 15,
+            100);
         const auto projection = sweep.ProjectPerRound();
         if (wiring == WiringKind::kStandard) {
             std::printf("(standard fit valid: %s; wise fit follows)\n",
                         projection.valid() ? "yes" : "no");
         }
     }
-    for (const double target : {1e-6, 1e-9, 1e-12}) {
+    // Smoke restricts part (b) to the nearest target: the trimmed
+    // two-point fit extrapolates far for 1e-9/1e-12, and compiling the
+    // projected (very large) distance would dominate the smoke budget.
+    const std::vector<double> targets =
+        smoke ? std::vector<double>{1e-6}
+              : std::vector<double>{1e-6, 1e-9, 1e-12};
+    for (const double target : targets) {
         double shot_us[2] = {0.0, 0.0};
         int idx = 0;
         for (const WiringKind wiring :
@@ -121,12 +143,13 @@ PrintFigure13()
             arch.wiring = wiring;
             arch.gate_improvement = 5.0;
             const auto sweep = tiqec::bench::RunLerSweep(
-                "rotated", {3, 5, 7}, arch, 1 << 14, 80);
+                "rotated", fit_distances, arch, smoke ? 1 << 12 : 1 << 14,
+                80);
             const auto projection = sweep.ProjectPerRound();
             int d = projection.valid()
                         ? projection.DistanceForTarget(target)
                         : 0;
-            if (d <= 0) {
+            if (d <= 0 || (smoke && d > 15)) {
                 shot_us[idx++] = -1.0;
                 continue;
             }
@@ -146,9 +169,25 @@ PrintFigure13()
                               shot_us[1] / shot_us[0], true, "%.1fx")
                               .c_str()
                         : "-");
+        tiqec::bench::JsonRecord r;
+        r.Add("target_ler_per_round", target);
+        r.Add("gate_improvement", 5.0);
+        r.Add("smoke", smoke);
+        if (shot_us[0] > 0) {
+            r.Add("standard_shot_time_us", shot_us[0]);
+        }
+        if (shot_us[1] > 0) {
+            r.Add("wise_shot_time_us", shot_us[1]);
+        }
+        if (shot_us[0] > 0 && shot_us[1] > 0) {
+            r.Add("wise_slowdown", shot_us[1] / shot_us[0]);
+        }
+        records.push_back(std::move(r));
     }
     std::printf("\n(paper: WISE trades up to ~25x logical clock slowdown "
                 "for ~2 orders of magnitude less data rate / power)\n");
+    tiqec::bench::WriteBenchJson("BENCH_fig13.json", "fig13_wise",
+                                 records);
 }
 
 void
@@ -171,7 +210,12 @@ BENCHMARK(BM_WiseCompileD3);
 int
 main(int argc, char** argv)
 {
-    PrintFigure13();
+    // --smoke: trimmed axes + JSON snapshot only (see fig8a).
+    const bool smoke = tiqec::bench::StripFlag(&argc, argv, "--smoke");
+    PrintFigure13(smoke);
+    if (smoke) {
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -20,8 +20,13 @@ using qccd::TimingModel;
 using qccd::TopologyKind;
 
 std::vector<int>
-Fig8aDistances(TopologyKind topology)
+Fig8aDistances(TopologyKind topology, bool smoke)
 {
+    if (smoke) {
+        return topology == TopologyKind::kLinear
+                   ? std::vector<int>{2, 3}
+                   : std::vector<int>{3, 5};
+    }
     // Linear routing congestion grows steeply; cap the sweep so the
     // bench binary stays interactive (the trend is unambiguous).
     return topology == TopologyKind::kLinear
@@ -30,9 +35,10 @@ Fig8aDistances(TopologyKind topology)
 }
 
 void
-PrintFigure8a()
+PrintFigure8a(bool smoke)
 {
-    const std::vector<int> capacities = {2, 5, 12};
+    const std::vector<int> capacities =
+        smoke ? std::vector<int>{2, 5} : std::vector<int>{2, 5, 12};
     const std::vector<TopologyKind> topologies = {
         TopologyKind::kLinear, TopologyKind::kGrid, TopologyKind::kSwitch};
 
@@ -44,7 +50,7 @@ PrintFigure8a()
     // points no longer serialise the whole figure.
     std::vector<core::SweepCandidate> candidates;
     for (const TopologyKind topology : topologies) {
-        for (const int d : Fig8aDistances(topology)) {
+        for (const int d : Fig8aDistances(topology, smoke)) {
             const std::shared_ptr<const qec::StabilizerCode> code =
                 qec::MakeCode("rotated", d);
             for (const int cap : capacities) {
@@ -63,6 +69,7 @@ PrintFigure8a()
         core::SweepRunner(sopts).Run(candidates);
 
     size_t cell = 0;
+    std::vector<tiqec::bench::JsonRecord> records;
     for (const TopologyKind topology : topologies) {
         std::printf("\n-- topology: %s\n",
                     qccd::TopologyKindName(topology).c_str());
@@ -72,19 +79,28 @@ PrintFigure8a()
         }
         std::printf("\n");
         tiqec::bench::Rule(6 + 13 * static_cast<int>(capacities.size()));
-        for (const int d : Fig8aDistances(topology)) {
+        for (const int d : Fig8aDistances(topology, smoke)) {
             std::printf("%-6d", d);
             for (size_t k = 0; k < capacities.size(); ++k) {
                 const core::Metrics& m = metrics[cell++];
                 std::printf(" %12s",
                             tiqec::bench::NumOrNan(m.round_time, m.ok)
                                 .c_str());
+                tiqec::bench::JsonRecord r;
+                r.Add("topology", qccd::TopologyKindName(topology));
+                r.Add("distance", d);
+                r.Add("trap_capacity", capacities[k]);
+                r.Add("smoke", smoke);
+                tiqec::bench::AddMetrics(r, m);
+                records.push_back(std::move(r));
             }
             std::printf("\n");
         }
     }
     std::printf("\n(paper: linear ~12x slower than grid/switch at d=5 "
                 "cap 2; grid ~= switch; only cap 2 is flat in d)\n");
+    tiqec::bench::WriteBenchJson("BENCH_fig8a.json",
+                                 "fig8a_topology_round_time", records);
 }
 
 void
@@ -111,7 +127,14 @@ BENCHMARK(BM_RoundTimeByTopology)
 int
 main(int argc, char** argv)
 {
-    PrintFigure8a();
+    // --smoke: trimmed axes + JSON snapshot only, for CI; the Google
+    // Benchmark micro-benchmarks are skipped (timing on shared CI boxes
+    // is reported by the dedicated smoke gates instead).
+    const bool smoke = tiqec::bench::StripFlag(&argc, argv, "--smoke");
+    PrintFigure8a(smoke);
+    if (smoke) {
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -18,12 +18,14 @@ using core::ArchitectureConfig;
 using qccd::TopologyKind;
 
 void
-PrintFigure8b()
+PrintFigure8b(bool smoke)
 {
-    const std::vector<int> capacities = {2, 5, 12};
+    const std::vector<int> capacities =
+        smoke ? std::vector<int>{2, 5} : std::vector<int>{2, 5, 12};
     // d=9 rides on the compiler hot-path overhaul: the compile stage of
     // every uncached cell used to dominate the sweep at this size.
-    const std::vector<int> distances = {3, 5, 7, 9};
+    const std::vector<int> distances =
+        smoke ? std::vector<int>{3, 5} : std::vector<int>{3, 5, 7, 9};
     const std::vector<TopologyKind> topologies = {TopologyKind::kGrid,
                                                   TopologyKind::kSwitch};
     std::printf("\n=== Figure 8(b): logical error rate per shot (memory-Z, "
@@ -43,7 +45,7 @@ PrintFigure8b()
                 c.arch.topology = topology;
                 c.arch.trap_capacity = cap;
                 c.arch.gate_improvement = 5.0;
-                c.options.max_shots = 1 << 15;
+                c.options.max_shots = smoke ? 1 << 12 : 1 << 15;
                 c.options.target_logical_errors = 100;
                 candidates.push_back(std::move(c));
             }
@@ -55,6 +57,7 @@ PrintFigure8b()
         core::SweepRunner(sopts).Run(candidates);
 
     size_t cell = 0;
+    std::vector<tiqec::bench::JsonRecord> records;
     for (const TopologyKind topology : topologies) {
         std::printf("\n-- topology: %s\n",
                     qccd::TopologyKindName(topology).c_str());
@@ -73,12 +76,22 @@ PrintFigure8b()
                 } else {
                     std::printf(" %14s", "NaN");
                 }
+                tiqec::bench::JsonRecord r;
+                r.Add("topology", qccd::TopologyKindName(topology));
+                r.Add("distance", d);
+                r.Add("trap_capacity", capacities[k]);
+                r.Add("gate_improvement", 5.0);
+                r.Add("smoke", smoke);
+                tiqec::bench::AddMetrics(r, m);
+                records.push_back(std::move(r));
             }
             std::printf("\n");
         }
     }
     std::printf("\n(paper: grid ~= switch within error bars; "
                 "capacity 2 lowest)\n");
+    tiqec::bench::WriteBenchJson("BENCH_fig8b.json", "fig8b_topology_ler",
+                                 records);
 }
 
 void
@@ -102,7 +115,12 @@ BENCHMARK(BM_LerEvaluationGridD3);
 int
 main(int argc, char** argv)
 {
-    PrintFigure8b();
+    // --smoke: trimmed axes + JSON snapshot only (see fig8a).
+    const bool smoke = tiqec::bench::StripFlag(&argc, argv, "--smoke");
+    PrintFigure8b(smoke);
+    if (smoke) {
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

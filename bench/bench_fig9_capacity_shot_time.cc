@@ -22,12 +22,15 @@ using qccd::TimingModel;
 using qccd::TopologyKind;
 
 void
-PrintFigure9()
+PrintFigure9(bool smoke)
 {
     const TimingModel timing;
     const int rounds = 5;
-    const std::vector<int> capacities = {2, 3, 5, 8, 12, 20, 30};
-    const std::vector<int> distances = {3, 5, 7, 9, 11};
+    const std::vector<int> capacities =
+        smoke ? std::vector<int>{2, 5, 12}
+              : std::vector<int>{2, 3, 5, 8, 12, 20, 30};
+    const std::vector<int> distances =
+        smoke ? std::vector<int>{3, 5} : std::vector<int>{3, 5, 7, 9, 11};
 
     std::printf("\n=== Figure 9: QEC shot time (us, %d rounds) vs trap "
                 "capacity and code distance (grid) ===\n",
@@ -61,6 +64,7 @@ PrintFigure9()
     std::printf(" %12s\n", "upper(us)");
     tiqec::bench::Rule(32 + 11 * static_cast<int>(capacities.size()));
     size_t cell = 0;
+    std::vector<tiqec::bench::JsonRecord> records;
     for (size_t di = 0; di < distances.size(); ++di) {
         const qec::StabilizerCode& code = *codes[di];
         const double lower =
@@ -73,11 +77,22 @@ PrintFigure9()
             // shot_time is the compiled five-round block's makespan.
             std::printf(" %10s",
                         tiqec::bench::NumOrNan(m.shot_time, m.ok).c_str());
+            tiqec::bench::JsonRecord r;
+            r.Add("distance", distances[di]);
+            r.Add("trap_capacity", capacities[k]);
+            r.Add("rounds", rounds);
+            r.Add("lower_bound_us", lower);
+            r.Add("upper_bound_us", upper);
+            r.Add("smoke", smoke);
+            tiqec::bench::AddMetrics(r, m);
+            records.push_back(std::move(r));
         }
         std::printf(" %12.0f\n", upper);
     }
     std::printf("\n(paper: capacity 2 flat and near the lower bound; "
                 "larger capacities approach the serialised bound)\n");
+    tiqec::bench::WriteBenchJson("BENCH_fig9.json",
+                                 "fig9_capacity_shot_time", records);
 }
 
 void
@@ -101,7 +116,12 @@ BENCHMARK(BM_FiveRoundCompile)->Arg(2)->Arg(5)->Arg(12);
 int
 main(int argc, char** argv)
 {
-    PrintFigure9();
+    // --smoke: trimmed axes + JSON snapshot only (see fig8a).
+    const bool smoke = tiqec::bench::StripFlag(&argc, argv, "--smoke");
+    PrintFigure9(smoke);
+    if (smoke) {
+        return 0;
+    }
     // Sweep-engine bench mode: serial Evaluate loop vs SweepRunner over
     // the fig9 capacity sweep (bit-identity + wall-clock).
     tiqec::bench::PrintSweepEngineBench(8);

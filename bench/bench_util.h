@@ -353,6 +353,51 @@ WriteBenchJson(const std::string& path, const std::string& bench_name,
     return true;
 }
 
+/** Strips every occurrence of `flag` from argv and reports whether it
+ *  was present. The figure drivers call this before
+ *  `benchmark::Initialize` so the shared `--smoke` flag never reaches
+ *  Google Benchmark's parser. */
+inline bool
+StripFlag(int* argc, char** argv, const char* flag)
+{
+    bool found = false;
+    int w = 1;
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            found = true;
+        } else {
+            argv[w++] = argv[i];
+        }
+    }
+    *argc = w;
+    return found;
+}
+
+/** Flattens the sweep-metrics fields shared by the figure drivers into
+ *  `r`, after the caller's config keys so records stay grep-able by
+ *  config first. Failed candidates record ok=false plus the error text;
+ *  Monte-Carlo fields appear only when shots were actually run. */
+inline void
+AddMetrics(JsonRecord& r, const core::Metrics& m)
+{
+    r.Add("ok", m.ok);
+    if (!m.ok) {
+        r.Add("error", m.error);
+        return;
+    }
+    r.Add("round_time_us", m.round_time);
+    r.Add("shot_time_us", m.shot_time);
+    r.Add("movement_ops_per_round", m.movement_ops_per_round);
+    r.Add("movement_time_per_round_us", m.movement_time_per_round);
+    r.Add("num_traps_used", m.num_traps_used);
+    if (m.shots > 0) {
+        r.Add("shots", m.shots);
+        r.Add("logical_errors", m.logical_errors);
+        r.Add("ler_per_shot", m.ler_per_shot.rate);
+        r.Add("ler_per_round", m.ler_per_round);
+    }
+}
+
 /** Outcome of `RunSweepEngineBench`. */
 struct SweepEngineBenchResult
 {

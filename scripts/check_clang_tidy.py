@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""clang-tidy gate: fail CI on findings that are not in the committed
+suppression baseline.
+
+The CI lint job runs `run-clang-tidy` (with the repo's .clang-tidy
+profile) over the compilation database and tees the output to a log;
+this script parses the log into (file, check) keys and diffs them
+against scripts/clang_tidy_baseline.txt:
+
+  - a key absent from the baseline is a NEW finding -> exit 1
+  - a baselined key with no finding this run is reported as fixed (the
+    baseline should then be regenerated with --update, shrinking it
+    monotonically toward empty)
+
+Keys are (repo-relative file, check-name) rather than line numbers so
+unrelated edits that shift lines do not invalidate the baseline.
+
+Usage:
+  check_clang_tidy.py --log tidy.log [--baseline scripts/clang_tidy_baseline.txt]
+  check_clang_tidy.py --log tidy.log --update   # rewrite the baseline
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# " /path/to/file.cc:12:34: warning: message [check-a,check-b]"
+FINDING_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+.*\[(?P<checks>[A-Za-z0-9.,_-]+)\]\s*$")
+
+
+def parse_log(path, repo_root):
+    """Returns the set of (relative-file, check) keys in the log."""
+    keys = set()
+    with open(path, errors="replace") as f:
+        for line in f:
+            m = FINDING_RE.match(line.rstrip("\n"))
+            if not m:
+                continue
+            fname = os.path.normpath(m.group("file"))
+            if os.path.isabs(fname):
+                fname = os.path.relpath(fname, repo_root)
+            if fname.startswith(".."):
+                continue  # system/third-party header: not ours to gate
+            for check in m.group("checks").split(","):
+                keys.add((fname, check))
+    return keys
+
+
+def read_baseline(path):
+    keys = set()
+    if not os.path.exists(path):
+        return keys
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) == 2:
+                keys.add((parts[0], parts[1]))
+    return keys
+
+
+def write_baseline(path, keys):
+    with open(path, "w") as f:
+        f.write("# clang-tidy suppression baseline: one \"<file> "
+                "<check>\" per line.\n"
+                "# Regenerate with: scripts/check_clang_tidy.py "
+                "--log tidy.log --update\n"
+                "# The gate fails on findings NOT listed here; shrink "
+                "this file, never grow it\n"
+                "# without a review note explaining why the finding is "
+                "a false positive.\n")
+        for fname, check in sorted(keys):
+            f.write(f"{fname} {check}\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--log", required=True,
+                        help="run-clang-tidy output to parse")
+    parser.add_argument("--baseline",
+                        default="scripts/clang_tidy_baseline.txt")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args()
+
+    repo_root = os.getcwd()
+    found = parse_log(args.log, repo_root)
+    if args.update:
+        write_baseline(args.baseline, found)
+        print(f"wrote {args.baseline} ({len(found)} suppressions)")
+        return 0
+
+    baseline = read_baseline(args.baseline)
+    new = sorted(found - baseline)
+    fixed = sorted(baseline - found)
+
+    for fname, check in fixed:
+        print(f"fixed (remove from baseline): {fname} {check}")
+    if new:
+        print(f"\nFAIL: {len(new)} clang-tidy finding(s) not in the "
+              f"baseline:", file=sys.stderr)
+        for fname, check in new:
+            print(f"  - {fname} [{check}]", file=sys.stderr)
+        print("\nFix the finding, or if it is a reviewed false "
+              "positive, add it to", file=sys.stderr)
+        print(f"{args.baseline} with a justification in the PR.",
+              file=sys.stderr)
+        return 1
+    print(f"PASS: no new clang-tidy findings "
+          f"({len(found)} total, {len(baseline)} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+#include "analysis/analysis.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace tiqec::analysis {
+
+std::vector<Diagnostic>
+ValidateCompiledArtifacts(const compiler::CompilationResult& compiled,
+                          const qccd::DeviceGraph& graph,
+                          const qccd::TimingModel& timing, bool wise)
+{
+    ScheduleValidationInput in;
+    in.native = &compiled.native;
+    in.schedule = &compiled.schedule;
+    in.placement = &compiled.placement;
+    in.graph = &graph;
+    in.timing = &timing;
+    in.wise = wise;
+    return ValidateSchedule(in);
+}
+
+std::vector<Diagnostic>
+ValidateSimArtifacts(const sim::NoisyCircuit& circuit,
+                     const sim::DetectorErrorModel& dem)
+{
+    std::vector<Diagnostic> diagnostics = ValidateCircuit(circuit);
+    std::vector<Diagnostic> dem_diags = ValidateDem(dem);
+    diagnostics.insert(diagnostics.end(),
+                      std::make_move_iterator(dem_diags.begin()),
+                      std::make_move_iterator(dem_diags.end()));
+    if (dem.num_detectors != circuit.num_detectors() ||
+        dem.num_observables != circuit.num_observables()) {
+        std::ostringstream os;
+        os << "model is sized for " << dem.num_detectors << " detectors / "
+           << dem.num_observables << " observables but the circuit has "
+           << circuit.num_detectors() << " / " << circuit.num_observables();
+        diagnostics.push_back({Severity::kError,
+                               std::string(kRuleDemDetectorRange), "dem",
+                               os.str()});
+    }
+    return diagnostics;
+}
+
+}  // namespace tiqec::analysis

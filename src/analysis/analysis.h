@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Umbrella entry points for post-compile artifact validation (DESIGN.md
+ * §6): one call validating a compilation result (schedule rules) and one
+ * validating the simulation artifacts built from it (circuit + DEM
+ * rules). `core::pipeline` runs these behind
+ * `EvaluationOptions::validate_artifacts`, and failing candidates carry
+ * the formatted diagnostics through sweep failure-isolation exactly like
+ * compile errors.
+ */
+#ifndef TIQEC_ANALYSIS_ANALYSIS_H
+#define TIQEC_ANALYSIS_ANALYSIS_H
+
+#include <vector>
+
+#include "analysis/circuit_validator.h"
+#include "analysis/dem_validator.h"
+#include "analysis/diagnostic.h"
+#include "analysis/schedule_validator.h"
+#include "compiler/compiler.h"
+#include "qccd/timing.h"
+#include "qccd/topology.h"
+#include "sim/dem.h"
+#include "sim/noisy_circuit.h"
+
+namespace tiqec::analysis {
+
+/** Error-message subjects, shared by the serial and sweep paths so the
+ *  byte-identity contract on error text holds. */
+inline constexpr std::string_view kCompiledSubject = "compiled schedule";
+inline constexpr std::string_view kSimSubject = "simulation artifacts";
+
+/** Runs the schedule.* rules over a successful compilation. `wise`
+ *  mirrors the compile wiring (cooling folded into two-qubit gates). */
+std::vector<Diagnostic> ValidateCompiledArtifacts(
+    const compiler::CompilationResult& compiled,
+    const qccd::DeviceGraph& graph, const qccd::TimingModel& timing,
+    bool wise);
+
+/** Runs the circuit.* and dem.* rules plus circuit/DEM cross-checks. */
+std::vector<Diagnostic> ValidateSimArtifacts(
+    const sim::NoisyCircuit& circuit, const sim::DetectorErrorModel& dem);
+
+}  // namespace tiqec::analysis
+
+#endif  // TIQEC_ANALYSIS_ANALYSIS_H

@@ -1,0 +1,500 @@
+#include "analysis/circuit_validator.h"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tiqec::analysis {
+
+namespace {
+
+using sim::NoisyCircuit;
+using sim::SimInstruction;
+using sim::SimOp;
+
+constexpr int kMaxPerRule = 16;
+
+class Reporter
+{
+  public:
+    explicit Reporter(std::vector<Diagnostic>& out) : out_(out) {}
+
+    void Report(std::string_view rule, std::string location,
+                std::string message)
+    {
+        if (++count_[rule] > kMaxPerRule) {
+            return;
+        }
+        out_.push_back({Severity::kError, std::string(rule),
+                        std::move(location), std::move(message)});
+    }
+
+  private:
+    std::vector<Diagnostic>& out_;
+    std::map<std::string_view, int> count_;
+};
+
+std::string
+InstLocation(size_t index, SimOp op)
+{
+    const char* name = "?";
+    switch (op) {
+      case SimOp::kH: name = "H"; break;
+      case SimOp::kCnot: name = "CNOT"; break;
+      case SimOp::kSwap: name = "SWAP"; break;
+      case SimOp::kMeasure: name = "MEASURE"; break;
+      case SimOp::kReset: name = "RESET"; break;
+      case SimOp::kXError: name = "X_ERROR"; break;
+      case SimOp::kZError: name = "Z_ERROR"; break;
+      case SimOp::kDepolarize1: name = "DEPOLARIZE1"; break;
+      case SimOp::kDepolarize2: name = "DEPOLARIZE2"; break;
+      case SimOp::kDetector: name = "DETECTOR"; break;
+      case SimOp::kObservableInclude: name = "OBSERVABLE_INCLUDE"; break;
+    }
+    std::ostringstream os;
+    os << "instruction " << index << " (" << name << ")";
+    return os.str();
+}
+
+/**
+ * Aaronson-Gottesman stabilizer tableau over H/CNOT/SWAP/measure/reset
+ * with *symbolic* measurement outcomes: a measurement whose result is
+ * not determined by the stabilizer group is assigned a fresh GF(2)
+ * symbol, and every row phase carries the linear combination of symbols
+ * it has absorbed. A measurement record is then an exact symbol
+ * combination, so a detector is deterministic in the noiseless circuit
+ * iff the XOR of its records' symbol sets vanishes — this handles the
+ * telescoping round-to-round syndrome comparisons (two individually
+ * random measurements of the same stabilizer share their symbol) that
+ * per-qubit tracking cannot.
+ */
+class SymbolicTableau
+{
+  public:
+    SymbolicTableau(int num_qubits, int max_symbols)
+        : n_(num_qubits),
+          words_((num_qubits + 63) / 64),
+          sym_words_((max_symbols + 63) / 64)
+    {
+        const int rows = 2 * n_ + 1;  // destabilizers, stabilizers, scratch
+        x_.assign(static_cast<size_t>(rows) * words_, 0);
+        z_.assign(static_cast<size_t>(rows) * words_, 0);
+        r_.assign(rows, 0);
+        sym_.assign(static_cast<size_t>(rows) * sym_words_, 0);
+        for (int i = 0; i < n_; ++i) {
+            SetBit(x_, i, i);           // destabilizer i = X_i
+            SetBit(z_, n_ + i, i);      // stabilizer i = Z_i
+        }
+    }
+
+    int sym_words() const { return sym_words_; }
+
+    void ApplyH(int a)
+    {
+        for (int i = 0; i < 2 * n_; ++i) {
+            const bool x = GetBit(x_, i, a);
+            const bool z = GetBit(z_, i, a);
+            r_[i] ^= static_cast<std::uint8_t>(x && z);
+            PutBit(x_, i, a, z);
+            PutBit(z_, i, a, x);
+        }
+    }
+
+    void ApplyCnot(int c, int t)
+    {
+        for (int i = 0; i < 2 * n_; ++i) {
+            const bool xc = GetBit(x_, i, c);
+            const bool zc = GetBit(z_, i, c);
+            const bool xt = GetBit(x_, i, t);
+            const bool zt = GetBit(z_, i, t);
+            r_[i] ^= static_cast<std::uint8_t>(xc && zt && (xt == zc));
+            PutBit(x_, i, t, xt != xc);
+            PutBit(z_, i, c, zc != zt);
+        }
+    }
+
+    void ApplySwap(int a, int b)
+    {
+        for (int i = 0; i < 2 * n_; ++i) {
+            const bool xa = GetBit(x_, i, a);
+            const bool xb = GetBit(x_, i, b);
+            PutBit(x_, i, a, xb);
+            PutBit(x_, i, b, xa);
+            const bool za = GetBit(z_, i, a);
+            const bool zb = GetBit(z_, i, b);
+            PutBit(z_, i, a, zb);
+            PutBit(z_, i, b, za);
+        }
+    }
+
+    /** Measures Z_a. Writes the outcome's symbol combination into
+     *  `syms` (sym_words words) and returns its concrete bit. */
+    bool MeasureZ(int a, std::uint64_t* syms)
+    {
+        int p = -1;
+        for (int i = n_; i < 2 * n_; ++i) {
+            if (GetBit(x_, i, a)) {
+                p = i;
+                break;
+            }
+        }
+        if (p >= 0) {
+            // Random outcome: fresh symbol.
+            for (int i = 0; i < 2 * n_; ++i) {
+                if (i != p && GetBit(x_, i, a)) {
+                    RowSum(i, p);
+                }
+            }
+            CopyRow(p - n_, p);
+            ZeroRow(p);
+            SetBit(z_, p, a);
+            const int s = num_symbols_++;
+            Sym(p)[s / 64] |= 1ull << (s % 64);
+            for (int w = 0; w < sym_words_; ++w) {
+                syms[w] = 0;
+            }
+            syms[s / 64] = 1ull << (s % 64);
+            return false;
+        }
+        // Deterministic outcome: accumulate the stabilizer combination
+        // selected by the anticommuting destabilizers into the scratch
+        // row.
+        const int h = 2 * n_;
+        ZeroRow(h);
+        for (int i = 0; i < n_; ++i) {
+            if (GetBit(x_, i, a)) {
+                RowSum(h, n_ + i);
+            }
+        }
+        for (int w = 0; w < sym_words_; ++w) {
+            syms[w] = Sym(h)[w];
+        }
+        return r_[h] != 0;
+    }
+
+    /** Projects qubit `a` to |0>: measure, then X conditioned on the
+     *  (possibly symbolic) outcome. */
+    void Reset(int a)
+    {
+        scratch_syms_.assign(sym_words_, 0);
+        const bool value = MeasureZ(a, scratch_syms_.data());
+        for (int i = 0; i < 2 * n_; ++i) {
+            if (!GetBit(z_, i, a)) {
+                continue;
+            }
+            r_[i] ^= static_cast<std::uint8_t>(value);
+            std::uint64_t* row = Sym(i);
+            for (int w = 0; w < sym_words_; ++w) {
+                row[w] ^= scratch_syms_[w];
+            }
+        }
+    }
+
+  private:
+    bool GetBit(const std::vector<std::uint64_t>& bits, int row,
+                int col) const
+    {
+        return (bits[static_cast<size_t>(row) * words_ + col / 64] >>
+                (col % 64)) &
+               1ull;
+    }
+
+    void SetBit(std::vector<std::uint64_t>& bits, int row, int col)
+    {
+        bits[static_cast<size_t>(row) * words_ + col / 64] |=
+            1ull << (col % 64);
+    }
+
+    void PutBit(std::vector<std::uint64_t>& bits, int row, int col, bool v)
+    {
+        std::uint64_t& word =
+            bits[static_cast<size_t>(row) * words_ + col / 64];
+        const std::uint64_t mask = 1ull << (col % 64);
+        word = v ? (word | mask) : (word & ~mask);
+    }
+
+    std::uint64_t* Sym(int row)
+    {
+        return sym_.data() + static_cast<size_t>(row) * sym_words_;
+    }
+
+    /** Row h *= row i, with the CHP mod-4 phase bookkeeping; symbol
+     *  signs are plain ±1 factors, so their vectors simply XOR. */
+    void RowSum(int h, int i)
+    {
+        int sum = 2 * r_[h] + 2 * r_[i];
+        for (int j = 0; j < n_; ++j) {
+            const int x1 = GetBit(x_, i, j);
+            const int z1 = GetBit(z_, i, j);
+            const int x2 = GetBit(x_, h, j);
+            const int z2 = GetBit(z_, h, j);
+            if (x1 == 1 && z1 == 1) {
+                sum += z2 - x2;
+            } else if (x1 == 1 && z1 == 0) {
+                sum += z2 * (2 * x2 - 1);
+            } else if (x1 == 0 && z1 == 1) {
+                sum += x2 * (1 - 2 * z2);
+            }
+        }
+        r_[h] = static_cast<std::uint8_t>(((sum % 4) + 4) % 4 == 2);
+        for (int w = 0; w < words_; ++w) {
+            x_[static_cast<size_t>(h) * words_ + w] ^=
+                x_[static_cast<size_t>(i) * words_ + w];
+            z_[static_cast<size_t>(h) * words_ + w] ^=
+                z_[static_cast<size_t>(i) * words_ + w];
+        }
+        std::uint64_t* sh = Sym(h);
+        const std::uint64_t* si = Sym(i);
+        for (int w = 0; w < sym_words_; ++w) {
+            sh[w] ^= si[w];
+        }
+    }
+
+    void CopyRow(int dst, int src)
+    {
+        for (int w = 0; w < words_; ++w) {
+            x_[static_cast<size_t>(dst) * words_ + w] =
+                x_[static_cast<size_t>(src) * words_ + w];
+            z_[static_cast<size_t>(dst) * words_ + w] =
+                z_[static_cast<size_t>(src) * words_ + w];
+        }
+        r_[dst] = r_[src];
+        std::uint64_t* sd = Sym(dst);
+        const std::uint64_t* ss = Sym(src);
+        for (int w = 0; w < sym_words_; ++w) {
+            sd[w] = ss[w];
+        }
+    }
+
+    void ZeroRow(int row)
+    {
+        for (int w = 0; w < words_; ++w) {
+            x_[static_cast<size_t>(row) * words_ + w] = 0;
+            z_[static_cast<size_t>(row) * words_ + w] = 0;
+        }
+        r_[row] = 0;
+        std::uint64_t* s = Sym(row);
+        for (int w = 0; w < sym_words_; ++w) {
+            s[w] = 0;
+        }
+    }
+
+    int n_;
+    int words_;
+    int sym_words_;
+    int num_symbols_ = 0;
+    std::vector<std::uint64_t> x_;
+    std::vector<std::uint64_t> z_;
+    std::vector<std::uint8_t> r_;
+    std::vector<std::uint64_t> sym_;
+    std::vector<std::uint64_t> scratch_syms_;
+};
+
+/** Structural pass: operand ranges, probabilities, record/detector/
+ *  observable references, measured-out qubits. Returns false when an
+ *  out-of-range reference makes the tableau walk unsafe. */
+bool
+CheckStructure(const NoisyCircuit& circuit, Reporter& report)
+{
+    const int nq = circuit.num_qubits();
+    bool indexable = true;
+    std::vector<char> collapsed(nq, 0);
+    int measures_seen = 0;
+    int detectors_seen = 0;
+    const auto& insts = circuit.instructions();
+    for (size_t i = 0; i < insts.size(); ++i) {
+        const SimInstruction& inst = insts[i];
+        const bool two_qubit =
+            inst.op == SimOp::kCnot || inst.op == SimOp::kSwap ||
+            inst.op == SimOp::kDepolarize2;
+        const bool record_op = inst.op == SimOp::kDetector ||
+                               inst.op == SimOp::kObservableInclude;
+        if (!record_op) {
+            if (inst.q0 < 0 || inst.q0 >= nq ||
+                (two_qubit &&
+                 (inst.q1 < 0 || inst.q1 >= nq || inst.q1 == inst.q0))) {
+                std::ostringstream os;
+                os << "qubit operands (" << inst.q0 << ", " << inst.q1
+                   << ") out of range for a " << nq << "-qubit register";
+                report.Report(kRuleQubitRange, InstLocation(i, inst.op),
+                              os.str());
+                indexable = false;
+                continue;
+            }
+        }
+        switch (inst.op) {
+          case SimOp::kH:
+          case SimOp::kCnot:
+          case SimOp::kSwap: {
+            const int qs[2] = {inst.q0, two_qubit ? inst.q1 : -1};
+            for (const int q : qs) {
+                if (q >= 0 && collapsed[q]) {
+                    std::ostringstream os;
+                    os << "Clifford gate on qubit " << q
+                       << " after its measurement and before any reset";
+                    report.Report(kRuleMeasuredOut,
+                                  InstLocation(i, inst.op), os.str());
+                }
+            }
+            break;
+          }
+          case SimOp::kMeasure:
+            collapsed[inst.q0] = 1;
+            ++measures_seen;
+            break;
+          case SimOp::kReset:
+            collapsed[inst.q0] = 0;
+            break;
+          default:
+            break;
+        }
+        if (inst.op == SimOp::kMeasure || inst.op == SimOp::kReset ||
+            inst.op == SimOp::kXError || inst.op == SimOp::kZError ||
+            inst.op == SimOp::kDepolarize1 ||
+            inst.op == SimOp::kDepolarize2) {
+            if (!(inst.p >= 0.0) || inst.p >= 1.0) {
+                std::ostringstream os;
+                os << "probability " << inst.p << " outside [0, 1)";
+                report.Report(kRuleProbabilityRange,
+                              InstLocation(i, inst.op), os.str());
+            }
+        }
+        if (record_op) {
+            for (const std::int32_t m : inst.targets) {
+                if (m < 0 || m >= measures_seen) {
+                    std::ostringstream os;
+                    os << "measurement record " << m
+                       << " not yet defined (records so far: "
+                       << measures_seen << ")";
+                    report.Report(kRuleRecordRange, InstLocation(i, inst.op),
+                                  os.str());
+                    indexable = false;
+                }
+            }
+            if (inst.op == SimOp::kDetector) {
+                if (inst.index != detectors_seen) {
+                    std::ostringstream os;
+                    os << "detector index " << inst.index
+                       << " breaks the dense ordering (expected "
+                       << detectors_seen << ")";
+                    report.Report(kRuleRecordRange, InstLocation(i, inst.op),
+                                  os.str());
+                }
+                ++detectors_seen;
+            } else if (inst.index < 0 ||
+                       inst.index >= circuit.num_observables()) {
+                std::ostringstream os;
+                os << "observable " << inst.index << " out of range ("
+                   << circuit.num_observables() << " observables)";
+                report.Report(kRuleRecordRange, InstLocation(i, inst.op),
+                              os.str());
+            }
+        }
+    }
+    if (measures_seen != circuit.num_measurements()) {
+        std::ostringstream os;
+        os << "instruction stream has " << measures_seen
+           << " measurements but the circuit records "
+           << circuit.num_measurements();
+        report.Report(kRuleRecordRange, "circuit", os.str());
+        indexable = false;
+    }
+    if (detectors_seen != circuit.num_detectors()) {
+        std::ostringstream os;
+        os << "instruction stream has " << detectors_seen
+           << " detectors but the circuit records "
+           << circuit.num_detectors();
+        report.Report(kRuleRecordRange, "circuit", os.str());
+    }
+    return indexable;
+}
+
+/** Semantic pass: noiseless symbolic-tableau walk; every detector's
+ *  record parity must be independent of random measurement outcomes. */
+void
+CheckDeterminism(const NoisyCircuit& circuit, Reporter& report)
+{
+    const int nq = circuit.num_qubits();
+    if (nq == 0) {
+        return;
+    }
+    int max_symbols = 0;
+    for (const SimInstruction& inst : circuit.instructions()) {
+        if (inst.op == SimOp::kMeasure || inst.op == SimOp::kReset) {
+            ++max_symbols;
+        }
+    }
+    SymbolicTableau tableau(nq, max_symbols);
+    const int sw = tableau.sym_words();
+    std::vector<std::uint64_t> record_syms;
+    record_syms.reserve(static_cast<size_t>(circuit.num_measurements()) *
+                        sw);
+    std::vector<std::uint64_t> acc(sw);
+    int detector = 0;
+    for (const SimInstruction& inst : circuit.instructions()) {
+        switch (inst.op) {
+          case SimOp::kH:
+            tableau.ApplyH(inst.q0);
+            break;
+          case SimOp::kCnot:
+            tableau.ApplyCnot(inst.q0, inst.q1);
+            break;
+          case SimOp::kSwap:
+            tableau.ApplySwap(inst.q0, inst.q1);
+            break;
+          case SimOp::kMeasure: {
+            const size_t at = record_syms.size();
+            record_syms.resize(at + sw);
+            tableau.MeasureZ(inst.q0, record_syms.data() + at);
+            break;
+          }
+          case SimOp::kReset:
+            tableau.Reset(inst.q0);
+            break;
+          case SimOp::kDetector: {
+            std::fill(acc.begin(), acc.end(), 0);
+            for (const std::int32_t m : inst.targets) {
+                const std::uint64_t* rs =
+                    record_syms.data() + static_cast<size_t>(m) * sw;
+                for (int w = 0; w < sw; ++w) {
+                    acc[w] ^= rs[w];
+                }
+            }
+            bool random = false;
+            for (int w = 0; w < sw; ++w) {
+                random = random || acc[w] != 0;
+            }
+            if (random) {
+                std::ostringstream os;
+                os << "detector " << detector;
+                report.Report(
+                    kRuleDetectorDeterminism, os.str(),
+                    "parity depends on random measurement outcomes in "
+                    "the noiseless circuit");
+            }
+            ++detector;
+            break;
+          }
+          default:
+            break;  // noise channels: noiseless walk
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<Diagnostic>
+ValidateCircuit(const NoisyCircuit& circuit)
+{
+    std::vector<Diagnostic> diagnostics;
+    Reporter report(diagnostics);
+    if (CheckStructure(circuit, report)) {
+        CheckDeterminism(circuit, report);
+    }
+    return diagnostics;
+}
+
+}  // namespace tiqec::analysis

@@ -1,0 +1,235 @@
+#include "analysis/dem_validator.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace tiqec::analysis {
+
+namespace {
+
+using sim::DemEdge;
+using sim::DemHyperedge;
+using sim::DetectorErrorModel;
+
+constexpr int kMaxPerRule = 16;
+
+class Reporter
+{
+  public:
+    explicit Reporter(std::vector<Diagnostic>& out) : out_(out) {}
+
+    void Report(std::string_view rule, std::string location,
+                std::string message)
+    {
+        if (++count_[rule] > kMaxPerRule) {
+            return;
+        }
+        out_.push_back({Severity::kError, std::string(rule),
+                        std::move(location), std::move(message)});
+    }
+
+  private:
+    std::vector<Diagnostic>& out_;
+    std::map<std::string_view, int> count_;
+};
+
+std::string
+EdgeLocation(size_t index)
+{
+    std::ostringstream os;
+    os << "edge " << index;
+    return os.str();
+}
+
+std::string
+HyperedgeLocation(size_t index)
+{
+    std::ostringstream os;
+    os << "hyperedge " << index;
+    return os.str();
+}
+
+bool
+ProbabilityOk(double p)
+{
+    return std::isfinite(p) && p > 0.0 && p < 1.0;
+}
+
+void
+CheckEdges(const DetectorErrorModel& dem, Reporter& report)
+{
+    const int nd = dem.num_detectors;
+    std::set<std::pair<int, int>> seen;
+    for (size_t i = 0; i < dem.edges.size(); ++i) {
+        const DemEdge& e = dem.edges[i];
+        if (!ProbabilityOk(e.p)) {
+            std::ostringstream os;
+            os << "probability " << e.p << " outside (0, 1)";
+            report.Report(kRuleDemProbabilityRange, EdgeLocation(i),
+                          os.str());
+        }
+        const bool d0_ok = e.d0 >= 0 && e.d0 < nd;
+        const bool d1_ok =
+            e.d1 == DemEdge::kBoundary || (e.d1 > e.d0 && e.d1 < nd);
+        if (!d0_ok || !d1_ok) {
+            std::ostringstream os;
+            os << "endpoints (" << e.d0 << ", " << e.d1
+               << ") not canonical for " << nd
+               << " detectors (want 0 <= d0 < d1 < n, or d1 = -1)";
+            report.Report(kRuleDemDetectorRange, EdgeLocation(i), os.str());
+            continue;
+        }
+        if (!seen.insert({e.d0, e.d1}).second) {
+            std::ostringstream os;
+            os << "second edge with endpoints (" << e.d0 << ", " << e.d1
+               << "); parallel edges must be coalesced or demoted";
+            report.Report(kRuleDemDuplicateEdge, EdgeLocation(i), os.str());
+        }
+    }
+}
+
+void
+CheckHyperedges(const DetectorErrorModel& dem, Reporter& report)
+{
+    const int nd = dem.num_detectors;
+    const int ne = static_cast<int>(dem.edges.size());
+    int last_mechanism = -1;
+    for (size_t i = 0; i < dem.hyperedges.size(); ++i) {
+        const DemHyperedge& h = dem.hyperedges[i];
+        if (!ProbabilityOk(h.p)) {
+            std::ostringstream os;
+            os << "probability " << h.p << " outside (0, 1)";
+            report.Report(kRuleDemProbabilityRange, HyperedgeLocation(i),
+                          os.str());
+        }
+        // Mechanism group ids must be dense and non-decreasing: composite
+        // groups are emitted in mechanism order with contiguous variants,
+        // then demoted parallel-edge losers each get a fresh id.
+        if (h.mechanism < last_mechanism || h.mechanism > last_mechanism + 1) {
+            std::ostringstream os;
+            os << "mechanism id " << h.mechanism
+               << " breaks the dense grouped ordering (previous "
+               << last_mechanism << ")";
+            report.Report(kRuleDemHyperedgeEdges, HyperedgeLocation(i),
+                          os.str());
+        }
+        last_mechanism = std::max(last_mechanism, h.mechanism);
+        bool dets_ok = !h.dets.empty();
+        for (size_t j = 0; j < h.dets.size(); ++j) {
+            if (h.dets[j] < 0 || h.dets[j] >= nd ||
+                (j > 0 && h.dets[j] <= h.dets[j - 1])) {
+                dets_ok = false;
+            }
+        }
+        if (!dets_ok) {
+            report.Report(kRuleDemDetectorRange, HyperedgeLocation(i),
+                          "detector signature is not a strictly "
+                          "ascending in-range list");
+            continue;
+        }
+        // The decomposition must tile the signature: every referenced
+        // edge exists, and the edges' non-boundary endpoints cover each
+        // signature detector exactly once.
+        std::map<int, int> covered;
+        bool edges_ok = !h.edges.empty();
+        for (size_t j = 0; j < h.edges.size(); ++j) {
+            const int e = h.edges[j];
+            if (e < 0 || e >= ne ||
+                (j > 0 && h.edges[j] <= h.edges[j - 1])) {
+                edges_ok = false;
+                break;
+            }
+            ++covered[dem.edges[e].d0];
+            if (dem.edges[e].d1 != DemEdge::kBoundary) {
+                ++covered[dem.edges[e].d1];
+            }
+        }
+        if (edges_ok) {
+            if (covered.size() != h.dets.size()) {
+                edges_ok = false;
+            } else {
+                for (const int d : h.dets) {
+                    const auto it = covered.find(d);
+                    if (it == covered.end() || it->second != 1) {
+                        edges_ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!edges_ok) {
+            report.Report(kRuleDemHyperedgeEdges, HyperedgeLocation(i),
+                          "decomposition is not a sorted list of existing "
+                          "elementary edges partitioning the detector "
+                          "signature");
+        }
+    }
+}
+
+void
+CheckMassConservation(const DetectorErrorModel& dem, Reporter& report)
+{
+    // Recompute the retained and demoted mass in the hyperedges' own
+    // storage order — the same order extraction accumulated them in — so
+    // clean artifacts reproduce the diagnostics essentially exactly.
+    // Composite mechanism groups (>= 3 detectors) contribute to the
+    // retained mass only; demoted parallel-edge losers (<= 2 detectors)
+    // contribute to both the retained and the demoted mass.
+    double hyperedge_mass = 0.0;
+    double dropped_mass = 0.0;
+    int groups = 0;
+    int last_mechanism = -1;
+    for (const DemHyperedge& h : dem.hyperedges) {
+        if (h.mechanism == last_mechanism) {
+            continue;  // later variant of the same mechanism
+        }
+        last_mechanism = h.mechanism;
+        ++groups;
+        hyperedge_mass += h.p;
+        if (h.dets.size() <= 2) {
+            dropped_mass += h.p;
+        }
+    }
+    const auto close = [](double a, double b) {
+        return std::abs(a - b) <=
+               1e-12 + 1e-9 * std::max(std::abs(a), std::abs(b));
+    };
+    if (groups != dem.num_hyperedges) {
+        std::ostringstream os;
+        os << "num_hyperedges reports " << dem.num_hyperedges
+           << " mechanism groups but the model stores " << groups;
+        report.Report(kRuleDemMassConservation, "dem", os.str());
+    }
+    if (!close(hyperedge_mass, dem.hyperedge_probability)) {
+        std::ostringstream os;
+        os << "hyperedge_probability reports " << dem.hyperedge_probability
+           << " but the stored mechanism groups sum to " << hyperedge_mass;
+        report.Report(kRuleDemMassConservation, "dem", os.str());
+    }
+    if (!close(dropped_mass, dem.dropped_probability)) {
+        std::ostringstream os;
+        os << "dropped_probability reports " << dem.dropped_probability
+           << " but the demoted parallel-edge variants sum to "
+           << dropped_mass;
+        report.Report(kRuleDemMassConservation, "dem", os.str());
+    }
+}
+
+}  // namespace
+
+std::vector<Diagnostic>
+ValidateDem(const DetectorErrorModel& dem)
+{
+    std::vector<Diagnostic> diagnostics;
+    Reporter report(diagnostics);
+    CheckEdges(dem, report);
+    CheckHyperedges(dem, report);
+    CheckMassConservation(dem, report);
+    return diagnostics;
+}
+
+}  // namespace tiqec::analysis

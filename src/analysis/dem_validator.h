@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Legality checker for extracted detector error models (DESIGN.md §6.4):
+ * edge/hyperedge probabilities in (0, 1), detector indices in range,
+ * post-coalesce edge uniqueness, hyperedge decompositions that really
+ * partition their detector signature over existing elementary edges, and
+ * probability-mass conservation against the extraction diagnostics.
+ */
+#ifndef TIQEC_ANALYSIS_DEM_VALIDATOR_H
+#define TIQEC_ANALYSIS_DEM_VALIDATOR_H
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "sim/dem.h"
+
+namespace tiqec::analysis {
+
+/** Runs every dem.* rule; empty result means a well-formed model. */
+std::vector<Diagnostic> ValidateDem(const sim::DetectorErrorModel& dem);
+
+}  // namespace tiqec::analysis
+
+#endif  // TIQEC_ANALYSIS_DEM_VALIDATOR_H

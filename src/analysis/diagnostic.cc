@@ -1,0 +1,84 @@
+#include "analysis/diagnostic.h"
+
+#include <array>
+#include <sstream>
+
+namespace tiqec::analysis {
+
+std::string_view
+SeverityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::kWarning: return "warning";
+      case Severity::kError: return "error";
+    }
+    return "?";
+}
+
+std::span<const std::string_view>
+AllRuleIds()
+{
+    static constexpr std::array<std::string_view, 18> kRules = {
+        kRuleIonOverlap,
+        kRuleTrapOverlap,
+        kRuleSegmentOverlap,
+        kRuleJunctionCapacity,
+        kRuleDurationLut,
+        kRuleDagOrder,
+        kRulePositionTrace,
+        kRuleScheduleStats,
+        kRuleQubitRange,
+        kRuleRecordRange,
+        kRuleProbabilityRange,
+        kRuleMeasuredOut,
+        kRuleDetectorDeterminism,
+        kRuleDemProbabilityRange,
+        kRuleDemDetectorRange,
+        kRuleDemDuplicateEdge,
+        kRuleDemHyperedgeEdges,
+        kRuleDemMassConservation,
+    };
+    return kRules;
+}
+
+bool
+HasErrors(const std::vector<Diagnostic>& diagnostics)
+{
+    for (const Diagnostic& d : diagnostics) {
+        if (d.severity == Severity::kError) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+FormatDiagnostics(std::string_view subject,
+                  const std::vector<Diagnostic>& diagnostics, int max_listed)
+{
+    int num_errors = 0;
+    for (const Diagnostic& d : diagnostics) {
+        if (d.severity == Severity::kError) {
+            ++num_errors;
+        }
+    }
+    std::ostringstream os;
+    os << "artifact validation failed: " << subject << " has " << num_errors
+       << (num_errors == 1 ? " error" : " errors");
+    int listed = 0;
+    for (const Diagnostic& d : diagnostics) {
+        if (d.severity != Severity::kError) {
+            continue;
+        }
+        if (listed == max_listed) {
+            os << "; ... and " << (num_errors - listed) << " more";
+            break;
+        }
+        os << (listed == 0 ? ": " : "; ") << "[" << d.rule << "] "
+           << d.location << ": " << d.message;
+        ++listed;
+    }
+    return os.str();
+}
+
+}  // namespace tiqec::analysis

@@ -1,0 +1,431 @@
+#include "analysis/schedule_validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "circuit/dag.h"
+#include "qccd/device_state.h"
+#include "qccd/primitives.h"
+
+namespace tiqec::analysis {
+
+namespace {
+
+using compiler::TimedOp;
+using qccd::NodeKind;
+using qccd::OpKind;
+
+/** Cap per rule so one systemic defect cannot flood the report. */
+constexpr int kMaxPerRule = 16;
+
+// The hardware occupancy model, restated independently of the
+// scheduler (paper §2/§4.3): gates and split/merge engage their trap's
+// single gate/transport unit; a segment is exclusively held from the op
+// that puts an ion into it (split, junction exit) until the op that
+// takes it out (merge, junction enter); a junction is held from entry
+// start to exit end, up to its capacity.
+bool
+UsesTrapUnit(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kMs:
+      case OpKind::kRotation:
+      case OpKind::kMeasure:
+      case OpKind::kReset:
+      case OpKind::kGateSwap:
+      case OpKind::kSplit:
+      case OpKind::kMerge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+AcquiresSegment(OpKind kind)
+{
+    return kind == OpKind::kSplit || kind == OpKind::kJunctionExit;
+}
+
+bool
+ReleasesSegment(OpKind kind)
+{
+    return kind == OpKind::kMerge || kind == OpKind::kJunctionEnter;
+}
+
+class Reporter
+{
+  public:
+    explicit Reporter(std::vector<Diagnostic>& out) : out_(out) {}
+
+    void Report(std::string_view rule, std::string location,
+                std::string message)
+    {
+        if (++count_[rule] > kMaxPerRule) {
+            return;
+        }
+        out_.push_back({Severity::kError, std::string(rule),
+                        std::move(location), std::move(message)});
+    }
+
+  private:
+    std::vector<Diagnostic>& out_;
+    std::map<std::string_view, int> count_;
+};
+
+std::string
+OpLocation(int index, const qccd::PrimitiveOp& op)
+{
+    std::ostringstream os;
+    os << "op " << index << " (" << qccd::OpKindName(op.kind) << " ion "
+       << op.ion0;
+    if (op.ion1.valid()) {
+        os << "," << op.ion1;
+    }
+    os << ")";
+    return os.str();
+}
+
+void
+CheckDurations(const ScheduleValidationInput& in, Reporter& report)
+{
+    const Microseconds cooling =
+        in.wise ? in.timing->cooling_per_two_qubit_gate : 0.0;
+    for (size_t i = 0; i < in.schedule->ops.size(); ++i) {
+        const TimedOp& t = in.schedule->ops[i];
+        Microseconds expected = in.timing->DurationOf(t.op.kind);
+        if (t.op.kind == OpKind::kMs) {
+            expected += cooling;
+        } else if (t.op.kind == OpKind::kGateSwap) {
+            expected += 3.0 * cooling;
+        }
+        if (t.duration != expected || !(t.start >= 0.0)) {
+            std::ostringstream os;
+            os << "duration " << t.duration << " (start " << t.start
+               << ") does not match the timing LUT value " << expected;
+            report.Report(kRuleDurationLut,
+                          OpLocation(static_cast<int>(i), t.op), os.str());
+        }
+    }
+}
+
+void
+CheckIonExclusion(const ScheduleValidationInput& in, Reporter& report)
+{
+    std::map<int, std::pair<Microseconds, int>> busy;  // ion -> (end, op)
+    for (size_t i = 0; i < in.schedule->ops.size(); ++i) {
+        const TimedOp& t = in.schedule->ops[i];
+        const int ions[2] = {t.op.ion0.value,
+                             t.op.ion1.valid() ? t.op.ion1.value : -1};
+        for (const int ion : ions) {
+            if (ion < 0) {
+                continue;
+            }
+            auto [it, fresh] = busy.try_emplace(ion, t.end(), i);
+            if (!fresh) {
+                if (t.start < it->second.first) {
+                    std::ostringstream os;
+                    os << "starts at " << t.start << " while ion " << ion
+                       << " is busy until " << it->second.first << " (op "
+                       << it->second.second << ")";
+                    report.Report(kRuleIonOverlap,
+                                  OpLocation(static_cast<int>(i), t.op),
+                                  os.str());
+                }
+                it->second = {std::max(it->second.first, t.end()),
+                              static_cast<int>(i)};
+            }
+        }
+    }
+}
+
+void
+CheckTrapExclusion(const ScheduleValidationInput& in, Reporter& report)
+{
+    std::map<int, std::pair<Microseconds, int>> busy;  // node -> (end, op)
+    for (size_t i = 0; i < in.schedule->ops.size(); ++i) {
+        const TimedOp& t = in.schedule->ops[i];
+        if (!UsesTrapUnit(t.op.kind) || !t.op.node.valid()) {
+            continue;
+        }
+        auto [it, fresh] = busy.try_emplace(t.op.node.value, t.end(), i);
+        if (!fresh) {
+            if (t.start < it->second.first) {
+                std::ostringstream os;
+                os << "starts at " << t.start << " while trap " << t.op.node
+                   << " is busy until " << it->second.first << " (op "
+                   << it->second.second << ")";
+                report.Report(kRuleTrapOverlap,
+                              OpLocation(static_cast<int>(i), t.op),
+                              os.str());
+            }
+            it->second = {std::max(it->second.first, t.end()),
+                          static_cast<int>(i)};
+        }
+    }
+}
+
+void
+CheckSegmentExclusion(const ScheduleValidationInput& in, Reporter& report)
+{
+    struct SegState
+    {
+        bool held = false;
+        Microseconds free_at = 0.0;
+        int holder_op = -1;
+    };
+    std::map<int, SegState> segs;
+    for (size_t i = 0; i < in.schedule->ops.size(); ++i) {
+        const TimedOp& t = in.schedule->ops[i];
+        const bool acquires = AcquiresSegment(t.op.kind);
+        const bool releases = ReleasesSegment(t.op.kind);
+        if (!acquires && !releases) {
+            continue;
+        }
+        if (!t.op.segment.valid()) {
+            report.Report(kRuleSegmentOverlap,
+                          OpLocation(static_cast<int>(i), t.op),
+                          "segment-transfer op names no segment");
+            continue;
+        }
+        SegState& s = segs[t.op.segment.value];
+        if (acquires) {
+            if (s.held) {
+                std::ostringstream os;
+                os << "acquires segment " << t.op.segment
+                   << " already held since op " << s.holder_op;
+                report.Report(kRuleSegmentOverlap,
+                              OpLocation(static_cast<int>(i), t.op),
+                              os.str());
+            } else if (t.start < s.free_at) {
+                std::ostringstream os;
+                os << "starts at " << t.start << " while segment "
+                   << t.op.segment << " is occupied until " << s.free_at;
+                report.Report(kRuleSegmentOverlap,
+                              OpLocation(static_cast<int>(i), t.op),
+                              os.str());
+            }
+            s.held = true;
+            s.holder_op = static_cast<int>(i);
+        } else {
+            if (!s.held) {
+                std::ostringstream os;
+                os << "releases segment " << t.op.segment
+                   << " that is not held";
+                report.Report(kRuleSegmentOverlap,
+                              OpLocation(static_cast<int>(i), t.op),
+                              os.str());
+            }
+            s.held = false;
+            s.free_at = std::max(s.free_at, t.end());
+        }
+    }
+}
+
+void
+CheckJunctionCapacity(const ScheduleValidationInput& in, Reporter& report)
+{
+    // Hold interval per crossing: [enter.start, exit.end]. An exit
+    // releases the junction the ion last entered.
+    struct Event
+    {
+        Microseconds time;
+        int delta;  // -1 sorts before +1 at equal times (release-first)
+        int op;
+    };
+    std::map<int, std::vector<Event>> events;  // junction node -> events
+    std::map<int, int> held;                   // ion -> junction node
+    for (size_t i = 0; i < in.schedule->ops.size(); ++i) {
+        const TimedOp& t = in.schedule->ops[i];
+        if (t.op.kind == OpKind::kJunctionEnter) {
+            if (!t.op.node.valid()) {
+                continue;  // position trace reports the malformed op
+            }
+            events[t.op.node.value].push_back(
+                {t.start, +1, static_cast<int>(i)});
+            held[t.op.ion0.value] = t.op.node.value;
+        } else if (t.op.kind == OpKind::kJunctionExit) {
+            const auto it = held.find(t.op.ion0.value);
+            if (it == held.end()) {
+                report.Report(kRuleJunctionCapacity,
+                              OpLocation(static_cast<int>(i), t.op),
+                              "junction exit without a matching entry");
+                continue;
+            }
+            events[it->second].push_back({t.end(), -1, static_cast<int>(i)});
+            held.erase(it);
+        }
+    }
+    for (auto& [node, evs] : events) {
+        std::sort(evs.begin(), evs.end(), [](const Event& a, const Event& b) {
+            return a.time != b.time ? a.time < b.time : a.delta < b.delta;
+        });
+        const int capacity = in.graph->node(NodeId(node)).capacity;
+        int occupancy = 0;
+        for (const Event& e : evs) {
+            occupancy += e.delta;
+            if (occupancy > capacity) {
+                std::ostringstream os;
+                os << "junction " << NodeId(node) << " holds " << occupancy
+                   << " ions at t=" << e.time << " (capacity " << capacity
+                   << ")";
+                report.Report(
+                    kRuleJunctionCapacity,
+                    OpLocation(e.op, in.schedule->ops[e.op].op), os.str());
+            }
+        }
+    }
+}
+
+void
+CheckDagOrder(const ScheduleValidationInput& in, Reporter& report)
+{
+    const circuit::Dag dag(*in.native);
+    std::vector<int> op_of(in.native->size(), -1);
+    for (size_t i = 0; i < in.schedule->ops.size(); ++i) {
+        const TimedOp& t = in.schedule->ops[i];
+        if (!t.op.IsGate()) {
+            continue;
+        }
+        const GateId g = t.op.source_gate;
+        if (!g.valid() || g.value >= in.native->size()) {
+            report.Report(kRuleDagOrder,
+                          OpLocation(static_cast<int>(i), t.op),
+                          "gate op does not reference a circuit gate");
+            continue;
+        }
+        if (op_of[g.value] >= 0) {
+            std::ostringstream os;
+            os << "circuit gate " << g << " emitted twice (first at op "
+               << op_of[g.value] << ")";
+            report.Report(kRuleDagOrder,
+                          OpLocation(static_cast<int>(i), t.op), os.str());
+            continue;
+        }
+        op_of[g.value] = static_cast<int>(i);
+    }
+    int missing = 0;
+    for (int g = 0; g < in.native->size(); ++g) {
+        if (op_of[g] < 0) {
+            ++missing;
+        }
+    }
+    if (missing > 0) {
+        std::ostringstream os;
+        os << missing << " of " << in.native->size()
+           << " circuit gates never appear in the schedule";
+        report.Report(kRuleDagOrder, "schedule", os.str());
+    }
+    for (int g = 0; g < in.native->size(); ++g) {
+        if (op_of[g] < 0) {
+            continue;
+        }
+        const TimedOp& t = in.schedule->ops[op_of[g]];
+        for (const GateId p : dag.Predecessors(GateId(g))) {
+            if (op_of[p.value] < 0) {
+                continue;  // already reported as missing
+            }
+            const TimedOp& tp = in.schedule->ops[op_of[p.value]];
+            if (tp.end() > t.start) {
+                std::ostringstream os;
+                os << "starts at " << t.start << " before DAG predecessor "
+                   << p << " (op " << op_of[p.value] << ") finishes at "
+                   << tp.end();
+                report.Report(kRuleDagOrder, OpLocation(op_of[g], t.op),
+                              os.str());
+            }
+        }
+    }
+}
+
+void
+CheckPositionTrace(const ScheduleValidationInput& in, Reporter& report)
+{
+    const int num_qubits = in.native->num_qubits();
+    if (static_cast<int>(in.placement->qubit_trap.size()) < num_qubits) {
+        report.Report(kRulePositionTrace, "placement",
+                      "placement does not cover every circuit qubit");
+        return;
+    }
+    try {
+        qccd::DeviceState state(*in.graph, num_qubits);
+        for (int q = 0; q < num_qubits; ++q) {
+            state.LoadIon(QubitId(q), in.placement->qubit_trap[q]);
+        }
+        for (size_t i = 0; i < in.schedule->ops.size(); ++i) {
+            const TimedOp& t = in.schedule->ops[i];
+            if (const auto err = state.TryApply(t.op)) {
+                report.Report(kRulePositionTrace,
+                              OpLocation(static_cast<int>(i), t.op), *err);
+            }
+        }
+        if (!state.TransportComponentsEmpty()) {
+            report.Report(kRulePositionTrace, "schedule",
+                          "an ion is left in a segment or junction after "
+                          "the final op");
+        }
+    } catch (const std::exception& e) {
+        // LoadIon aborts on an over-full or non-trap home; report it as a
+        // trace defect instead of propagating.
+        report.Report(kRulePositionTrace, "placement", e.what());
+    }
+}
+
+void
+CheckStats(const ScheduleValidationInput& in, Reporter& report)
+{
+    Microseconds makespan = 0.0;
+    int movement_ops = 0;
+    std::vector<std::pair<Microseconds, Microseconds>> movement;
+    for (const TimedOp& t : in.schedule->ops) {
+        makespan = std::max(makespan, t.end());
+        if (qccd::IsMovement(t.op.kind)) {
+            ++movement_ops;
+            movement.emplace_back(t.start, t.end());
+        }
+    }
+    const Microseconds movement_time = compiler::UnionMeasure(movement);
+    if (makespan != in.schedule->makespan) {
+        std::ostringstream os;
+        os << "recorded makespan " << in.schedule->makespan
+           << " != recomputed " << makespan;
+        report.Report(kRuleScheduleStats, "schedule", os.str());
+    }
+    if (movement_ops != in.schedule->num_movement_ops) {
+        std::ostringstream os;
+        os << "recorded movement ops " << in.schedule->num_movement_ops
+           << " != recomputed " << movement_ops;
+        report.Report(kRuleScheduleStats, "schedule", os.str());
+    }
+    if (std::abs(movement_time - in.schedule->movement_time) > 1e-9) {
+        std::ostringstream os;
+        os << "recorded movement time " << in.schedule->movement_time
+           << " != recomputed " << movement_time;
+        report.Report(kRuleScheduleStats, "schedule", os.str());
+    }
+}
+
+}  // namespace
+
+std::vector<Diagnostic>
+ValidateSchedule(const ScheduleValidationInput& in)
+{
+    std::vector<Diagnostic> diagnostics;
+    Reporter report(diagnostics);
+    CheckDurations(in, report);
+    CheckIonExclusion(in, report);
+    CheckTrapExclusion(in, report);
+    CheckSegmentExclusion(in, report);
+    CheckJunctionCapacity(in, report);
+    CheckDagOrder(in, report);
+    CheckPositionTrace(in, report);
+    CheckStats(in, report);
+    return diagnostics;
+}
+
+}  // namespace tiqec::analysis

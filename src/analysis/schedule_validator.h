@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static legality checker for compiled schedules (DESIGN.md §6.2). The
+ * rules re-derive the hardware model from first principles — per-resource
+ * mutual exclusion, junction capacity, the timing LUT, circuit DAG order,
+ * and ion position-trace continuity — independently of the scheduler's
+ * own bookkeeping, so a wrong-but-deterministic compiler bug that
+ * byte-identity pins cannot see still fails validation.
+ */
+#ifndef TIQEC_ANALYSIS_SCHEDULE_VALIDATOR_H
+#define TIQEC_ANALYSIS_SCHEDULE_VALIDATOR_H
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "circuit/circuit.h"
+#include "compiler/placer.h"
+#include "compiler/schedule.h"
+#include "qccd/timing.h"
+#include "qccd/topology.h"
+
+namespace tiqec::analysis {
+
+/** Everything the schedule rules interrogate (all borrowed). */
+struct ScheduleValidationInput
+{
+    /** Routed native circuit; `PrimitiveOp::source_gate` indexes it. */
+    const circuit::Circuit* native = nullptr;
+    const compiler::Schedule* schedule = nullptr;
+    /** Initial qubit-to-trap map (position-trace replay start state). */
+    const compiler::Placement* placement = nullptr;
+    const qccd::DeviceGraph* graph = nullptr;
+    const qccd::TimingModel* timing = nullptr;
+    /** WISE wiring: MS/gate-swap durations include cooling time. */
+    bool wise = false;
+};
+
+/** Runs every schedule.* rule; empty result means a legal schedule. */
+std::vector<Diagnostic> ValidateSchedule(const ScheduleValidationInput& in);
+
+}  // namespace tiqec::analysis
+
+#endif  // TIQEC_ANALYSIS_SCHEDULE_VALIDATOR_H

@@ -8,6 +8,7 @@
 #include <tuple>
 #include <utility>
 
+#include "analysis/analysis.h"
 #include "common/worker_pool.h"
 #include "decoder/union_find_decoder.h"
 #include "sim/parallel_sampler.h"
@@ -163,6 +164,54 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                          });
     }
 
+    // ---- Stage 1b: artifact validation once per compile key that any
+    // validating candidate references. A failure gates only candidates
+    // with validate_artifacts set (the cached artifacts stay shared), and
+    // its formatted diagnostics flow through failure isolation exactly
+    // like a compile error — byte-identical to the serial Evaluate path.
+    std::map<CompileKey, std::string> compile_validation;
+    {
+        std::map<CompileKey, const SweepCandidate*> exemplar;
+        for (size_t i = 0; i < n; ++i) {
+            const SweepCandidate& c = candidates[i];
+            if (invalid[i].empty() && c.options.validate_artifacts) {
+                const CompileKey ck = CompileKeyOf(c);
+                if (compile_cache.at(ck)->ok) {
+                    compile_validation.try_emplace(ck);
+                    exemplar.try_emplace(ck, &c);
+                }
+            }
+        }
+        std::vector<std::pair<const CompileKey*, std::string*>> tasks;
+        tasks.reserve(compile_validation.size());
+        for (auto& [key, error] : compile_validation) {
+            tasks.emplace_back(&key, &error);
+        }
+        ParallelForIndex(
+            threads, static_cast<std::int64_t>(tasks.size()),
+            [&](std::int64_t t) {
+                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                const CompileArtifacts& arts =
+                    *compile_cache.at(*tasks[t].first);
+                const std::vector<analysis::Diagnostic> diags =
+                    analysis::ValidateCompiledArtifacts(
+                        arts.compiled, arts.graph, arts.timing,
+                        c.arch.wiring == WiringKind::kWise);
+                if (!diags.empty()) {
+                    *tasks[t].second = analysis::FormatDiagnostics(
+                        analysis::kCompiledSubject, diags);
+                }
+            });
+    }
+    const auto compile_invalidated = [&](const SweepCandidate& c,
+                                         const CompileKey& ck) {
+        if (!c.options.validate_artifacts) {
+            return false;
+        }
+        const auto it = compile_validation.find(ck);
+        return it != compile_validation.end() && !it->second.empty();
+    };
+
     // ---- Stage 2: annotate once per unique noise scenario.
     std::map<NoiseKey, NoiseEntry> noise_cache;
     {
@@ -173,7 +222,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                 continue;
             }
             const CompileKey ck = CompileKeyOf(c);
-            if (!compile_cache.at(ck)->ok) {
+            if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
                 continue;
             }
             const NoiseKey nk{ck, c.arch.gate_improvement};
@@ -212,7 +261,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                 continue;
             }
             const CompileKey ck = CompileKeyOf(c);
-            if (!compile_cache.at(ck)->ok) {
+            if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
                 continue;
             }
             const NoiseKey nk{ck, c.arch.gate_improvement};
@@ -247,6 +296,56 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             });
     }
 
+    // ---- Stage 3b: validate the simulation artifacts once per sim key
+    // any validating candidate references (circuit + DEM rules).
+    std::map<SimKey, std::string> sim_validation;
+    {
+        for (size_t i = 0; i < n; ++i) {
+            const SweepCandidate& c = candidates[i];
+            if (!invalid[i].empty() || c.options.compile_only ||
+                c.compile_rounds != 1 || !c.options.validate_artifacts) {
+                continue;
+            }
+            const CompileKey ck = CompileKeyOf(c);
+            if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
+                continue;
+            }
+            const NoiseKey nk{ck, c.arch.gate_improvement};
+            if (!noise_cache.at(nk).ok) {
+                continue;
+            }
+            const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
+            if (sim_cache.at(sk).ok) {
+                sim_validation.try_emplace(sk);
+            }
+        }
+        std::vector<std::pair<const SimKey*, std::string*>> tasks;
+        tasks.reserve(sim_validation.size());
+        for (auto& [key, error] : sim_validation) {
+            tasks.emplace_back(&key, &error);
+        }
+        ParallelForIndex(
+            threads, static_cast<std::int64_t>(tasks.size()),
+            [&](std::int64_t t) {
+                const SimEntry& entry = sim_cache.at(*tasks[t].first);
+                const std::vector<analysis::Diagnostic> diags =
+                    analysis::ValidateSimArtifacts(entry.arts.experiment,
+                                                   entry.arts.dem);
+                if (!diags.empty()) {
+                    *tasks[t].second = analysis::FormatDiagnostics(
+                        analysis::kSimSubject, diags);
+                }
+            });
+    }
+    const auto sim_invalidated = [&](const SweepCandidate& c,
+                                     const SimKey& sk) {
+        if (!c.options.validate_artifacts) {
+            return false;
+        }
+        const auto it = sim_validation.find(sk);
+        return it != sim_validation.end() && !it->second.empty();
+    };
+
     // ---- Stage 4: interleave every candidate's Monte-Carlo shards on
     // the shared pool. Each candidate's shard streams and in-order
     // commit logic are its own (sim::LerShardRun), so the totals are
@@ -261,7 +360,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             continue;
         }
         const CompileKey ck = CompileKeyOf(c);
-        if (!compile_cache.at(ck)->ok) {
+        if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
             continue;
         }
         const NoiseKey nk{ck, c.arch.gate_improvement};
@@ -270,7 +369,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         }
         const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
         const SimEntry& sim_entry = sim_cache.at(sk);
-        if (!sim_entry.ok) {
+        if (!sim_entry.ok || sim_invalidated(c, sk)) {
             continue;
         }
         auto state = std::make_unique<ShardState>();
@@ -370,6 +469,10 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             metrics.error = arts.error;
             continue;
         }
+        if (compile_invalidated(c, ck)) {
+            metrics.error = compile_validation.at(ck);
+            continue;
+        }
         const noise::RoundNoiseProfile* profile = nullptr;
         if (c.compile_rounds == 1) {
             const NoiseEntry& noise_entry =
@@ -386,23 +489,35 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             metrics.ok = true;
             continue;
         }
+        const SimKey sk = SimKeyOf(NoiseKey{ck, c.arch.gate_improvement},
+                                   c, RoundsOf(c));
+        const SimEntry& sim_entry = sim_cache.at(sk);
+        if (!sim_entry.ok) {
+            metrics.error = sim_entry.error;
+            continue;
+        }
+        if (sim_invalidated(c, sk)) {
+            metrics.error = sim_validation.at(sk);
+            continue;
+        }
         if (c.options.max_shots <= 0) {
             // The sampler reports an empty estimate for a non-positive
-            // budget (Evaluate parity).
+            // budget (Evaluate parity; sim artifacts are still built,
+            // validated, and reported on).
             const LerEstimate ler =
                 FinishLerEstimate(0, 0, {}, 0, false, RoundsOf(c));
             metrics.shots = ler.shots;
             metrics.logical_errors = ler.logical_errors;
             metrics.ler_per_shot = ler.ler_per_shot;
             metrics.ler_per_round = ler.ler_per_round;
+            metrics.dem_hyperedges = sim_entry.arts.dem.num_hyperedges;
+            metrics.dem_undecomposable =
+                sim_entry.arts.dem.num_undecomposable;
+            metrics.dem_dropped_probability =
+                sim_entry.arts.dem.dropped_probability;
+            metrics.dem_undecomposable_probability =
+                sim_entry.arts.dem.undecomposable_probability;
             metrics.ok = true;
-            continue;
-        }
-        const SimKey sk = SimKeyOf(NoiseKey{ck, c.arch.gate_improvement},
-                                   c, RoundsOf(c));
-        const SimEntry& sim_entry = sim_cache.at(sk);
-        if (!sim_entry.ok) {
-            metrics.error = sim_entry.error;
             continue;
         }
         ShardState& st = *shard_states[i];

@@ -5,6 +5,7 @@
 #include <exception>
 #include <stdexcept>
 
+#include "analysis/analysis.h"
 #include "compiler/compiler.h"
 #include "core/pipeline.h"
 #include "noise/annotator.h"
@@ -185,6 +186,18 @@ Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
         metrics.error = arts.error;
         return metrics;
     }
+    if (options.validate_artifacts) {
+        const std::vector<analysis::Diagnostic> diags =
+            analysis::ValidateCompiledArtifacts(
+                arts.compiled, arts.graph, arts.timing,
+                arch.wiring == WiringKind::kWise);
+        if (!diags.empty()) {
+            metrics.error =
+                analysis::FormatDiagnostics(analysis::kCompiledSubject,
+                                            diags);
+            return metrics;
+        }
+    }
     const int rounds = options.rounds > 0 ? options.rounds : code.distance();
     // Post-compile failures (a workload the code cannot host, a decode
     // failure) report like compile failures instead of throwing, so the
@@ -201,6 +214,16 @@ Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
 
         const SimArtifacts sim_arts = BuildSimArtifacts(
             code, arts, profile, arch, rounds, options.workload_spec());
+        if (options.validate_artifacts) {
+            const std::vector<analysis::Diagnostic> diags =
+                analysis::ValidateSimArtifacts(sim_arts.experiment,
+                                               sim_arts.dem);
+            if (!diags.empty()) {
+                metrics.error = analysis::FormatDiagnostics(
+                    analysis::kSimSubject, diags);
+                return metrics;
+            }
+        }
         const LerEstimate ler = EstimateLogicalErrorRate(
             sim_arts.experiment, sim_arts.dem, rounds, options);
         metrics.shots = ler.shots;

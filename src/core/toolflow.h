@@ -56,6 +56,16 @@ struct EvaluationOptions
      *  hyperedge stage). Off gives the unweighted elementary-graph
      *  baseline, for A/B comparisons. */
     bool correlated = true;
+    /** Run the static artifact validators (src/analysis/, DESIGN.md §6)
+     *  over the compiled schedule and the simulation artifacts; a
+     *  failing candidate reports the formatted diagnostics exactly like
+     *  a compile error (so sweeps isolate it rather than abort). On by
+     *  default in debug builds; opt-in for release builds. */
+#ifdef NDEBUG
+    bool validate_artifacts = false;
+#else
+    bool validate_artifacts = true;
+#endif
 
     /** The experiment shape these options select. */
     workloads::WorkloadSpec workload_spec() const

@@ -73,6 +73,13 @@ class NoisyCircuit
     {
         return instructions_;
     }
+    /** Mutable instruction access for the validator mutation harness
+     *  (tests/analysis_test.cc), which corrupts built circuits to prove
+     *  each rule fires; production code never rewrites a built circuit. */
+    std::vector<SimInstruction>& mutable_instructions()
+    {
+        return instructions_;
+    }
     const std::vector<DetectorInfo>& detectors() const { return detectors_; }
 
     void AddH(int q);

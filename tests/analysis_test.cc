@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Mutation harness for the artifact validators (src/analysis/,
+ * DESIGN.md §6). Clean artifacts from both compiler pipelines must
+ * produce zero diagnostics, and every registered rule-id must fire on
+ * at least one deliberately corrupted artifact — so no rule is dead and
+ * each mutation class is caught by the rule it was written for.
+ */
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "core/pipeline.h"
+#include "core/sweep.h"
+#include "core/toolflow.h"
+#include "qccd/primitives.h"
+#include "qec/code.h"
+
+namespace tiqec::analysis {
+namespace {
+
+using compiler::CompilationResult;
+using compiler::TimedOp;
+using qccd::OpKind;
+using sim::SimInstruction;
+using sim::SimOp;
+
+/** One clean d=3 grid candidate, compiled/annotated/simulated once. */
+struct CleanArtifacts
+{
+    qec::RotatedSurfaceCode code{3};
+    core::ArchitectureConfig arch;
+    int rounds = 3;
+    core::CompileArtifacts compile;
+    noise::RoundNoiseProfile profile;
+    core::SimArtifacts sim;
+};
+
+const CleanArtifacts&
+Clean()
+{
+    static const CleanArtifacts* fixture = [] {
+        auto* f = new CleanArtifacts();
+        f->compile = core::CompileCandidate(f->code, f->arch);
+        if (!f->compile.ok) {
+            ADD_FAILURE() << "fixture compile failed: " << f->compile.error;
+            return f;
+        }
+        f->profile = core::AnnotateCandidate(f->code, f->arch, f->compile);
+        f->sim = core::BuildSimArtifacts(
+            f->code, f->compile, f->profile, f->arch, f->rounds,
+            {.kind = workloads::WorkloadKind::kMemory,
+             .basis = sim::MemoryBasis::kZ});
+        return f;
+    }();
+    return *fixture;
+}
+
+std::vector<Diagnostic>
+ValidateMutatedSchedule(const CompilationResult& mutated)
+{
+    return ValidateCompiledArtifacts(mutated, Clean().compile.graph,
+                                     Clean().compile.timing,
+                                     /*wise=*/false);
+}
+
+bool
+HasRule(const std::vector<Diagnostic>& diags, std::string_view rule)
+{
+    return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+        return d.rule == rule;
+    });
+}
+
+std::string
+Join(const std::vector<Diagnostic>& diags)
+{
+    std::string out;
+    for (const Diagnostic& d : diags) {
+        out += "[" + d.rule + "] " + d.location + ": " + d.message + "\n";
+    }
+    return out.empty() ? "(no diagnostics)" : out;
+}
+
+/** Finds stream indices (a, b), a < b, where op b matches `later` and
+ *  op a matches `earlier` with b in a's scan; -1/-1 when absent. */
+template <typename Earlier, typename Later>
+std::pair<int, int>
+FindOpPair(const compiler::Schedule& s, const Earlier& earlier,
+           const Later& later)
+{
+    for (size_t i = 0; i < s.ops.size(); ++i) {
+        if (!earlier(s.ops[i])) {
+            continue;
+        }
+        for (size_t j = i + 1; j < s.ops.size(); ++j) {
+            if (later(s.ops[i], s.ops[j])) {
+                return {static_cast<int>(i), static_cast<int>(j)};
+            }
+        }
+    }
+    return {-1, -1};
+}
+
+/** One mutation: the rule it must trigger plus the corrupted-artifact
+ *  validation run. Returning an empty vector marks setup failure. */
+struct Mutation
+{
+    std::string_view rule;
+    std::function<std::vector<Diagnostic>()> run;
+};
+
+std::vector<Mutation>
+MutationBattery()
+{
+    std::vector<Mutation> battery;
+
+    // -- schedule.* ----------------------------------------------------
+    battery.push_back({kRuleIonOverlap, [] {
+        CompilationResult m = Clean().compile.compiled;
+        const auto [a, b] = FindOpPair(
+            m.schedule, [](const TimedOp&) { return true; },
+            [](const TimedOp& ti, const TimedOp& tj) {
+                return tj.op.ion0 == ti.op.ion0;
+            });
+        EXPECT_GE(b, 0);
+        m.schedule.ops[b].start = m.schedule.ops[a].start;
+        return ValidateMutatedSchedule(m);
+    }});
+    battery.push_back({kRuleTrapOverlap, [] {
+        CompilationResult m = Clean().compile.compiled;
+        // Two trap-unit ops in one trap on disjoint ions, overlapped.
+        const auto uses_unit = [](const TimedOp& t) {
+            return (t.op.IsGate() || t.op.kind == OpKind::kSplit ||
+                    t.op.kind == OpKind::kMerge) &&
+                   t.op.node.valid();
+        };
+        const auto [a, b] = FindOpPair(
+            m.schedule, uses_unit,
+            [&](const TimedOp& ti, const TimedOp& tj) {
+                return uses_unit(tj) && tj.op.node == ti.op.node &&
+                       tj.op.ion0 != ti.op.ion0 &&
+                       tj.op.ion0 != ti.op.ion1 &&
+                       (!tj.op.ion1.valid() ||
+                        (tj.op.ion1 != ti.op.ion0 &&
+                         tj.op.ion1 != ti.op.ion1));
+            });
+        EXPECT_GE(b, 0);
+        m.schedule.ops[b].start = m.schedule.ops[a].start;
+        return ValidateMutatedSchedule(m);
+    }});
+    battery.push_back({kRuleSegmentOverlap, [] {
+        CompilationResult m = Clean().compile.compiled;
+        // The second split of one segment retimed into the first's hold.
+        const auto [a, b] = FindOpPair(
+            m.schedule,
+            [](const TimedOp& t) { return t.op.kind == OpKind::kSplit; },
+            [](const TimedOp& ti, const TimedOp& tj) {
+                return tj.op.kind == OpKind::kSplit &&
+                       tj.op.segment == ti.op.segment;
+            });
+        EXPECT_GE(b, 0);
+        m.schedule.ops[b].start = m.schedule.ops[a].start;
+        return ValidateMutatedSchedule(m);
+    }});
+    battery.push_back({kRuleJunctionCapacity, [] {
+        CompilationResult m = Clean().compile.compiled;
+        // Grid junctions have capacity 1: overlap two crossings.
+        const auto [a, b] = FindOpPair(
+            m.schedule,
+            [](const TimedOp& t) {
+                return t.op.kind == OpKind::kJunctionEnter;
+            },
+            [](const TimedOp& ti, const TimedOp& tj) {
+                return tj.op.kind == OpKind::kJunctionEnter &&
+                       tj.op.node == ti.op.node &&
+                       tj.op.ion0 != ti.op.ion0;
+            });
+        EXPECT_GE(b, 0);
+        m.schedule.ops[b].start = m.schedule.ops[a].start;
+        return ValidateMutatedSchedule(m);
+    }});
+    battery.push_back({kRuleDurationLut, [] {
+        CompilationResult m = Clean().compile.compiled;
+        EXPECT_FALSE(m.schedule.ops.empty());
+        m.schedule.ops[0].duration *= 2.0;
+        return ValidateMutatedSchedule(m);
+    }});
+    battery.push_back({kRuleDagOrder, [] {
+        CompilationResult m = Clean().compile.compiled;
+        // The last gate op necessarily has a DAG predecessor that
+        // finishes after t=0.
+        int b = -1;
+        for (size_t i = 0; i < m.schedule.ops.size(); ++i) {
+            if (m.schedule.ops[i].op.IsGate()) {
+                b = static_cast<int>(i);
+            }
+        }
+        EXPECT_GE(b, 0);
+        m.schedule.ops[b].start = 0.0;
+        return ValidateMutatedSchedule(m);
+    }});
+    battery.push_back({kRulePositionTrace, [] {
+        CompilationResult m = Clean().compile.compiled;
+        // Dropping a merge strands the split chain in its segment.
+        const auto it = std::find_if(
+            m.schedule.ops.begin(), m.schedule.ops.end(),
+            [](const TimedOp& t) { return t.op.kind == OpKind::kMerge; });
+        EXPECT_NE(it, m.schedule.ops.end());
+        m.schedule.ops.erase(it);
+        return ValidateMutatedSchedule(m);
+    }});
+    battery.push_back({kRuleScheduleStats, [] {
+        CompilationResult m = Clean().compile.compiled;
+        m.schedule.makespan += 1.0;
+        return ValidateMutatedSchedule(m);
+    }});
+
+    // -- circuit.* -----------------------------------------------------
+    battery.push_back({kRuleQubitRange, [] {
+        sim::NoisyCircuit m = Clean().sim.experiment;
+        auto& insts = m.mutable_instructions();
+        const auto it = std::find_if(
+            insts.begin(), insts.end(),
+            [](const SimInstruction& i) { return i.op == SimOp::kCnot; });
+        EXPECT_NE(it, insts.end());
+        it->q1 = m.num_qubits();
+        return ValidateCircuit(m);
+    }});
+    battery.push_back({kRuleRecordRange, [] {
+        sim::NoisyCircuit m = Clean().sim.experiment;
+        auto& insts = m.mutable_instructions();
+        const auto it = std::find_if(insts.rbegin(), insts.rend(),
+                                     [](const SimInstruction& i) {
+                                         return i.op == SimOp::kDetector;
+                                     });
+        EXPECT_NE(it, insts.rend());
+        it->targets[0] = m.num_measurements();  // dangling record
+        return ValidateCircuit(m);
+    }});
+    battery.push_back({kRuleProbabilityRange, [] {
+        sim::NoisyCircuit m = Clean().sim.experiment;
+        auto& insts = m.mutable_instructions();
+        const auto it = std::find_if(
+            insts.begin(), insts.end(),
+            [](const SimInstruction& i) { return i.op == SimOp::kMeasure; });
+        EXPECT_NE(it, insts.end());
+        it->p = 1.5;
+        return ValidateCircuit(m);
+    }});
+    battery.push_back({kRuleMeasuredOut, [] {
+        sim::NoisyCircuit m = Clean().sim.experiment;
+        auto& insts = m.mutable_instructions();
+        const auto it = std::find_if(
+            insts.begin(), insts.end(),
+            [](const SimInstruction& i) { return i.op == SimOp::kMeasure; });
+        EXPECT_NE(it, insts.end());
+        SimInstruction h;  // Clifford on a collapsed, not-yet-reset qubit
+        h.op = SimOp::kH;
+        h.q0 = it->q0;
+        insts.insert(it + 1, h);
+        return ValidateCircuit(m);
+    }});
+    battery.push_back({kRuleDetectorDeterminism, [] {
+        sim::NoisyCircuit m = Clean().sim.experiment;
+        auto& insts = m.mutable_instructions();
+        // A two-record detector compares an ancilla measurement across
+        // rounds; either record alone is a random outcome.
+        const auto it = std::find_if(insts.begin(), insts.end(),
+                                     [](const SimInstruction& i) {
+                                         return i.op == SimOp::kDetector &&
+                                                i.targets.size() == 2;
+                                     });
+        EXPECT_NE(it, insts.end());
+        it->targets.pop_back();
+        return ValidateCircuit(m);
+    }});
+
+    // -- dem.* ---------------------------------------------------------
+    battery.push_back({kRuleDemProbabilityRange, [] {
+        sim::DetectorErrorModel m = Clean().sim.dem;
+        EXPECT_FALSE(m.edges.empty());
+        m.edges[0].p = 1.5;
+        return ValidateDem(m);
+    }});
+    battery.push_back({kRuleDemDetectorRange, [] {
+        sim::DetectorErrorModel m = Clean().sim.dem;
+        EXPECT_FALSE(m.edges.empty());
+        m.edges[0].d0 = m.num_detectors;
+        return ValidateDem(m);
+    }});
+    battery.push_back({kRuleDemDuplicateEdge, [] {
+        sim::DetectorErrorModel m = Clean().sim.dem;
+        EXPECT_FALSE(m.edges.empty());
+        m.edges.push_back(m.edges[0]);
+        return ValidateDem(m);
+    }});
+    battery.push_back({kRuleDemHyperedgeEdges, [] {
+        sim::DetectorErrorModel m = Clean().sim.dem;
+        const auto it = std::find_if(
+            m.hyperedges.begin(), m.hyperedges.end(),
+            [](const sim::DemHyperedge& h) { return h.edges.size() >= 2; });
+        EXPECT_NE(it, m.hyperedges.end());
+        it->edges.pop_back();  // no longer tiles the signature
+        return ValidateDem(m);
+    }});
+    battery.push_back({kRuleDemMassConservation, [] {
+        sim::DetectorErrorModel m = Clean().sim.dem;
+        EXPECT_FALSE(m.hyperedges.empty());
+        m.hyperedges[0].p *= 0.5;  // mass leak vs recorded diagnostics
+        return ValidateDem(m);
+    }});
+
+    return battery;
+}
+
+// Every mutation is caught by the rule it was written for, and the
+// battery covers the whole registry: a newly registered rule without a
+// mutation (a dead rule) fails the coverage assertion.
+TEST(AnalysisMutation, EveryRuleFiresOnItsMutation)
+{
+    ASSERT_TRUE(Clean().compile.ok);
+    std::set<std::string_view> covered;
+    for (const Mutation& mutation : MutationBattery()) {
+        SCOPED_TRACE(std::string(mutation.rule));
+        const std::vector<Diagnostic> diags = mutation.run();
+        EXPECT_TRUE(HasRule(diags, mutation.rule)) << Join(diags);
+        covered.insert(mutation.rule);
+    }
+    for (const std::string_view rule : AllRuleIds()) {
+        EXPECT_TRUE(covered.count(rule))
+            << "registered rule has no mutation: " << rule;
+    }
+    EXPECT_EQ(MutationBattery().size(), AllRuleIds().size());
+}
+
+// Clean artifacts from both compiler pipelines validate cleanly.
+TEST(AnalysisClean, BothPipelinesAtD3AndD5ProduceZeroDiagnostics)
+{
+    for (const int distance : {3, 5}) {
+        for (const bool reference : {false, true}) {
+            SCOPED_TRACE("d=" + std::to_string(distance) +
+                         (reference ? " reference" : " fast"));
+            const qec::RotatedSurfaceCode code(distance);
+            core::ArchitectureConfig arch;
+            core::CompileArtifacts arts;
+            arts.graph = compiler::MakeDeviceFor(code, arch.topology,
+                                                 arch.trap_capacity);
+            compiler::CompilerOptions copts;
+            copts.reference_pipeline = reference;
+            arts.compiled = compiler::CompileParityCheckRounds(
+                code, 1, arts.graph, arts.timing, copts);
+            ASSERT_TRUE(arts.compiled.ok) << arts.compiled.error;
+            arts.ok = true;
+
+            const auto schedule_diags = ValidateCompiledArtifacts(
+                arts.compiled, arts.graph, arts.timing, /*wise=*/false);
+            EXPECT_TRUE(schedule_diags.empty()) << Join(schedule_diags);
+
+            const auto profile = core::AnnotateCandidate(code, arch, arts);
+            const auto sim = core::BuildSimArtifacts(
+                code, arts, profile, arch, distance,
+                {.kind = workloads::WorkloadKind::kMemory,
+                 .basis = sim::MemoryBasis::kZ});
+            const auto sim_diags =
+                ValidateSimArtifacts(sim.experiment, sim.dem);
+            EXPECT_TRUE(sim_diags.empty()) << Join(sim_diags);
+        }
+    }
+}
+
+// WISE wiring folds cooling into two-qubit gate durations; the duration
+// rule must accept that wiring when told about it.
+TEST(AnalysisClean, WiseScheduleValidatesWithWiseFlag)
+{
+    const qec::RotatedSurfaceCode code(3);
+    core::ArchitectureConfig arch;
+    arch.wiring = core::WiringKind::kWise;
+    const core::CompileArtifacts arts = core::CompileCandidate(code, arch);
+    ASSERT_TRUE(arts.ok) << arts.error;
+    const auto diags = ValidateCompiledArtifacts(
+        arts.compiled, arts.graph, arts.timing, /*wise=*/true);
+    EXPECT_TRUE(diags.empty()) << Join(diags);
+}
+
+// Toolflow wiring: validation on, clean candidate -> success, and the
+// sweep engine agrees with the serial path shot for shot.
+TEST(AnalysisWiring, EvaluateAndSweepAcceptCleanCandidateWithValidation)
+{
+    const qec::RotatedSurfaceCode code(3);
+    core::ArchitectureConfig arch;
+    core::EvaluationOptions options;
+    options.validate_artifacts = true;
+    options.max_shots = 1 << 12;
+    options.target_logical_errors = 8;
+
+    const core::Metrics serial = core::Evaluate(code, arch, options);
+    ASSERT_TRUE(serial.ok) << serial.error;
+
+    core::SweepCandidate candidate;
+    candidate.code = std::make_shared<qec::RotatedSurfaceCode>(3);
+    candidate.arch = arch;
+    candidate.options = options;
+    core::SweepRunner runner;
+    const auto metrics = runner.Run({candidate});
+    ASSERT_EQ(metrics.size(), 1u);
+    ASSERT_TRUE(metrics[0].ok) << metrics[0].error;
+    EXPECT_EQ(metrics[0].shots, serial.shots);
+    EXPECT_EQ(metrics[0].logical_errors, serial.logical_errors);
+}
+
+}  // namespace
+}  // namespace tiqec::analysis

@@ -19,7 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/analysis.h"
 #include "compiler/compiler.h"
+#include "core/pipeline.h"
 #include "qccd/timing.h"
 #include "qec/code.h"
 
@@ -94,6 +96,50 @@ TEST(CompilerGoldenTest, PinnedOutputsForGridAndSwitch)
         // The schedule's movement bookkeeping must agree with the
         // router's (they are computed independently).
         EXPECT_EQ(result.schedule.num_movement_ops, g.movement_ops);
+    }
+}
+
+TEST(CompilerGoldenTest, ValidatorsAcceptBothPipelinesThroughD9)
+{
+    // The static legality checkers (src/analysis/, DESIGN.md §6)
+    // re-derive the hardware model independently of the scheduler; a
+    // byte-identical-but-wrong pipeline bug the golden table cannot see
+    // fails here. Schedules are validated per pipeline; the simulation
+    // artifacts are pipeline-independent (pinned byte-identical above)
+    // and validated once per golden case.
+    const qccd::TimingModel timing;
+    for (const GoldenCase& g : kGolden) {
+        SCOPED_TRACE("d=" + std::to_string(g.distance) + " topology=" +
+                     qccd::TopologyKindName(g.topology));
+        const qec::RotatedSurfaceCode code(g.distance);
+        const auto graph = MakeDeviceFor(code, g.topology, 2);
+        for (const bool reference : {false, true}) {
+            SCOPED_TRACE(reference ? "reference" : "fast");
+            CompilerOptions opts;
+            opts.reference_pipeline = reference;
+            const auto result =
+                CompileParityCheckRounds(code, 1, graph, timing, opts);
+            ASSERT_TRUE(result.ok) << result.error;
+            const auto diags = analysis::ValidateCompiledArtifacts(
+                result, graph, timing, /*wise=*/false);
+            EXPECT_TRUE(diags.empty()) << analysis::FormatDiagnostics(
+                analysis::kCompiledSubject, diags);
+        }
+
+        core::ArchitectureConfig arch;
+        arch.topology = g.topology;
+        const core::CompileArtifacts arts =
+            core::CompileCandidate(code, arch);
+        ASSERT_TRUE(arts.ok) << arts.error;
+        const auto profile = core::AnnotateCandidate(code, arch, arts);
+        const auto sim = core::BuildSimArtifacts(
+            code, arts, profile, arch, g.distance,
+            {.kind = workloads::WorkloadKind::kMemory,
+             .basis = sim::MemoryBasis::kZ});
+        const auto sim_diags =
+            analysis::ValidateSimArtifacts(sim.experiment, sim.dem);
+        EXPECT_TRUE(sim_diags.empty()) << analysis::FormatDiagnostics(
+            analysis::kSimSubject, sim_diags);
     }
 }
 
