@@ -22,10 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
+#include "common/json.h"
 #include "core/projection.h"
 #include "core/sweep.h"
 #include "core/toolflow.h"
 #include "qec/code.h"
+#include "store/keys.h"
 
 namespace tiqec::bench {
 
@@ -204,116 +207,20 @@ MetricsBitIdentical(const core::Metrics& a, const core::Metrics& b)
                        b.dem_undecomposable_probability);
 }
 
-/**
- * Dependency-free JSON emitter for machine-readable bench snapshots
- * (`BENCH_decode.json`, `BENCH_surgery.json`). One document per bench
- * binary:
+/** JSON emitter for machine-readable bench snapshots (`BENCH_decode.json`,
+ *  `BENCH_surgery.json`) — now the shared locale-independent
+ *  `common::JsonRecord` (doubles via std::to_chars; the old snprintf
+ *  "%.17g" emitted "1,5" under comma-decimal locales and produced
+ *  invalid JSON). One document per bench binary:
  *
  *   { "bench": ..., "toolchain": {...}, "results": [ {record}, ... ] }
- *
- * Records are flat objects assembled key-by-key; values are typed by
- * the Add overload. Best-of-N metrics carry their rep count so a reader
- * can tell a single measurement from a best-of selection. The writer
- * deliberately has no pretty-printing knobs or nesting beyond one
- * object per record — the consumers are diff tools and plot scripts,
- * not humans.
  */
-class JsonRecord
-{
-  public:
-    void
-    Add(const std::string& key, const std::string& value)
-    {
-        AddRaw(key, "\"" + Escape(value) + "\"");
-    }
-    void
-    Add(const std::string& key, const char* value)
-    {
-        Add(key, std::string(value));
-    }
-    void
-    Add(const std::string& key, std::int64_t value)
-    {
-        AddRaw(key, std::to_string(value));
-    }
-    void
-    Add(const std::string& key, int value)
-    {
-        AddRaw(key, std::to_string(value));
-    }
-    void
-    Add(const std::string& key, bool value)
-    {
-        AddRaw(key, value ? "true" : "false");
-    }
-    void
-    Add(const std::string& key, double value)
-    {
-        char buf[64];
-        // %.17g round-trips every finite double; JSON has no NaN/Inf,
-        // so non-finite values are emitted as null.
-        if (std::isfinite(value)) {
-            std::snprintf(buf, sizeof(buf), "%.17g", value);
-            AddRaw(key, buf);
-        } else {
-            AddRaw(key, "null");
-        }
-    }
-    void
-    Add(const std::string& key, const std::vector<std::int64_t>& values)
-    {
-        std::string array = "[";
-        for (size_t i = 0; i < values.size(); ++i) {
-            if (i > 0) {
-                array += ",";
-            }
-            array += std::to_string(values[i]);
-        }
-        AddRaw(key, array + "]");
-    }
-
-    const std::string&
-    body() const
-    {
-        return body_;
-    }
-
-    static std::string
-    Escape(const std::string& s)
-    {
-        std::string out;
-        out.reserve(s.size());
-        for (const char c : s) {
-            if (c == '"' || c == '\\') {
-                out += '\\';
-                out += c;
-            } else if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-        return out;
-    }
-
-  private:
-    void
-    AddRaw(const std::string& key, const std::string& raw)
-    {
-        if (!body_.empty()) {
-            body_ += ",";
-        }
-        body_ += "\"" + Escape(key) + "\":" + raw;
-    }
-
-    std::string body_;
-};
+using JsonRecord = common::JsonRecord;
 
 /** The toolchain record every bench snapshot carries: compiler banner,
- *  language standard, and build type, from predefined macros so the
- *  snapshot states what actually produced it. */
+ *  language standard, build type, and the source-tree fingerprint the
+ *  artifact store keys by (store/keys.h) — the snapshot states exactly
+ *  what produced it. */
 inline JsonRecord
 ToolchainRecord()
 {
@@ -325,30 +232,37 @@ ToolchainRecord()
 #else
     toolchain.Add("build_type", "debug");
 #endif
+    toolchain.Add("source_fingerprint", store::SourceFingerprint());
     return toolchain;
 }
 
 /** Writes `{ "bench": name, "toolchain": {...}, "results": [...] }` to
  *  `path`. Returns false (with a stderr warning) if the file cannot be
- *  written; benches treat the snapshot as best-effort output. */
+ *  written; benches treat the snapshot as best-effort output. The write
+ *  is atomic (temp file + checked close + rename), so a full disk or a
+ *  crash mid-write can no longer pass off a truncated snapshot as a
+ *  valid one — the old fopen/fprintf/fclose path never checked any of
+ *  its I/O and always reported success. */
 inline bool
 WriteBenchJson(const std::string& path, const std::string& bench_name,
                const std::vector<JsonRecord>& results)
 {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    std::string doc = "{\"bench\":\"" + JsonRecord::Escape(bench_name) +
+                      "\",\"toolchain\":{" + ToolchainRecord().body() +
+                      "},\"results\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (i > 0) {
+            doc += ",";
+        }
+        doc += "{" + results[i].body() + "}";
+    }
+    doc += "]}\n";
+    std::string error;
+    if (!common::AtomicWriteFile(path, doc, &error)) {
+        std::fprintf(stderr, "warning: cannot write %s: %s\n",
+                     path.c_str(), error.c_str());
         return false;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"toolchain\":{%s},\"results\":[",
-                 JsonRecord::Escape(bench_name).c_str(),
-                 ToolchainRecord().body().c_str());
-    for (size_t i = 0; i < results.size(); ++i) {
-        std::fprintf(f, "%s{%s}", i > 0 ? "," : "",
-                     results[i].body().c_str());
-    }
-    std::fprintf(f, "]}\n");
-    std::fclose(f);
     std::printf("wrote %s (%zu records)\n", path.c_str(), results.size());
     return true;
 }

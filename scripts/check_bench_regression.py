@@ -57,6 +57,15 @@ def load_results(path):
     return doc["results"]
 
 
+def positive_finite(value):
+    """True for a usable ratio operand: a finite number > 0. JSON null
+    (None), 0, negatives, NaN, and Inf all fail — each means the
+    measurement is broken, not slow."""
+    return (isinstance(value, (int, float)) and
+            not isinstance(value, bool) and
+            math.isfinite(value) and value > 0)
+
+
 class RatioGate:
     """Collects (config, baseline_ratio, fresh_ratio) points for one
     metric group and applies the geomean + per-config gates."""
@@ -65,8 +74,23 @@ class RatioGate:
         self.name = name
         self.threshold = threshold
         self.points = []
+        self.invalid = []
 
     def add(self, config, base_ratio, fresh_ratio):
+        # A non-positive (or null/NaN) ratio is a correctness failure,
+        # not a slow config: the old code divided by base_ratio and later
+        # took math.log(quotient) unguarded, so a zero-throughput record
+        # crashed the gate (ZeroDivisionError / math domain error)
+        # instead of failing it.
+        if not positive_finite(base_ratio) or \
+                not positive_finite(fresh_ratio):
+            self.invalid.append(
+                f"{self.name} {config}: non-positive ratio "
+                f"(base={base_ratio!r}, fresh={fresh_ratio!r}) — "
+                f"broken measurement, not a slowdown")
+            print(f"  {config:44s} base={base_ratio!r} "
+                  f"fresh={fresh_ratio!r}  <-- INVALID")
+            return
         quotient = fresh_ratio / base_ratio
         per_config_floor = 1.0 - 2.0 * self.threshold
         flag = "" if quotient >= per_config_floor else "  <-- LOW"
@@ -75,6 +99,9 @@ class RatioGate:
         self.points.append((config, quotient))
 
     def verdict(self, failures):
+        failures.extend(self.invalid)
+        if not self.points and self.invalid:
+            return
         if not self.points:
             failures.append(
                 f"{self.name}: no overlapping configs were gated (axis "
@@ -117,10 +144,12 @@ def check_compile(baseline_dir, fresh_dir, threshold, failures):
                 f"bit-identical to the reference pipeline")
             continue
         b = base_by_key.get(key(r))
-        if b is None or b.get("speedup", 0) <= 0 or r["speedup"] <= 0:
-            continue
-        gate.add(f"d={r['distance']} {r['topology']}", b["speedup"],
-                 r["speedup"])
+        if b is None:
+            continue  # axis mismatch (smoke subset), not a failure
+        # gate.add flags a missing/zero/null speedup as a correctness
+        # failure; the old `<= 0` pre-check silently skipped it.
+        gate.add(f"d={r['distance']} {r['topology']}", b.get("speedup"),
+                 r.get("speedup"))
     gate.verdict(failures)
 
 
@@ -150,18 +179,27 @@ def check_decode(baseline_dir, fresh_dir, threshold, failures):
         legacy = paths.get("legacy")
         base_paths = base_cfg.get(cfg)
         if legacy is None or base_paths is None:
-            continue
+            continue  # axis mismatch (smoke subset), not a failure
         base_legacy = base_paths.get("legacy")
-        if base_legacy is None or base_legacy["value"] <= 0:
+        if base_legacy is None:
             continue
         for path_name, r in sorted(paths.items()):
             if path_name == "legacy" or path_name not in base_paths:
                 continue
-            base_ratio = base_paths[path_name]["value"] / \
-                base_legacy["value"]
-            fresh_ratio = r["value"] / legacy["value"]
-            if base_ratio <= 0 or fresh_ratio <= 0:
-                continue
+            # Ratios stay None when a denominator or numerator is
+            # unusable; gate.add turns that into a correctness failure.
+            # The old code divided by legacy["value"] unguarded — a
+            # zero-shot fresh legacy record crashed the gate with
+            # ZeroDivisionError (and a JSON null with TypeError).
+            base_ratio = None
+            if positive_finite(base_legacy.get("value")) and \
+                    positive_finite(base_paths[path_name].get("value")):
+                base_ratio = base_paths[path_name]["value"] / \
+                    base_legacy["value"]
+            fresh_ratio = None
+            if positive_finite(legacy.get("value")) and \
+                    positive_finite(r.get("value")):
+                fresh_ratio = r["value"] / legacy["value"]
             gate.add(
                 f"{cfg[0]} d={cfg[1]} {cfg[2]}x path={path_name}",
                 base_ratio, fresh_ratio)

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dependency-free JSON record/document emitter shared by the bench
+ * snapshot writers (`BENCH_*.json`) and the sweep service's JSONL
+ * output. Records are flat objects assembled key-by-key; values are
+ * typed by the Add overload. The writer deliberately has no
+ * pretty-printing knobs or nesting beyond one object per record — the
+ * consumers are diff tools, gates, and plot scripts, not humans.
+ *
+ * Doubles are formatted with std::to_chars (shortest round-trip form):
+ * locale-independent by specification, where the previous
+ * snprintf("%.17g") emitted "1,5" under a comma-decimal locale (e.g.
+ * de_DE) and silently produced invalid JSON — breaking the
+ * bench-regression gate on any machine with a non-C LC_NUMERIC.
+ */
+#ifndef TIQEC_COMMON_JSON_H
+#define TIQEC_COMMON_JSON_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/text_format.h"
+
+namespace tiqec::common {
+
+class JsonRecord
+{
+  public:
+    void
+    Add(const std::string& key, const std::string& value)
+    {
+        AddRaw(key, "\"" + Escape(value) + "\"");
+    }
+    void
+    Add(const std::string& key, const char* value)
+    {
+        Add(key, std::string(value));
+    }
+    void
+    Add(const std::string& key, std::int64_t value)
+    {
+        AddRaw(key, std::to_string(value));
+    }
+    void
+    Add(const std::string& key, int value)
+    {
+        AddRaw(key, std::to_string(value));
+    }
+    void
+    Add(const std::string& key, bool value)
+    {
+        AddRaw(key, value ? "true" : "false");
+    }
+    void
+    Add(const std::string& key, double value)
+    {
+        // Shortest exact round-trip form; JSON has no NaN/Inf, so
+        // non-finite values are emitted as null.
+        if (std::isfinite(value)) {
+            AddRaw(key, text::ExactDouble(value));
+        } else {
+            AddRaw(key, "null");
+        }
+    }
+    void
+    Add(const std::string& key, const std::vector<std::int64_t>& values)
+    {
+        std::string array = "[";
+        for (size_t i = 0; i < values.size(); ++i) {
+            if (i > 0) {
+                array += ",";
+            }
+            array += std::to_string(values[i]);
+        }
+        AddRaw(key, array + "]");
+    }
+
+    const std::string&
+    body() const
+    {
+        return body_;
+    }
+
+    /** `{...}` form of the record. */
+    std::string
+    Object() const
+    {
+        return "{" + body_ + "}";
+    }
+
+    static std::string
+    Escape(const std::string& s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+                out += c;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+  private:
+    void
+    AddRaw(const std::string& key, const std::string& raw)
+    {
+        if (!body_.empty()) {
+            body_ += ",";
+        }
+        body_ += "\"" + Escape(key) + "\":" + raw;
+    }
+
+    std::string body_;
+};
+
+}  // namespace tiqec::common
+
+#endif  // TIQEC_COMMON_JSON_H

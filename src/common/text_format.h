@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Locale-independent text formatting/parsing primitives shared by every
+ * serializer (schedule CSV, DEM/noise-profile/circuit artifacts, bench
+ * JSON). Two disciplines live here:
+ *
+ *  - exact doubles: `ExactDouble` emits the shortest decimal form that
+ *    parses back to the identical double (std::to_chars), which is what
+ *    makes serialize -> parse -> re-serialize byte-stable;
+ *  - strict line handling: `StripCr` tolerates CRLF input (git autocrlf
+ *    / Windows checkouts) and `SplitFields` preserves empty fields so a
+ *    short or trailing-empty row is an explicit error, never a silent
+ *    truncation.
+ *
+ * Everything routes through std::to_chars / std::from_chars, which are
+ * locale-independent by specification — snprintf("%g") is not: under a
+ * comma-decimal locale it emits "1,5" and corrupts every downstream
+ * parser.
+ */
+#ifndef TIQEC_COMMON_TEXT_FORMAT_H
+#define TIQEC_COMMON_TEXT_FORMAT_H
+
+#include <array>
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <vector>
+
+namespace tiqec::text {
+
+/** Shortest exact decimal form: parsing it back yields the identical
+ *  double (round-trip guarantee), and the output never depends on the
+ *  process locale. */
+inline std::string
+ExactDouble(double value)
+{
+    std::array<char, 32> buf;
+    const auto [ptr, ec] =
+        std::to_chars(buf.data(), buf.data() + buf.size(), value);
+    if (ec != std::errc()) {
+        throw std::invalid_argument("ExactDouble: value does not format");
+    }
+    return std::string(buf.data(), ptr);
+}
+
+/** Parses a double written by `ExactDouble` (or any plain decimal /
+ *  scientific literal). The whole field must be consumed. */
+inline double
+ParseDouble(std::string_view field, const std::string& context)
+{
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(
+        field.data(), field.data() + field.size(), value);
+    if (ec != std::errc() || ptr != field.data() + field.size()) {
+        throw std::invalid_argument("bad number '" + std::string(field) +
+                                    "' in " + context);
+    }
+    return value;
+}
+
+/** Parses a 32-bit integer; the whole field must be consumed. */
+inline std::int32_t
+ParseInt32(std::string_view field, const std::string& context)
+{
+    std::int32_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        field.data(), field.data() + field.size(), value);
+    if (ec != std::errc() || ptr != field.data() + field.size()) {
+        throw std::invalid_argument("bad integer '" + std::string(field) +
+                                    "' in " + context);
+    }
+    return value;
+}
+
+/** Parses a 64-bit integer; the whole field must be consumed. */
+inline std::int64_t
+ParseInt64(std::string_view field, const std::string& context)
+{
+    std::int64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        field.data(), field.data() + field.size(), value);
+    if (ec != std::errc() || ptr != field.data() + field.size()) {
+        throw std::invalid_argument("bad integer '" + std::string(field) +
+                                    "' in " + context);
+    }
+    return value;
+}
+
+/** Drops one trailing '\r' (CRLF input read by LF-splitting getline). */
+inline void
+StripCr(std::string& line)
+{
+    if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+    }
+}
+
+/**
+ * Splits on `delim`, preserving empty fields — "a,b," yields
+ * {"a","b",""} where a getline loop would silently drop the trailing
+ * empty field and turn a malformed row into a miscounted one.
+ */
+inline std::vector<std::string>
+SplitFields(const std::string& line, char delim)
+{
+    std::vector<std::string> fields;
+    size_t begin = 0;
+    for (;;) {
+        const size_t end = line.find(delim, begin);
+        if (end == std::string::npos) {
+            fields.emplace_back(line.substr(begin));
+            return fields;
+        }
+        fields.emplace_back(line.substr(begin, end - begin));
+        begin = end + 1;
+    }
+}
+
+}  // namespace tiqec::text
+
+#endif  // TIQEC_COMMON_TEXT_FORMAT_H

@@ -2,37 +2,22 @@
 
 #include <algorithm>
 #include <array>
-#include <charconv>
-#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
-#include <system_error>
 #include <vector>
+
+#include "common/text_format.h"
 
 namespace tiqec::compiler {
 
 namespace {
 
 constexpr char kCsvHeader[] =
-    "index,pass,kind,ion0,ion1,node,segment,start_us,duration_us,chain,nbar";
-
-/** Shortest exact decimal form: parsing it back yields the identical
- *  double, which is what makes the CSV byte-stable under round-trips
- *  (the old `operator<<` default of 6 significant digits silently
- *  truncated timestamps). */
-std::string
-ExactDouble(double value)
-{
-    std::array<char, 32> buf;
-    const auto [ptr, ec] =
-        std::to_chars(buf.data(), buf.data() + buf.size(), value);
-    if (ec != std::errc()) {
-        throw std::invalid_argument("ExactDouble: value does not format");
-    }
-    return std::string(buf.data(), ptr);
-}
+    "index,pass,kind,ion0,ion1,node,segment,start_us,duration_us,chain,"
+    "nbar,source_gate";
+constexpr size_t kNumFields = 12;
 
 constexpr std::array<qccd::OpKind, 10> kAllOpKinds = {
     qccd::OpKind::kMs,           qccd::OpKind::kRotation,
@@ -57,27 +42,13 @@ OpKindFromName(const std::string& name, const std::string& line)
 std::int32_t
 ParseInt(const std::string& field, const std::string& line)
 {
-    std::int32_t value = 0;
-    const auto [ptr, ec] = std::from_chars(
-        field.data(), field.data() + field.size(), value);
-    if (ec != std::errc() || ptr != field.data() + field.size()) {
-        throw std::invalid_argument("ParseScheduleCsv: bad integer '" +
-                                    field + "' in line: " + line);
-    }
-    return value;
+    return text::ParseInt32(field, "line: " + line);
 }
 
 double
 ParseDouble(const std::string& field, const std::string& line)
 {
-    double value = 0.0;
-    const auto [ptr, ec] = std::from_chars(
-        field.data(), field.data() + field.size(), value);
-    if (ec != std::errc() || ptr != field.data() + field.size()) {
-        throw std::invalid_argument("ParseScheduleCsv: bad number '" +
-                                    field + "' in line: " + line);
-    }
-    return value;
+    return text::ParseDouble(field, "line: " + line);
 }
 
 }  // namespace
@@ -91,9 +62,10 @@ WriteScheduleCsv(const Schedule& schedule, std::ostream& os)
         os << i << ',' << t.op.pass << ','
            << qccd::OpKindName(t.op.kind) << ',' << t.op.ion0.value << ','
            << t.op.ion1.value << ',' << t.op.node.value << ','
-           << t.op.segment.value << ',' << ExactDouble(t.start) << ','
-           << ExactDouble(t.duration) << ',' << t.chain_size << ','
-           << ExactDouble(t.nbar) << '\n';
+           << t.op.segment.value << ',' << text::ExactDouble(t.start) << ','
+           << text::ExactDouble(t.duration) << ',' << t.chain_size << ','
+           << text::ExactDouble(t.nbar) << ',' << t.op.source_gate.value
+           << '\n';
     }
 }
 
@@ -109,25 +81,35 @@ Schedule
 ParseScheduleCsv(std::istream& is)
 {
     std::string line;
-    if (!std::getline(is, line) || line != kCsvHeader) {
+    if (!std::getline(is, line)) {
+        throw std::invalid_argument("ParseScheduleCsv: empty input");
+    }
+    // CRLF input (git autocrlf / Windows checkout) reaches us with a
+    // trailing '\r' on every line; strip it before the header compare
+    // and before the last field of each row, or the header check fails
+    // and the trailing nbar field parses as corrupt.
+    text::StripCr(line);
+    if (line != kCsvHeader) {
         throw std::invalid_argument(
             "ParseScheduleCsv: missing or unexpected header: " + line);
     }
     Schedule schedule;
     std::int32_t max_pass = -1;
     while (std::getline(is, line)) {
+        text::StripCr(line);
         if (line.empty()) {
             continue;
         }
-        std::vector<std::string> fields;
-        std::string field;
-        std::istringstream ls(line);
-        while (std::getline(ls, field, ',')) {
-            fields.push_back(field);
-        }
-        if (fields.size() != 11) {
+        // SplitFields preserves empty fields, so a row ending in ',' is
+        // reported as a field-count error rather than silently losing
+        // its trailing field the way a getline(',') loop does.
+        const std::vector<std::string> fields =
+            text::SplitFields(line, ',');
+        if (fields.size() != kNumFields) {
             throw std::invalid_argument(
-                "ParseScheduleCsv: expected 11 fields in line: " + line);
+                "ParseScheduleCsv: expected " +
+                std::to_string(kNumFields) + " fields, got " +
+                std::to_string(fields.size()) + " in line: " + line);
         }
         const std::int32_t index = ParseInt(fields[0], line);
         if (index != static_cast<std::int32_t>(schedule.ops.size())) {
@@ -145,6 +127,7 @@ ParseScheduleCsv(std::istream& is)
         t.duration = ParseDouble(fields[8], line);
         t.chain_size = ParseInt(fields[9], line);
         t.nbar = ParseDouble(fields[10], line);
+        t.op.source_gate = GateId(ParseInt(fields[11], line));
         max_pass = std::max(max_pass, t.op.pass);
         schedule.ops.push_back(t);
     }

@@ -23,7 +23,7 @@ namespace tiqec::compiler {
 
 /**
  * Writes one row per operation:
- * `index,pass,kind,ion0,ion1,node,segment,start_us,duration_us,chain,nbar`.
+ * `index,pass,kind,ion0,ion1,node,segment,start_us,duration_us,chain,nbar,source_gate`.
  * (`duration_us` rather than the derived end time: the stored field
  * round-trips exactly, where `end - start` need not in floating point.)
  */
@@ -36,7 +36,10 @@ std::string ScheduleCsv(const Schedule& schedule);
  * Parses the `WriteScheduleCsv` format back into a schedule. Aggregate
  * stats (makespan, movement ops/time) are recomputed from the parsed
  * ops and `num_passes` from the pass column; the QEC-IR `source_gate`
- * link is not part of the format and parses as invalid.
+ * link round-trips via the last column, so a parsed schedule can be
+ * re-annotated (the artifact store depends on this). CRLF input is
+ * accepted; short rows and rows with a trailing empty field are
+ * rejected explicitly.
  *
  * @throws std::invalid_argument on a malformed header, row, field, or
  *   unknown op kind (the offending line is quoted).

@@ -12,6 +12,8 @@
 #include "common/worker_pool.h"
 #include "decoder/union_find_decoder.h"
 #include "sim/parallel_sampler.h"
+#include "store/artifact_store.h"
+#include "store/keys.h"
 
 namespace tiqec::core {
 
@@ -118,6 +120,19 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
     const size_t n = candidates.size();
     std::vector<SweepOutcome> outcomes(n);
 
+    // Per-run work accounting. Stage executions are counted at the
+    // compute sites (a cache or store hit performs none); store probe
+    // outcomes come from diffing the store's monotonic counters around
+    // the run.
+    last_run_stats_ = SweepRunStats{};
+    std::atomic<std::int64_t> num_compiles{0};
+    std::atomic<std::int64_t> num_annotates{0};
+    std::atomic<std::int64_t> num_sim_builds{0};
+    const store::ArtifactStore* astore = options_.store.get();
+    const store::ArtifactStore::Counters store_before =
+        astore != nullptr ? astore->counters()
+                          : store::ArtifactStore::Counters{};
+
     // Reject malformed candidates up front; everything else flows through
     // the staged cache. `invalid[i]` short-circuits the later phases.
     std::vector<std::string> invalid(n);
@@ -133,7 +148,11 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         }
     }
 
-    // ---- Stage 1: compile once per unique key, pool-parallel.
+    // ---- Stage 1: compile once per unique key, pool-parallel. With a
+    // store attached, each unique compile probes the store first: a hit
+    // skips the compiler entirely, a corrupt artifact isolates the
+    // candidate with the store's diagnostic (exactly like a compile
+    // error), and a miss compiles and persists the successful bundle.
     std::map<CompileKey, std::shared_ptr<CompileArtifacts>> compile_cache;
     for (size_t i = 0; i < n; ++i) {
         if (invalid[i].empty()) {
@@ -141,6 +160,10 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                                       std::make_shared<CompileArtifacts>());
         }
     }
+    // Content-addressed store keys, resolved once per unique compile
+    // (CodeFingerprint serialises the whole code; no need to redo that
+    // in the noise/sim stages).
+    std::map<CompileKey, store::StoreKey> store_keys;
     {
         std::vector<std::pair<const CompileKey*, CompileArtifacts*>> tasks;
         tasks.reserve(compile_cache.size());
@@ -151,17 +174,47 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                                      &candidates[i]);
             }
         }
+        if (astore != nullptr) {
+            for (const auto& [key, candidate] : exemplar) {
+                store_keys.try_emplace(
+                    key, store::CompileStoreKey(
+                             *candidate->code, candidate->arch,
+                             candidate->compile_rounds,
+                             candidate->device.get()));
+            }
+        }
         for (auto& [key, arts] : compile_cache) {
             tasks.emplace_back(&key, arts.get());
         }
-        ParallelForIndex(threads, static_cast<std::int64_t>(tasks.size()),
-                         [&](std::int64_t t) {
-                             const SweepCandidate& c =
-                                 *exemplar.at(*tasks[t].first);
-                             *tasks[t].second = CompileCandidate(
-                                 *c.code, c.arch, c.compile_rounds,
-                                 c.device.get());
-                         });
+        ParallelForIndex(
+            threads, static_cast<std::int64_t>(tasks.size()),
+            [&](std::int64_t t) {
+                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                CompileArtifacts& arts = *tasks[t].second;
+                if (astore != nullptr) {
+                    const store::StoreKey& skey =
+                        store_keys.at(*tasks[t].first);
+                    std::string err;
+                    const store::LoadStatus status = astore->LoadCompile(
+                        skey, *c.code, c.arch, c.compile_rounds,
+                        c.device.get(), &arts, &err);
+                    if (status == store::LoadStatus::kHit) {
+                        return;
+                    }
+                    if (status == store::LoadStatus::kCorrupt) {
+                        arts = CompileArtifacts{};
+                        arts.error = err;
+                        return;
+                    }
+                }
+                arts = CompileCandidate(*c.code, c.arch, c.compile_rounds,
+                                        c.device.get());
+                num_compiles.fetch_add(1, std::memory_order_relaxed);
+                if (astore != nullptr && arts.ok) {
+                    astore->StoreCompile(store_keys.at(*tasks[t].first),
+                                         arts);
+                }
+            });
     }
 
     // ---- Stage 1b: artifact validation once per compile key that any
@@ -239,11 +292,32 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             [&](std::int64_t t) {
                 const SweepCandidate& c = *exemplar.at(*tasks[t].first);
                 NoiseEntry& entry = *tasks[t].second;
+                const CompileKey ck = CompileKeyOf(c);
+                const CompileArtifacts& comp = *compile_cache.at(ck);
+                store::StoreKey nkey;
+                if (astore != nullptr) {
+                    nkey = store::NoiseStoreKey(store_keys.at(ck),
+                                                c.arch.gate_improvement);
+                    std::string err;
+                    const store::LoadStatus status = astore->LoadNoise(
+                        nkey, comp.compiled.qec_circuit.size(),
+                        c.code->num_qubits(), &entry.profile, &err);
+                    if (status == store::LoadStatus::kHit) {
+                        entry.ok = true;
+                        return;
+                    }
+                    if (status == store::LoadStatus::kCorrupt) {
+                        entry.error = err;
+                        return;
+                    }
+                }
                 try {
-                    entry.profile = AnnotateCandidate(
-                        *c.code, c.arch,
-                        *compile_cache.at(CompileKeyOf(c)));
+                    entry.profile = AnnotateCandidate(*c.code, c.arch, comp);
+                    num_annotates.fetch_add(1, std::memory_order_relaxed);
                     entry.ok = true;
+                    if (astore != nullptr) {
+                        astore->StoreNoise(nkey, entry.profile);
+                    }
                 } catch (const std::exception& e) {
                     entry.error = e.what();
                 }
@@ -280,16 +354,42 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         ParallelForIndex(
             threads, static_cast<std::int64_t>(tasks.size()),
             [&](std::int64_t t) {
-                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                const SimKey& sk = *tasks[t].first;
+                const SweepCandidate& c = *exemplar.at(sk);
                 SimEntry& entry = *tasks[t].second;
+                const CompileKey ck = CompileKeyOf(c);
+                const NoiseKey nk{ck, c.arch.gate_improvement};
+                store::StoreKey skey;
+                if (astore != nullptr) {
+                    // Rounds/basis/workload come off the (normalised)
+                    // in-memory key so the store shares exactly what
+                    // the in-memory cache shares.
+                    skey = store::SimStoreKey(
+                        store::NoiseStoreKey(store_keys.at(ck),
+                                             c.arch.gate_improvement),
+                        std::get<1>(sk), std::get<2>(sk), std::get<3>(sk));
+                    std::string err;
+                    const store::LoadStatus status =
+                        astore->LoadSim(skey, &entry.arts, &err);
+                    if (status == store::LoadStatus::kHit) {
+                        entry.ok = true;
+                        return;
+                    }
+                    if (status == store::LoadStatus::kCorrupt) {
+                        entry.error = err;
+                        return;
+                    }
+                }
                 try {
-                    const CompileKey ck = CompileKeyOf(c);
-                    const NoiseKey nk{ck, c.arch.gate_improvement};
                     entry.arts = BuildSimArtifacts(
                         *c.code, *compile_cache.at(ck),
                         noise_cache.at(nk).profile, c.arch, RoundsOf(c),
                         c.options.workload_spec());
+                    num_sim_builds.fetch_add(1, std::memory_order_relaxed);
                     entry.ok = true;
+                    if (astore != nullptr) {
+                        astore->StoreSim(skey, entry.arts);
+                    }
                 } catch (const std::exception& e) {
                     entry.error = e.what();
                 }
@@ -542,6 +642,17 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         metrics.dem_undecomposable_probability =
             sim_entry.arts.dem.undecomposable_probability;
         metrics.ok = true;
+    }
+
+    last_run_stats_.compiles = num_compiles.load();
+    last_run_stats_.annotates = num_annotates.load();
+    last_run_stats_.sim_builds = num_sim_builds.load();
+    if (astore != nullptr) {
+        const store::ArtifactStore::Counters after = astore->counters();
+        last_run_stats_.store_hits = after.hits - store_before.hits;
+        last_run_stats_.store_misses = after.misses - store_before.misses;
+        last_run_stats_.store_corrupt = after.corrupt - store_before.corrupt;
+        last_run_stats_.store_writes = after.writes - store_before.writes;
     }
     return outcomes;
 }

@@ -29,6 +29,7 @@
 #ifndef TIQEC_CORE_SWEEP_H
 #define TIQEC_CORE_SWEEP_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,10 @@
 #include "core/toolflow.h"
 #include "qccd/topology.h"
 #include "qec/code.h"
+
+namespace tiqec::store {
+class ArtifactStore;
+}
 
 namespace tiqec::core {
 
@@ -83,6 +88,33 @@ struct SweepRunnerOptions
      *  threads (no-nested-pools rule). Results are identical for every
      *  width. */
     int num_threads = 0;
+    /**
+     * Optional persistent artifact store (store/artifact_store.h),
+     * layered beneath the in-memory cache as read-through/write-through:
+     * a store hit skips the stage entirely (a warm store performs zero
+     * compiles), a miss computes and persists, and a corrupt or
+     * validator-rejected artifact isolates the candidate with the
+     * store's diagnostic exactly like a compile error. Loaded artifacts
+     * are always validated by the store before use, independent of
+     * `EvaluationOptions::validate_artifacts`.
+     */
+    std::shared_ptr<const store::ArtifactStore> store;
+};
+
+/** Work/cache accounting for one `RunDetailed` call (store CI gates and
+ *  the sweep service report these; the warm-store acceptance contract is
+ *  literally `compiles == 0`). */
+struct SweepRunStats
+{
+    /** Stage executions this run (cache + store misses only). */
+    std::int64_t compiles = 0;
+    std::int64_t annotates = 0;
+    std::int64_t sim_builds = 0;
+    /** Store probe outcomes this run (all three artifact levels). */
+    std::int64_t store_hits = 0;
+    std::int64_t store_misses = 0;
+    std::int64_t store_corrupt = 0;
+    std::int64_t store_writes = 0;
 };
 
 class SweepRunner
@@ -97,8 +129,12 @@ class SweepRunner
     /** Metrics-only convenience wrapper over `RunDetailed`. */
     std::vector<Metrics> Run(const std::vector<SweepCandidate>& candidates);
 
+    /** Accounting for the most recent Run/RunDetailed call. */
+    const SweepRunStats& last_run_stats() const { return last_run_stats_; }
+
   private:
     SweepRunnerOptions options_;
+    SweepRunStats last_run_stats_;
 };
 
 }  // namespace tiqec::core

@@ -1,0 +1,268 @@
+#include "store/service.h"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.h"
+#include "common/text_format.h"
+#include "qec/code.h"
+#include "workloads/experiment.h"
+
+namespace tiqec::store {
+
+namespace {
+
+qccd::TopologyKind
+ParseTopology(const std::string& value)
+{
+    if (value == "linear") {
+        return qccd::TopologyKind::kLinear;
+    }
+    if (value == "grid") {
+        return qccd::TopologyKind::kGrid;
+    }
+    if (value == "switch") {
+        return qccd::TopologyKind::kSwitch;
+    }
+    throw std::invalid_argument("unknown topology '" + value +
+                                "' (linear|grid|switch)");
+}
+
+core::WiringKind
+ParseWiring(const std::string& value)
+{
+    if (value == "standard") {
+        return core::WiringKind::kStandard;
+    }
+    if (value == "wise") {
+        return core::WiringKind::kWise;
+    }
+    throw std::invalid_argument("unknown wiring '" + value +
+                                "' (standard|wise)");
+}
+
+sim::MemoryBasis
+ParseBasis(const std::string& value)
+{
+    if (value == "z") {
+        return sim::MemoryBasis::kZ;
+    }
+    if (value == "x") {
+        return sim::MemoryBasis::kX;
+    }
+    throw std::invalid_argument("unknown basis '" + value + "' (z|x)");
+}
+
+bool
+ParseBool01(const std::string& value, const std::string& key)
+{
+    if (value == "0") {
+        return false;
+    }
+    if (value == "1") {
+        return true;
+    }
+    throw std::invalid_argument(key + " must be 0 or 1, got '" + value +
+                                "'");
+}
+
+/** Flattens one outcome into a result line. Every field is a pure
+ *  deterministic function of the request (the engine's bit-identity
+ *  contract), so repeated service runs emit byte-identical lines. */
+std::string
+ResultLine(const std::string& request, const core::SweepOutcome& outcome)
+{
+    common::JsonRecord r;
+    r.Add("label", outcome.label);
+    r.Add("request", request);
+    const core::Metrics& m = outcome.metrics;
+    r.Add("ok", m.ok);
+    if (!m.ok) {
+        r.Add("error", m.error);
+        return r.Object();
+    }
+    r.Add("round_time_us", m.round_time);
+    r.Add("shot_time_us", m.shot_time);
+    r.Add("movement_ops_per_round", m.movement_ops_per_round);
+    r.Add("movement_time_per_round_us", m.movement_time_per_round);
+    r.Add("num_traps_used", m.num_traps_used);
+    r.Add("mean_two_qubit_error", m.mean_two_qubit_error);
+    r.Add("max_two_qubit_error", m.max_two_qubit_error);
+    if (m.shots > 0) {
+        r.Add("shots", m.shots);
+        r.Add("logical_errors", m.logical_errors);
+        r.Add("ler_per_shot", m.ler_per_shot.rate);
+        r.Add("ler_per_round", m.ler_per_round);
+        r.Add("per_observable_errors", m.per_observable_errors);
+        r.Add("dem_hyperedges", m.dem_hyperedges);
+        r.Add("dem_undecomposable", m.dem_undecomposable);
+        r.Add("dem_dropped_probability", m.dem_dropped_probability);
+        r.Add("dem_undecomposable_probability",
+              m.dem_undecomposable_probability);
+    }
+    return r.Object();
+}
+
+}  // namespace
+
+bool
+ParseSweepRequest(const std::string& line, core::SweepCandidate* out,
+                  std::string* error)
+{
+    core::SweepCandidate c;
+    std::string family;
+    int distance = 0;
+    try {
+        std::istringstream tokens(line);
+        std::string token;
+        while (tokens >> token) {
+            const size_t eq = token.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                throw std::invalid_argument("token '" + token +
+                                            "' is not key=value");
+            }
+            const std::string key = token.substr(0, eq);
+            const std::string value = token.substr(eq + 1);
+            if (key == "family") {
+                family = value;
+            } else if (key == "distance") {
+                distance = text::ParseInt32(value, "distance");
+            } else if (key == "topology") {
+                c.arch.topology = ParseTopology(value);
+            } else if (key == "capacity") {
+                c.arch.trap_capacity =
+                    text::ParseInt32(value, "capacity");
+            } else if (key == "wiring") {
+                c.arch.wiring = ParseWiring(value);
+            } else if (key == "improvement") {
+                c.arch.gate_improvement =
+                    text::ParseDouble(value, "improvement");
+            } else if (key == "rounds") {
+                c.options.rounds = text::ParseInt32(value, "rounds");
+            } else if (key == "compile_rounds") {
+                c.compile_rounds =
+                    text::ParseInt32(value, "compile_rounds");
+            } else if (key == "shots") {
+                c.options.max_shots = text::ParseInt64(value, "shots");
+            } else if (key == "target_errors") {
+                c.options.target_logical_errors =
+                    text::ParseInt64(value, "target_errors");
+            } else if (key == "seed") {
+                c.options.seed = static_cast<std::uint64_t>(
+                    text::ParseInt64(value, "seed"));
+            } else if (key == "basis") {
+                c.options.basis = ParseBasis(value);
+            } else if (key == "workload") {
+                c.options.workload = workloads::ParseWorkloadKind(value);
+            } else if (key == "compile_only") {
+                c.options.compile_only = ParseBool01(value, key);
+            } else if (key == "label") {
+                c.label = value;
+            } else {
+                throw std::invalid_argument("unknown key '" + key + "'");
+            }
+        }
+        if (family.empty()) {
+            throw std::invalid_argument("missing required key 'family'");
+        }
+        if (distance <= 0) {
+            throw std::invalid_argument(
+                "missing or non-positive required key 'distance'");
+        }
+        c.code = qec::MakeCode(family, distance);
+    } catch (const std::exception& e) {
+        if (error != nullptr) {
+            *error = e.what();
+        }
+        return false;
+    }
+    if (c.label.empty()) {
+        c.label = family + "_d" + std::to_string(distance);
+    }
+    *out = std::move(c);
+    return true;
+}
+
+SweepServiceResult
+RunSweepService(const std::string& request_text,
+                const SweepServiceOptions& options)
+{
+    SweepServiceResult result;
+
+    // Parse the batch. A malformed line becomes a placeholder result
+    // (ok=false + the parse error) and never reaches the engine.
+    struct Request
+    {
+        std::string line;
+        std::string parse_error;  // empty = parsed
+        size_t candidate_index = 0;
+    };
+    std::vector<Request> requests;
+    std::vector<core::SweepCandidate> candidates;
+    std::istringstream stream(request_text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        text::StripCr(line);
+        const size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') {
+            continue;
+        }
+        Request req;
+        req.line = line;
+        core::SweepCandidate candidate;
+        if (ParseSweepRequest(line, &candidate, &req.parse_error)) {
+            req.candidate_index = candidates.size();
+            candidates.push_back(std::move(candidate));
+        }
+        requests.push_back(std::move(req));
+    }
+    result.num_requests = static_cast<int>(requests.size());
+
+    core::SweepRunnerOptions ropts;
+    ropts.num_threads = options.num_threads;
+    ropts.store = options.store;
+    core::SweepRunner runner(ropts);
+    const std::vector<core::SweepOutcome> outcomes =
+        runner.RunDetailed(candidates);
+    result.stats = runner.last_run_stats();
+
+    result.result_lines.reserve(requests.size());
+    for (const Request& req : requests) {
+        if (!req.parse_error.empty()) {
+            common::JsonRecord r;
+            r.Add("label", "");
+            r.Add("request", req.line);
+            r.Add("ok", false);
+            r.Add("error", "request parse: " + req.parse_error);
+            result.result_lines.push_back(r.Object());
+            continue;
+        }
+        const core::SweepOutcome& outcome =
+            outcomes[req.candidate_index];
+        if (outcome.metrics.ok) {
+            ++result.num_ok;
+        }
+        result.result_lines.push_back(ResultLine(req.line, outcome));
+    }
+
+    common::JsonRecord summary;
+    summary.Add("summary", true);
+    summary.Add("requests", result.num_requests);
+    summary.Add("ok", result.num_ok);
+    summary.Add("compiles", result.stats.compiles);
+    summary.Add("annotates", result.stats.annotates);
+    summary.Add("sim_builds", result.stats.sim_builds);
+    summary.Add("store_hits", result.stats.store_hits);
+    summary.Add("store_misses", result.stats.store_misses);
+    summary.Add("store_corrupt", result.stats.store_corrupt);
+    summary.Add("store_writes", result.stats.store_writes);
+    if (options.store != nullptr) {
+        summary.Add("store_root", options.store->root());
+    }
+    result.summary_line = summary.Object();
+    return result;
+}
+
+}  // namespace tiqec::store

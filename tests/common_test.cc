@@ -1,10 +1,15 @@
 /**
  * @file
  * Unit tests for the common substrate: strong ids, RNG, Hungarian
- * assignment, disjoint sets, and statistics helpers.
+ * assignment, disjoint sets, statistics helpers, locale-independent
+ * text formatting, and the JSON record emitter.
  */
 #include <algorithm>
+#include <clocale>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,8 +17,10 @@
 #include "common/check.h"
 #include "common/disjoint_set.h"
 #include "common/hungarian.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/text_format.h"
 #include "common/types.h"
 
 namespace tiqec {
@@ -327,6 +334,68 @@ TEST(StatsTest, LineFitNoisy)
     EXPECT_NEAR(fit.slope, -0.7, 1e-3);
     EXPECT_NEAR(fit.intercept, 2.0, 1e-2);
     EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(TextFormatTest, ExactDoubleIsShortestRoundTripForm)
+{
+    // Shortest form, not the %.17g blowup: 0.1 prints as "0.1", never
+    // "0.10000000000000001".
+    EXPECT_EQ(text::ExactDouble(0.1), "0.1");
+    EXPECT_EQ(text::ExactDouble(1.0), "1");
+    EXPECT_EQ(text::ExactDouble(-2.5e-7), "-2.5e-07");
+    // And it round-trips bit-exactly through the paired parser.
+    for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, -0.0,
+                           5e-324, 1.7976931348623157e308}) {
+        const double parsed =
+            text::ParseDouble(text::ExactDouble(v), "test");
+        EXPECT_EQ(std::memcmp(&parsed, &v, sizeof v), 0)
+            << text::ExactDouble(v);
+    }
+}
+
+TEST(JsonRecordTest, EmitsShortestDoublesAndNullForNonFinite)
+{
+    common::JsonRecord r;
+    r.Add("p", 0.1);
+    r.Add("one", 1.0);
+    r.Add("nan", std::nan(""));
+    r.Add("n", std::int64_t{42});
+    r.Add("s", "a\"b");
+    EXPECT_EQ(r.Object(), "{\"p\":0.1,\"one\":1,\"nan\":null,"
+                          "\"n\":42,\"s\":\"a\\\"b\"}");
+}
+
+TEST(JsonRecordTest, DoublesAreLocaleIndependent)
+{
+    // Force a comma-decimal LC_NUMERIC if the host has one. The old
+    // snprintf("%.17g") emitter wrote "0,1" under such locales —
+    // invalid JSON that broke the bench-regression gate.
+    const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+    const std::string restore = saved != nullptr ? saved : "C";
+    const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR",
+                                "it_IT.utf8",  "es_ES.utf8",  "nl_NL.utf8"};
+    bool forced = false;
+    for (const char* name : candidates) {
+        if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+            char probe[32];
+            std::snprintf(probe, sizeof probe, "%.1f", 1.5);
+            if (std::string(probe) == "1,5") {
+                forced = true;
+                break;
+            }
+        }
+    }
+    if (!forced) {
+        std::setlocale(LC_NUMERIC, restore.c_str());
+        GTEST_SKIP() << "no comma-decimal locale installed on this host";
+    }
+    common::JsonRecord r;
+    r.Add("p", 0.1);
+    r.Add("half", 1.5);
+    const std::string object = r.Object();
+    std::setlocale(LC_NUMERIC, restore.c_str());
+    EXPECT_EQ(object, "{\"p\":0.1,\"half\":1.5}");
 }
 
 }  // namespace

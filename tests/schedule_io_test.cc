@@ -58,7 +58,7 @@ TEST(ScheduleIoTest, CsvTimesAreConsistent)
         while (std::getline(ls, field, ',')) {
             fields.push_back(field);
         }
-        ASSERT_EQ(fields.size(), 11u) << line;
+        ASSERT_EQ(fields.size(), 12u) << line;
         const double start = std::stod(fields[7]);
         const double duration = std::stod(fields[8]);
         // Shortest-exact formatting: the parsed values are the doubles.
@@ -116,6 +116,7 @@ TEST(ScheduleIoRoundTripTest, ParseInvertsWriteOverASmallSweep)
             EXPECT_EQ(a.duration, b.duration) << i;
             EXPECT_EQ(a.chain_size, b.chain_size) << i;
             EXPECT_EQ(a.nbar, b.nbar) << i;
+            EXPECT_EQ(a.op.source_gate, b.op.source_gate) << i;
         }
         EXPECT_EQ(parsed.makespan, result.schedule.makespan);
         EXPECT_EQ(parsed.num_movement_ops,
@@ -164,19 +165,61 @@ TEST(ScheduleIoRoundTripTest, MalformedInputThrows)
                  std::invalid_argument);
     const std::string header =
         "index,pass,kind,ion0,ion1,node,segment,start_us,duration_us,"
-        "chain,nbar\n";
-    EXPECT_THROW(ParseScheduleCsv(header + "0,0,BOGUS,0,-1,0,-1,0,1,1,0\n"),
-                 std::invalid_argument);
+        "chain,nbar,source_gate\n";
+    EXPECT_THROW(
+        ParseScheduleCsv(header + "0,0,BOGUS,0,-1,0,-1,0,1,1,0,-1\n"),
+        std::invalid_argument);
     EXPECT_THROW(ParseScheduleCsv(header + "0,0,MS,0,-1,0,-1\n"),
                  std::invalid_argument);
-    EXPECT_THROW(ParseScheduleCsv(header + "5,0,MS,0,-1,0,-1,0,1,1,0\n"),
-                 std::invalid_argument);
-    EXPECT_THROW(ParseScheduleCsv(header + "0,0,MS,x,-1,0,-1,0,1,1,0\n"),
-                 std::invalid_argument);
+    EXPECT_THROW(
+        ParseScheduleCsv(header + "5,0,MS,0,-1,0,-1,0,1,1,0,-1\n"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        ParseScheduleCsv(header + "0,0,MS,x,-1,0,-1,0,1,1,0,-1\n"),
+        std::invalid_argument);
     // An empty schedule round-trips to just the header.
     const Schedule empty = ParseScheduleCsv(header);
     EXPECT_TRUE(empty.ops.empty());
     EXPECT_EQ(ScheduleCsv(empty), header);
+}
+
+TEST(ScheduleIoRoundTripTest, CrlfInputParsesIdentically)
+{
+    // Regression: the parser used to compare the header including the
+    // '\r' (failing every CRLF file) and, when the header was forced
+    // through, parsed "0\r" as a corrupt trailing field.
+    const auto result = CompileD3();
+    ASSERT_TRUE(result.ok);
+    const std::string csv = ScheduleCsv(result.schedule);
+    std::string crlf;
+    crlf.reserve(csv.size() + csv.size() / 40);
+    for (const char c : csv) {
+        if (c == '\n') {
+            crlf += '\r';
+        }
+        crlf += c;
+    }
+    const Schedule parsed = ParseScheduleCsv(crlf);
+    // Re-serialising the CRLF parse reproduces the LF original exactly.
+    EXPECT_EQ(ScheduleCsv(parsed), csv);
+}
+
+TEST(ScheduleIoRoundTripTest, TrailingEmptyFieldIsRejected)
+{
+    // Regression: the getline(',') field loop silently dropped a
+    // trailing empty field, so a row truncated after the final comma
+    // parsed as a short row with a wrong nbar instead of erroring.
+    const std::string header =
+        "index,pass,kind,ion0,ion1,node,segment,start_us,duration_us,"
+        "chain,nbar,source_gate\n";
+    // 12 commas -> 13 fields once the trailing empty one is counted.
+    EXPECT_THROW(
+        ParseScheduleCsv(header + "0,0,MS,0,-1,0,-1,0,1,1,0,-1,\n"),
+        std::invalid_argument);
+    // Final field empty (row ends in ','): the empty field must be an
+    // explicit parse error, not silently dropped.
+    EXPECT_THROW(ParseScheduleCsv(header + "0,0,MS,0,-1,0,-1,0,1,1,0,\n"),
+                 std::invalid_argument);
 }
 
 TEST(ScheduleIoTest, SummaryListsEveryPass)

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Batch sweep service driver (DESIGN.md §7.4): request file in, JSONL
+ * results out, JSON run summary on stdout.
+ *
+ *   tiqec_sweep_service <request-file> <output-jsonl> \
+ *       [--store DIR] [--threads N]
+ *
+ * `<output-jsonl>` may be `-` for stdout. With `--store DIR`, artifacts
+ * persist across invocations: the second run of the same request file
+ * against the same store reports `"compiles":0` in its summary and
+ * writes byte-identical result lines — the CI warm-cache gate greps
+ * exactly that. The summary goes to stdout, not into the JSONL file, so
+ * the result files of a cold and a warm run compare byte-for-byte.
+ *
+ * Exit status: 0 when every request line parsed and every candidate
+ * evaluated ok; 2 on usage or I/O errors; 1 when any request failed
+ * (the JSONL still carries every per-request diagnostic).
+ */
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/atomic_file.h"
+#include "common/text_format.h"
+#include "store/artifact_store.h"
+#include "store/service.h"
+
+namespace {
+
+int
+Usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <request-file> <output-jsonl> [--store DIR] "
+                 "[--threads N]\n"
+                 "  <output-jsonl> may be '-' for stdout\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string request_path;
+    std::string output_path;
+    std::string store_dir;
+    int threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+            store_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            try {
+                threads = tiqec::text::ParseInt32(argv[i + 1], "--threads");
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return Usage(argv[0]);
+            }
+            ++i;
+        } else if (request_path.empty()) {
+            request_path = argv[i];
+        } else if (output_path.empty()) {
+            output_path = argv[i];
+        } else {
+            return Usage(argv[0]);
+        }
+    }
+    if (request_path.empty() || output_path.empty()) {
+        return Usage(argv[0]);
+    }
+
+    std::string request_text;
+    std::string error;
+    if (!tiqec::common::ReadFile(request_path, &request_text, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+
+    tiqec::store::SweepServiceOptions options;
+    options.num_threads = threads;
+    if (!store_dir.empty()) {
+        options.store =
+            std::make_shared<tiqec::store::ArtifactStore>(store_dir);
+    }
+
+    const tiqec::store::SweepServiceResult result =
+        tiqec::store::RunSweepService(request_text, options);
+
+    std::string jsonl;
+    for (const std::string& line : result.result_lines) {
+        jsonl += line;
+        jsonl += '\n';
+    }
+    if (output_path == "-") {
+        std::fputs(jsonl.c_str(), stdout);
+    } else if (!tiqec::common::AtomicWriteFile(output_path, jsonl,
+                                               &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    std::printf("%s\n", result.summary_line.c_str());
+    return result.num_ok == result.num_requests ? 0 : 1;
+}
