@@ -1,10 +1,94 @@
 #include "analysis/analysis.h"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <utility>
 
+#include "qec/surgery.h"
+
 namespace tiqec::analysis {
+
+namespace {
+
+/** The `dem.detector_coverage` unreferenced-record check: every tracked
+ *  data qubit's measurement record must feed at least one detector or
+ *  observable, unless the qubit is allowlisted (the surgery seam,
+ *  measured out in the conjugate basis; DESIGN.md §5.3). An unreferenced
+ *  readout means errors on that qubit vanish from the decoding problem
+ *  entirely. */
+void
+CheckUnreferencedRecords(const sim::NoisyCircuit& circuit,
+                         const SimValidationOptions& options,
+                         std::vector<Diagnostic>& diagnostics)
+{
+    if (options.tracked_data_qubits.empty()) {
+        return;
+    }
+    std::vector<int> record_qubit;
+    record_qubit.reserve(static_cast<size_t>(circuit.num_measurements()));
+    std::vector<char> referenced(
+        static_cast<size_t>(circuit.num_measurements()), 0);
+    for (const sim::SimInstruction& inst : circuit.instructions()) {
+        if (inst.op == sim::SimOp::kMeasure) {
+            record_qubit.push_back(inst.q0);
+        } else if (inst.op == sim::SimOp::kDetector ||
+                   inst.op == sim::SimOp::kObservableInclude) {
+            for (const std::int32_t m : inst.targets) {
+                if (m >= 0 &&
+                    m < static_cast<std::int32_t>(referenced.size())) {
+                    referenced[static_cast<size_t>(m)] = 1;
+                }
+            }
+        }
+    }
+    const auto contains = [](const std::vector<int>& sorted, int q) {
+        return std::binary_search(sorted.begin(), sorted.end(), q);
+    };
+    for (size_t r = 0; r < record_qubit.size(); ++r) {
+        const int q = record_qubit[r];
+        if (referenced[r] || !contains(options.tracked_data_qubits, q) ||
+            contains(options.allowed_unreferenced_qubits, q)) {
+            continue;
+        }
+        std::ostringstream loc;
+        loc << "record " << r << " (qubit " << q << ")";
+        diagnostics.push_back(
+            {Severity::kError, std::string(kRuleDemDetectorCoverage),
+             loc.str(),
+             "data-qubit readout feeds no detector or observable; errors "
+             "on it are invisible to the decoder"});
+    }
+}
+
+}  // namespace
+
+SimValidationOptions
+SimValidationOptionsFor(const qec::StabilizerCode& code,
+                        const workloads::WorkloadSpec& spec)
+{
+    SimValidationOptions options;
+    options.tracked_data_qubits.reserve(code.data_qubits().size());
+    for (const QubitId q : code.data_qubits()) {
+        options.tracked_data_qubits.push_back(q.value);
+    }
+    std::sort(options.tracked_data_qubits.begin(),
+              options.tracked_data_qubits.end());
+    if (spec.kind == workloads::WorkloadKind::kSurgery ||
+        spec.kind == workloads::WorkloadKind::kStability) {
+        const auto* merged = dynamic_cast<const qec::MergedPatchCode*>(&code);
+        if (merged != nullptr) {
+            options.allowed_unreferenced_qubits.reserve(
+                merged->seam_data().size());
+            for (const QubitId q : merged->seam_data()) {
+                options.allowed_unreferenced_qubits.push_back(q.value);
+            }
+            std::sort(options.allowed_unreferenced_qubits.begin(),
+                      options.allowed_unreferenced_qubits.end());
+        }
+    }
+    return options;
+}
 
 std::vector<Diagnostic>
 ValidateCompiledArtifacts(const compiler::CompilationResult& compiled,
@@ -23,9 +107,11 @@ ValidateCompiledArtifacts(const compiler::CompilationResult& compiled,
 
 std::vector<Diagnostic>
 ValidateSimArtifacts(const sim::NoisyCircuit& circuit,
-                     const sim::DetectorErrorModel& dem)
+                     const sim::DetectorErrorModel& dem,
+                     const SimValidationOptions& options)
 {
     std::vector<Diagnostic> diagnostics = ValidateCircuit(circuit);
+    CheckUnreferencedRecords(circuit, options, diagnostics);
     std::vector<Diagnostic> dem_diags = ValidateDem(dem);
     diagnostics.insert(diagnostics.end(),
                       std::make_move_iterator(dem_diags.begin()),

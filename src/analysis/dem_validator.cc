@@ -1,7 +1,9 @@
 #include "analysis/dem_validator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <numeric>
 #include <set>
 #include <sstream>
 #include <string>
@@ -219,6 +221,158 @@ CheckMassConservation(const DetectorErrorModel& dem, Reporter& report)
     }
 }
 
+/** Coverage of the detector set by the error mechanisms: every detector
+ *  must be flippable by some mechanism (a dead detector is a check the
+ *  noise model cannot exercise), and every connected component of the
+ *  detector graph must contain a boundary — a mechanism flipping an odd
+ *  number of its detectors (a bare boundary edge, or an odd-signature
+ *  hyperedge). A boundaryless component can only ever fire detectors in
+ *  pairs, the classic symptom of a detector column accidentally closed
+ *  at both time boundaries. */
+void
+CheckDetectorCoverage(const DetectorErrorModel& dem, Reporter& report)
+{
+    const int nd = dem.num_detectors;
+    if (nd == 0) {
+        return;
+    }
+    std::vector<int> parent(static_cast<size_t>(nd));
+    std::iota(parent.begin(), parent.end(), 0);
+    const auto find = [&parent](int d) {
+        while (parent[static_cast<size_t>(d)] != d) {
+            parent[static_cast<size_t>(d)] =
+                parent[static_cast<size_t>(parent[static_cast<size_t>(d)])];
+            d = parent[static_cast<size_t>(d)];
+        }
+        return d;
+    };
+    const auto unite = [&parent, &find](int a, int b) {
+        a = find(a);
+        b = find(b);
+        if (a != b) {
+            parent[static_cast<size_t>(std::max(a, b))] = std::min(a, b);
+        }
+    };
+    const auto in_range = [nd](int d) { return d >= 0 && d < nd; };
+
+    std::vector<char> touched(static_cast<size_t>(nd), 0);
+    // (detector, odd-signature?) per mechanism; resolved to components
+    // after all unions are in.
+    std::vector<std::pair<int, bool>> mechanism_marks;
+    for (const DemEdge& e : dem.edges) {
+        if (!in_range(e.d0)) {
+            continue;  // reported by dem.detector_range
+        }
+        touched[static_cast<size_t>(e.d0)] = 1;
+        if (e.d1 == DemEdge::kBoundary) {
+            mechanism_marks.emplace_back(e.d0, true);
+        } else if (in_range(e.d1)) {
+            touched[static_cast<size_t>(e.d1)] = 1;
+            unite(e.d0, e.d1);
+            mechanism_marks.emplace_back(e.d0, false);
+        }
+    }
+    for (const DemHyperedge& h : dem.hyperedges) {
+        bool ok = !h.dets.empty();
+        for (const int d : h.dets) {
+            ok = ok && in_range(d);
+        }
+        if (!ok) {
+            continue;  // reported by dem.detector_range
+        }
+        for (const int d : h.dets) {
+            touched[static_cast<size_t>(d)] = 1;
+            unite(h.dets[0], d);
+        }
+        mechanism_marks.emplace_back(h.dets[0], h.dets.size() % 2 != 0);
+    }
+
+    for (int d = 0; d < nd; ++d) {
+        if (!touched[static_cast<size_t>(d)]) {
+            std::ostringstream loc;
+            loc << "detector " << d;
+            report.Report(kRuleDemDetectorCoverage, loc.str(),
+                          "dead detector: no error mechanism can flip it");
+        }
+    }
+
+    std::vector<char> has_boundary(static_cast<size_t>(nd), 0);
+    for (const auto& [d, odd] : mechanism_marks) {
+        if (odd) {
+            has_boundary[static_cast<size_t>(find(d))] = 1;
+        }
+    }
+    std::vector<int> component_size(static_cast<size_t>(nd), 0);
+    for (int d = 0; d < nd; ++d) {
+        if (touched[static_cast<size_t>(d)]) {
+            ++component_size[static_cast<size_t>(find(d))];
+        }
+    }
+    for (int d = 0; d < nd; ++d) {
+        if (component_size[static_cast<size_t>(d)] == 0 ||
+            has_boundary[static_cast<size_t>(d)]) {
+            continue;  // not a component root, or has a boundary
+        }
+        std::ostringstream loc;
+        loc << "detector " << d;
+        std::ostringstream os;
+        os << "connected component of "
+           << component_size[static_cast<size_t>(d)]
+           << " detectors has no boundary mechanism (odd detector "
+              "signature); its detectors can only ever fire in pairs";
+        report.Report(kRuleDemDetectorCoverage, loc.str(), os.str());
+    }
+}
+
+/** Logical-operator accounting: every mechanism's observable mask must
+ *  fit the circuit's observable count, and every observable must be
+ *  acted on by at least one mechanism — an untouched observable means
+ *  its logical operator is decoupled from the noise model, so the
+ *  simulated LER for it is an exact (and vacuous) zero. */
+void
+CheckLogicalOperators(const DetectorErrorModel& dem, Reporter& report)
+{
+    const int no = dem.num_observables;
+    const std::uint32_t valid_mask =
+        no >= 32 ? ~0u : (1u << static_cast<unsigned>(std::max(no, 0))) - 1u;
+    std::vector<int> support(static_cast<size_t>(std::max(no, 0)), 0);
+    const auto account = [&](std::uint32_t obs_mask,
+                             const std::string& location) {
+        if ((obs_mask & ~valid_mask) != 0) {
+            std::ostringstream os;
+            os << "observable mask 0x" << std::hex << obs_mask << std::dec
+               << " has bits beyond the model's " << no << " observables";
+            report.Report(kRuleDemLogicalOperator, location, os.str());
+        }
+        for (int o = 0; o < no; ++o) {
+            if (obs_mask >> o & 1u) {
+                ++support[static_cast<size_t>(o)];
+            }
+        }
+    };
+    for (size_t i = 0; i < dem.edges.size(); ++i) {
+        account(dem.edges[i].obs_mask, EdgeLocation(i));
+    }
+    int last_mechanism = -1;
+    for (size_t i = 0; i < dem.hyperedges.size(); ++i) {
+        if (dem.hyperedges[i].mechanism == last_mechanism) {
+            continue;  // later variant of the same mechanism
+        }
+        last_mechanism = dem.hyperedges[i].mechanism;
+        account(dem.hyperedges[i].obs_mask, HyperedgeLocation(i));
+    }
+    for (int o = 0; o < no; ++o) {
+        if (support[static_cast<size_t>(o)] != 0) {
+            continue;
+        }
+        std::ostringstream loc;
+        loc << "observable " << o;
+        report.Report(kRuleDemLogicalOperator, loc.str(),
+                      "no error mechanism acts on this observable; its "
+                      "logical operator is decoupled from the noise model");
+    }
+}
+
 }  // namespace
 
 std::vector<Diagnostic>
@@ -229,6 +383,8 @@ ValidateDem(const DetectorErrorModel& dem)
     CheckEdges(dem, report);
     CheckHyperedges(dem, report);
     CheckMassConservation(dem, report);
+    CheckDetectorCoverage(dem, report);
+    CheckLogicalOperators(dem, report);
     return diagnostics;
 }
 

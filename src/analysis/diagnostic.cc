@@ -18,7 +18,7 @@ SeverityName(Severity severity)
 std::span<const std::string_view>
 AllRuleIds()
 {
-    static constexpr std::array<std::string_view, 18> kRules = {
+    static constexpr std::array<std::string_view, 21> kRules = {
         kRuleIonOverlap,
         kRuleTrapOverlap,
         kRuleSegmentOverlap,
@@ -37,6 +37,9 @@ AllRuleIds()
         kRuleDemDuplicateEdge,
         kRuleDemHyperedgeEdges,
         kRuleDemMassConservation,
+        kRuleDemDetectorCoverage,
+        kRuleDemLogicalOperator,
+        kRuleDemDistance,
     };
     return kRules;
 }

@@ -71,6 +71,17 @@ inline constexpr std::string_view kRuleDemHyperedgeEdges =
     "dem.hyperedge_edges";
 inline constexpr std::string_view kRuleDemMassConservation =
     "dem.mass_conservation";
+/** Dead detectors, boundaryless components, unreferenced measurement
+ *  records (modulo the surgery open-boundary allowlist). */
+inline constexpr std::string_view kRuleDemDetectorCoverage =
+    "dem.detector_coverage";
+/** Logical-operator accounting: observable bits in range, no observable
+ *  decoupled from every error mechanism. */
+inline constexpr std::string_view kRuleDemLogicalOperator =
+    "dem.logical_operator";
+
+// DistanceCertifier (distance_certifier.h): effective fault distance.
+inline constexpr std::string_view kRuleDemDistance = "dem.distance";
 
 /** Every registered rule-id, grouped by validator. */
 std::span<const std::string_view> AllRuleIds();

@@ -68,15 +68,15 @@ std::string GateKindName(GateKind kind);
 struct Gate
 {
     GateKind kind = GateKind::kH;
-    QubitId q0;
-    QubitId q1;
+    QubitId q0{};
+    QubitId q1{};
     /** Rotation angle in radians (rotations only). */
     double angle = 0.0;
     /**
      * Id of the QEC-level gate this native gate was lowered from;
      * invalid for gates that were not produced by lowering.
      */
-    GateId source;
+    GateId source{};
 
     bool IsTwoQubit() const { return circuit::IsTwoQubit(kind); }
 };

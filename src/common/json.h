@@ -32,7 +32,13 @@ class JsonRecord
     void
     Add(const std::string& key, const std::string& value)
     {
-        AddRaw(key, "\"" + Escape(value) + "\"");
+        // Built up with += (not `"..." + Escape(...)`): the rvalue
+        // operator+ chain trips GCC 12's -Wrestrict false positive
+        // (PR 105651) on every including TU.
+        std::string quoted = "\"";
+        quoted += Escape(value);
+        quoted += "\"";
+        AddRaw(key, quoted);
     }
     void
     Add(const std::string& key, const char* value)
@@ -118,7 +124,10 @@ class JsonRecord
         if (!body_.empty()) {
             body_ += ",";
         }
-        body_ += "\"" + Escape(key) + "\":" + raw;
+        body_ += "\"";
+        body_ += Escape(key);
+        body_ += "\":";
+        body_ += raw;
     }
 
     std::string body_;

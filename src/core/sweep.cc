@@ -128,6 +128,10 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
     std::atomic<std::int64_t> num_compiles{0};
     std::atomic<std::int64_t> num_annotates{0};
     std::atomic<std::int64_t> num_sim_builds{0};
+    std::atomic<std::int64_t> num_validations{0};
+    std::atomic<std::int64_t> num_validation_failures{0};
+    std::atomic<std::int64_t> num_certifies{0};
+    std::atomic<std::int64_t> num_certify_failures{0};
     const store::ArtifactStore* astore = options_.store.get();
     const store::ArtifactStore::Counters store_before =
         astore != nullptr ? astore->counters()
@@ -250,7 +254,10 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                     analysis::ValidateCompiledArtifacts(
                         arts.compiled, arts.graph, arts.timing,
                         c.arch.wiring == WiringKind::kWise);
+                num_validations.fetch_add(1, std::memory_order_relaxed);
                 if (!diags.empty()) {
+                    num_validation_failures.fetch_add(
+                        1, std::memory_order_relaxed);
                     *tasks[t].second = analysis::FormatDiagnostics(
                         analysis::kCompiledSubject, diags);
                 }
@@ -397,9 +404,13 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
     }
 
     // ---- Stage 3b: validate the simulation artifacts once per sim key
-    // any validating candidate references (circuit + DEM rules).
+    // any validating candidate references (circuit + DEM rules, plus the
+    // workload-aware unreferenced-record check). Candidates sharing a
+    // sim key share the code object and workload, so the exemplar's
+    // validation options are the key's options.
     std::map<SimKey, std::string> sim_validation;
     {
+        std::map<SimKey, const SweepCandidate*> exemplar;
         for (size_t i = 0; i < n; ++i) {
             const SweepCandidate& c = candidates[i];
             if (!invalid[i].empty() || c.options.compile_only ||
@@ -417,6 +428,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
             if (sim_cache.at(sk).ok) {
                 sim_validation.try_emplace(sk);
+                exemplar.try_emplace(sk, &c);
             }
         }
         std::vector<std::pair<const SimKey*, std::string*>> tasks;
@@ -427,11 +439,17 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         ParallelForIndex(
             threads, static_cast<std::int64_t>(tasks.size()),
             [&](std::int64_t t) {
+                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
                 const SimEntry& entry = sim_cache.at(*tasks[t].first);
                 const std::vector<analysis::Diagnostic> diags =
-                    analysis::ValidateSimArtifacts(entry.arts.experiment,
-                                                   entry.arts.dem);
+                    analysis::ValidateSimArtifacts(
+                        entry.arts.experiment, entry.arts.dem,
+                        analysis::SimValidationOptionsFor(
+                            *c.code, c.options.workload_spec()));
+                num_validations.fetch_add(1, std::memory_order_relaxed);
                 if (!diags.empty()) {
+                    num_validation_failures.fetch_add(
+                        1, std::memory_order_relaxed);
                     *tasks[t].second = analysis::FormatDiagnostics(
                         analysis::kSimSubject, diags);
                 }
@@ -444,6 +462,64 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         }
         const auto it = sim_validation.find(sk);
         return it != sim_validation.end() && !it->second.empty();
+    };
+
+    // ---- Stage 3c: certify the effective fault distance once per sim
+    // key any certifying candidate references. A sub-distance (or
+    // uncertifiable) result isolates the candidate exactly like a
+    // compile error, byte-identical to the serial Evaluate path.
+    std::map<SimKey, std::string> sim_certification;
+    {
+        std::map<SimKey, const SweepCandidate*> exemplar;
+        for (size_t i = 0; i < n; ++i) {
+            const SweepCandidate& c = candidates[i];
+            if (!invalid[i].empty() || c.options.compile_only ||
+                c.compile_rounds != 1 || !c.options.certify_distance) {
+                continue;
+            }
+            const CompileKey ck = CompileKeyOf(c);
+            if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
+                continue;
+            }
+            const NoiseKey nk{ck, c.arch.gate_improvement};
+            if (!noise_cache.at(nk).ok) {
+                continue;
+            }
+            const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
+            if (sim_cache.at(sk).ok && !sim_invalidated(c, sk)) {
+                sim_certification.try_emplace(sk);
+                exemplar.try_emplace(sk, &c);
+            }
+        }
+        std::vector<std::pair<const SimKey*, std::string*>> tasks;
+        tasks.reserve(sim_certification.size());
+        for (auto& [key, error] : sim_certification) {
+            tasks.emplace_back(&key, &error);
+        }
+        ParallelForIndex(
+            threads, static_cast<std::int64_t>(tasks.size()),
+            [&](std::int64_t t) {
+                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                const SimEntry& entry = sim_cache.at(*tasks[t].first);
+                const std::vector<analysis::Diagnostic> diags =
+                    analysis::CheckDistance(entry.arts.dem,
+                                            c.code->distance());
+                num_certifies.fetch_add(1, std::memory_order_relaxed);
+                if (!diags.empty()) {
+                    num_certify_failures.fetch_add(
+                        1, std::memory_order_relaxed);
+                    *tasks[t].second = analysis::FormatDiagnostics(
+                        analysis::kCertifySubject, diags);
+                }
+            });
+    }
+    const auto certify_failed = [&](const SweepCandidate& c,
+                                    const SimKey& sk) {
+        if (!c.options.certify_distance) {
+            return false;
+        }
+        const auto it = sim_certification.find(sk);
+        return it != sim_certification.end() && !it->second.empty();
     };
 
     // ---- Stage 4: interleave every candidate's Monte-Carlo shards on
@@ -469,7 +545,8 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         }
         const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
         const SimEntry& sim_entry = sim_cache.at(sk);
-        if (!sim_entry.ok || sim_invalidated(c, sk)) {
+        if (!sim_entry.ok || sim_invalidated(c, sk) ||
+            certify_failed(c, sk)) {
             continue;
         }
         auto state = std::make_unique<ShardState>();
@@ -600,6 +677,10 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             metrics.error = sim_validation.at(sk);
             continue;
         }
+        if (certify_failed(c, sk)) {
+            metrics.error = sim_certification.at(sk);
+            continue;
+        }
         if (c.options.max_shots <= 0) {
             // The sampler reports an empty estimate for a non-positive
             // budget (Evaluate parity; sim artifacts are still built,
@@ -647,12 +728,18 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
     last_run_stats_.compiles = num_compiles.load();
     last_run_stats_.annotates = num_annotates.load();
     last_run_stats_.sim_builds = num_sim_builds.load();
+    last_run_stats_.validations = num_validations.load();
+    last_run_stats_.validation_failures = num_validation_failures.load();
+    last_run_stats_.certifies = num_certifies.load();
+    last_run_stats_.certify_failures = num_certify_failures.load();
     if (astore != nullptr) {
         const store::ArtifactStore::Counters after = astore->counters();
         last_run_stats_.store_hits = after.hits - store_before.hits;
         last_run_stats_.store_misses = after.misses - store_before.misses;
         last_run_stats_.store_corrupt = after.corrupt - store_before.corrupt;
         last_run_stats_.store_writes = after.writes - store_before.writes;
+        last_run_stats_.store_validated =
+            after.validated - store_before.validated;
     }
     return outcomes;
 }

@@ -115,6 +115,20 @@ struct SweepRunStats
     std::int64_t store_misses = 0;
     std::int64_t store_corrupt = 0;
     std::int64_t store_writes = 0;
+    /** Validation work this run: artifact-validation stage executions
+     *  (compiled-schedule + sim-artifact level, one per unique cache key
+     *  any validating candidate references) and how many of them
+     *  produced error diagnostics. */
+    std::int64_t validations = 0;
+    std::int64_t validation_failures = 0;
+    /** Distance-certification stage executions (once per sim cache key
+     *  any certifying candidate references) and sub-distance/uncertified
+     *  outcomes among them. */
+    std::int64_t certifies = 0;
+    std::int64_t certify_failures = 0;
+    /** Store loads the store itself re-validated before serving (warm
+     *  runs re-check every load; see store::ArtifactStore). */
+    std::int64_t store_validated = 0;
 };
 
 class SweepRunner

@@ -1,7 +1,11 @@
 #include "core/toolflow.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 
@@ -14,6 +18,38 @@
 #include "sim/parallel_sampler.h"
 
 namespace tiqec::core {
+
+bool
+ParseValidateArtifactsEnv(const char* text, bool build_default)
+{
+    if (text == nullptr) {
+        return build_default;
+    }
+    int parsed = 0;
+    const char* end = text + std::strlen(text);
+    const auto [ptr, ec] = std::from_chars(text, end, parsed);
+    if (ec != std::errc() || ptr != end) {
+        std::fprintf(stderr,
+                     "warning: TIQEC_VALIDATE=\"%s\" is not an integer; "
+                     "keeping the build default (%s)\n",
+                     text, build_default ? "on" : "off");
+        return build_default;
+    }
+    return parsed != 0;
+}
+
+bool
+DefaultValidateArtifacts()
+{
+#ifdef NDEBUG
+    constexpr bool kBuildDefault = false;
+#else
+    constexpr bool kBuildDefault = true;
+#endif
+    static const bool value = ParseValidateArtifactsEnv(
+        std::getenv("TIQEC_VALIDATE"), kBuildDefault);
+    return value;
+}
 
 std::string
 WiringKindName(WiringKind kind)
@@ -216,11 +252,22 @@ Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
             code, arts, profile, arch, rounds, options.workload_spec());
         if (options.validate_artifacts) {
             const std::vector<analysis::Diagnostic> diags =
-                analysis::ValidateSimArtifacts(sim_arts.experiment,
-                                               sim_arts.dem);
+                analysis::ValidateSimArtifacts(
+                    sim_arts.experiment, sim_arts.dem,
+                    analysis::SimValidationOptionsFor(
+                        code, options.workload_spec()));
             if (!diags.empty()) {
                 metrics.error = analysis::FormatDiagnostics(
                     analysis::kSimSubject, diags);
+                return metrics;
+            }
+        }
+        if (options.certify_distance) {
+            const std::vector<analysis::Diagnostic> diags =
+                analysis::CheckDistance(sim_arts.dem, code.distance());
+            if (!diags.empty()) {
+                metrics.error = analysis::FormatDiagnostics(
+                    analysis::kCertifySubject, diags);
                 return metrics;
             }
         }

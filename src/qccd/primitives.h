@@ -76,12 +76,12 @@ std::string OpKindName(OpKind kind);
 struct PrimitiveOp
 {
     OpKind kind = OpKind::kRotation;
-    QubitId ion0;
-    QubitId ion1;
-    NodeId node;
-    SegmentId segment;
+    QubitId ion0{};
+    QubitId ion1{};
+    NodeId node{};
+    SegmentId segment{};
     /** QEC-IR gate this op implements; invalid for movement. */
-    GateId source_gate;
+    GateId source_gate{};
     /** Router pass that emitted the op (barrier group). */
     std::int32_t pass = 0;
 

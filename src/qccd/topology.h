@@ -43,14 +43,14 @@ enum class NodeKind : std::uint8_t {
 
 struct DeviceNode
 {
-    NodeId id;
+    NodeId id{};
     NodeKind kind = NodeKind::kTrap;
     /** Maximum simultaneous ion occupancy. */
     int capacity = 1;
     /** Physical layout position (electrode-pitch units). */
-    Coord coord;
+    Coord coord{};
     /** Incident segments. */
-    std::vector<SegmentId> segments;
+    std::vector<SegmentId> segments{};
 };
 
 struct DeviceSegment

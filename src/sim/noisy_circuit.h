@@ -46,7 +46,7 @@ struct SimInstruction
     double p = 0.0;
     /** Observable index (kObservableInclude) or detector coordinate id. */
     std::int32_t index = 0;
-    std::vector<std::int32_t> targets;
+    std::vector<std::int32_t> targets{};
 };
 
 /** Detector metadata: position in (space, time) for edge decomposition. */

@@ -139,6 +139,7 @@ ArtifactStore::counters() const
     c.misses = misses_.load(std::memory_order_relaxed);
     c.corrupt = corrupt_.load(std::memory_order_relaxed);
     c.writes = writes_.load(std::memory_order_relaxed);
+    c.validated = validated_.load(std::memory_order_relaxed);
     return c;
 }
 
@@ -332,6 +333,7 @@ ArtifactStore::LoadCompile(const StoreKey& key,
 
     // Validate-on-load contract: a loaded bundle passes the same
     // schedule rules a freshly compiled one would, or it is isolated.
+    validated_.fetch_add(1, std::memory_order_relaxed);
     const std::vector<analysis::Diagnostic> diags =
         analysis::ValidateCompiledArtifacts(
             arts->compiled, arts->graph, arts->timing,
@@ -464,6 +466,10 @@ ArtifactStore::LoadSim(const StoreKey& key, core::SimArtifacts* arts,
         return Count(LoadStatus::kCorrupt);
     }
 
+    // Validate-on-load, workload-blind: the store key does not identify
+    // the code/workload pair, so the unreferenced-record check (which
+    // needs it) stays with the sweep's own validation stage.
+    validated_.fetch_add(1, std::memory_order_relaxed);
     const std::vector<analysis::Diagnostic> diags =
         analysis::ValidateSimArtifacts(arts->experiment, arts->dem);
     if (!diags.empty()) {

@@ -104,6 +104,10 @@ class ArtifactStore
         std::int64_t misses = 0;
         std::int64_t corrupt = 0;
         std::int64_t writes = 0;
+        /** Loads that ran the artifact validators before being served
+         *  (the validate-on-load contract; a warm sweep reports these
+         *  as its re-check count). */
+        std::int64_t validated = 0;
     };
     Counters counters() const;
 
@@ -122,6 +126,7 @@ class ArtifactStore
     mutable std::atomic<std::int64_t> misses_{0};
     mutable std::atomic<std::int64_t> corrupt_{0};
     mutable std::atomic<std::int64_t> writes_{0};
+    mutable std::atomic<std::int64_t> validated_{0};
 };
 
 }  // namespace tiqec::store

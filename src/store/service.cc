@@ -158,6 +158,10 @@ ParseSweepRequest(const std::string& line, core::SweepCandidate* out,
                 c.options.workload = workloads::ParseWorkloadKind(value);
             } else if (key == "compile_only") {
                 c.options.compile_only = ParseBool01(value, key);
+            } else if (key == "validate") {
+                c.options.validate_artifacts = ParseBool01(value, key);
+            } else if (key == "certify") {
+                c.options.certify_distance = ParseBool01(value, key);
             } else if (key == "label") {
                 c.label = value;
             } else {
@@ -258,6 +262,11 @@ RunSweepService(const std::string& request_text,
     summary.Add("store_misses", result.stats.store_misses);
     summary.Add("store_corrupt", result.stats.store_corrupt);
     summary.Add("store_writes", result.stats.store_writes);
+    summary.Add("validations", result.stats.validations);
+    summary.Add("validation_failures", result.stats.validation_failures);
+    summary.Add("certifies", result.stats.certifies);
+    summary.Add("certify_failures", result.stats.certify_failures);
+    summary.Add("store_validated", result.stats.store_validated);
     if (options.store != nullptr) {
         summary.Add("store_root", options.store->root());
     }

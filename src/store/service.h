@@ -18,7 +18,9 @@
  * topology (linear|grid|switch), capacity, wiring (standard|wise),
  * improvement, rounds, compile_rounds, shots, target_errors, seed,
  * basis (z|x), workload (memory|stability|surgery), compile_only (0|1),
- * label. Unknown keys are an error. A malformed line isolates that
+ * validate (0|1; artifact validation regardless of build default),
+ * certify (0|1; static distance certification, analysis/
+ * distance_certifier.h), label. Unknown keys are an error. A malformed line isolates that
  * request (its result line carries ok=false and the parse error); the
  * rest of the batch proceeds.
  */

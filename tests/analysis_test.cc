@@ -16,11 +16,13 @@
 #include <gtest/gtest.h>
 
 #include "analysis/analysis.h"
+#include "analysis/distance_certifier.h"
 #include "core/pipeline.h"
 #include "core/sweep.h"
 #include "core/toolflow.h"
 #include "qccd/primitives.h"
 #include "qec/code.h"
+#include "qec/surgery.h"
 
 namespace tiqec::analysis {
 namespace {
@@ -316,6 +318,32 @@ MutationBattery()
         m.hyperedges[0].p *= 0.5;  // mass leak vs recorded diagnostics
         return ValidateDem(m);
     }});
+    battery.push_back({kRuleDemDetectorCoverage, [] {
+        sim::DetectorErrorModel m = Clean().sim.dem;
+        m.num_detectors += 1;  // orphan detector: no mechanism flips it
+        return ValidateDem(m);
+    }});
+    battery.push_back({kRuleDemLogicalOperator, [] {
+        sim::DetectorErrorModel m = Clean().sim.dem;
+        EXPECT_FALSE(m.edges.empty());
+        // Observable action beyond the model's tracked observables.
+        m.edges[0].obs_mask |= 1u << m.num_observables;
+        return ValidateDem(m);
+    }});
+    battery.push_back({kRuleDemDistance, [] {
+        // A parallel boundary edge with flipped observable action gives
+        // the logical operator a weight-2 shortcut through one detector.
+        sim::DetectorErrorModel m = Clean().sim.dem;
+        const auto it = std::find_if(
+            m.edges.begin(), m.edges.end(), [](const sim::DemEdge& e) {
+                return e.d1 == sim::DemEdge::kBoundary;
+            });
+        EXPECT_NE(it, m.edges.end());
+        sim::DemEdge shortcut = *it;
+        shortcut.obs_mask ^= 1u;
+        m.edges.push_back(shortcut);
+        return CheckDistance(m, Clean().code.distance());
+    }});
 
     return battery;
 }
@@ -340,39 +368,124 @@ TEST(AnalysisMutation, EveryRuleFiresOnItsMutation)
     EXPECT_EQ(MutationBattery().size(), AllRuleIds().size());
 }
 
-// Clean artifacts from both compiler pipelines validate cleanly.
-TEST(AnalysisClean, BothPipelinesAtD3AndD5ProduceZeroDiagnostics)
+// Clean artifacts from both compiler pipelines validate cleanly for all
+// three workloads, and the static certifier reports effective distance
+// exactly d for every observable (the PR's acceptance contract).
+TEST(AnalysisClean, BothPipelinesAtD3AndD5ValidateAndCertifyAllWorkloads)
 {
+    struct FamilyCase
+    {
+        const char* family;
+        std::vector<workloads::WorkloadKind> workloads;
+    };
+    const std::vector<FamilyCase> families = {
+        {"rotated", {workloads::WorkloadKind::kMemory}},
+        {"merged_zz",
+         {workloads::WorkloadKind::kStability,
+          workloads::WorkloadKind::kSurgery}},
+    };
     for (const int distance : {3, 5}) {
         for (const bool reference : {false, true}) {
-            SCOPED_TRACE("d=" + std::to_string(distance) +
-                         (reference ? " reference" : " fast"));
-            const qec::RotatedSurfaceCode code(distance);
-            core::ArchitectureConfig arch;
-            core::CompileArtifacts arts;
-            arts.graph = compiler::MakeDeviceFor(code, arch.topology,
-                                                 arch.trap_capacity);
-            compiler::CompilerOptions copts;
-            copts.reference_pipeline = reference;
-            arts.compiled = compiler::CompileParityCheckRounds(
-                code, 1, arts.graph, arts.timing, copts);
-            ASSERT_TRUE(arts.compiled.ok) << arts.compiled.error;
-            arts.ok = true;
+            for (const FamilyCase& fc : families) {
+                SCOPED_TRACE("d=" + std::to_string(distance) +
+                             (reference ? " reference " : " fast ") +
+                             fc.family);
+                const auto code = qec::MakeCode(fc.family, distance);
+                core::ArchitectureConfig arch;
+                core::CompileArtifacts arts;
+                arts.graph = compiler::MakeDeviceFor(
+                    *code, arch.topology, arch.trap_capacity);
+                compiler::CompilerOptions copts;
+                copts.reference_pipeline = reference;
+                arts.compiled = compiler::CompileParityCheckRounds(
+                    *code, 1, arts.graph, arts.timing, copts);
+                ASSERT_TRUE(arts.compiled.ok) << arts.compiled.error;
+                arts.ok = true;
 
-            const auto schedule_diags = ValidateCompiledArtifacts(
-                arts.compiled, arts.graph, arts.timing, /*wise=*/false);
-            EXPECT_TRUE(schedule_diags.empty()) << Join(schedule_diags);
+                const auto schedule_diags = ValidateCompiledArtifacts(
+                    arts.compiled, arts.graph, arts.timing,
+                    /*wise=*/false);
+                EXPECT_TRUE(schedule_diags.empty())
+                    << Join(schedule_diags);
 
-            const auto profile = core::AnnotateCandidate(code, arch, arts);
-            const auto sim = core::BuildSimArtifacts(
-                code, arts, profile, arch, distance,
-                {.kind = workloads::WorkloadKind::kMemory,
-                 .basis = sim::MemoryBasis::kZ});
-            const auto sim_diags =
-                ValidateSimArtifacts(sim.experiment, sim.dem);
-            EXPECT_TRUE(sim_diags.empty()) << Join(sim_diags);
+                const auto profile =
+                    core::AnnotateCandidate(*code, arch, arts);
+                for (const workloads::WorkloadKind kind : fc.workloads) {
+                    SCOPED_TRACE("workload=" +
+                                 std::to_string(static_cast<int>(kind)));
+                    const workloads::WorkloadSpec spec{
+                        .kind = kind, .basis = sim::MemoryBasis::kZ};
+                    const auto sim = core::BuildSimArtifacts(
+                        *code, arts, profile, arch, distance, spec);
+                    const auto sim_diags = ValidateSimArtifacts(
+                        sim.experiment, sim.dem,
+                        SimValidationOptionsFor(*code, spec));
+                    EXPECT_TRUE(sim_diags.empty()) << Join(sim_diags);
+
+                    DistanceCertificate cert;
+                    const auto cert_diags =
+                        CheckDistance(sim.dem, distance, {}, &cert);
+                    EXPECT_TRUE(cert_diags.empty()) << Join(cert_diags);
+                    for (const ObservableDistance& od : cert.observables) {
+                        EXPECT_TRUE(od.found);
+                        EXPECT_TRUE(od.exact);
+                        EXPECT_EQ(od.distance, distance)
+                            << "observable " << od.observable;
+                        EXPECT_EQ(static_cast<int>(od.witness.size()),
+                                  distance);
+                    }
+                }
+            }
         }
     }
+}
+
+// The certifier on a hand-built repetition-chain DEM: boundary - d0 -
+// d1 - d2 - boundary, observable on one boundary edge. Distance is the
+// chain length; a correlated three-detector hyperedge mechanism (the
+// non-graphlike regime) shortcuts it.
+TEST(DistanceCertifier, HandBuiltChainAndHyperedgeShortcut)
+{
+    sim::DetectorErrorModel m;
+    m.num_detectors = 3;
+    m.num_observables = 1;
+    m.edges.push_back({0, sim::DemEdge::kBoundary, 0.01, 1});
+    m.edges.push_back({0, 1, 0.01, 0});
+    m.edges.push_back({1, 2, 0.01, 0});
+    m.edges.push_back({2, sim::DemEdge::kBoundary, 0.01, 0});
+
+    const DistanceCertificate cert = CertifyDistance(m);
+    EXPECT_TRUE(cert.graph_like);
+    ASSERT_EQ(cert.observables.size(), 1u);
+    EXPECT_TRUE(cert.observables[0].found);
+    EXPECT_TRUE(cert.observables[0].exact);
+    EXPECT_EQ(cert.observables[0].distance, 4);
+    EXPECT_EQ(cert.observables[0].witness.size(), 4u);
+    EXPECT_TRUE(CheckDistance(m, 4).empty());
+    EXPECT_TRUE(HasRule(CheckDistance(m, 5), kRuleDemDistance));
+
+    // A correlated mechanism across all three detectors cancels against
+    // {edge 0-1, edge 2-boundary}: a weight-3 undetectable logical
+    // error invisible to the graphlike search.
+    sim::DemHyperedge h;
+    h.dets = {0, 1, 2};
+    h.p = 0.001;
+    h.obs_mask = 1;
+    h.mechanism = 0;
+    m.hyperedges.push_back(h);
+    m.num_hyperedges = 1;
+
+    const DistanceCertificate shortcut = CertifyDistance(m);
+    EXPECT_FALSE(shortcut.graph_like);
+    ASSERT_EQ(shortcut.observables.size(), 1u);
+    EXPECT_TRUE(shortcut.observables[0].found);
+    EXPECT_TRUE(shortcut.observables[0].exact);
+    EXPECT_EQ(shortcut.observables[0].distance, 3);
+    const auto diags = CheckDistance(m, 4);
+    ASSERT_TRUE(HasRule(diags, kRuleDemDistance)) << Join(diags);
+    EXPECT_NE(diags[0].message.find("witness mechanism set"),
+              std::string::npos)
+        << diags[0].message;
 }
 
 // WISE wiring folds cooling into two-qubit gate durations; the duration
@@ -389,14 +502,16 @@ TEST(AnalysisClean, WiseScheduleValidatesWithWiseFlag)
     EXPECT_TRUE(diags.empty()) << Join(diags);
 }
 
-// Toolflow wiring: validation on, clean candidate -> success, and the
-// sweep engine agrees with the serial path shot for shot.
+// Toolflow wiring: validation + certification on, clean candidate ->
+// success, and the sweep engine agrees with the serial path shot for
+// shot.
 TEST(AnalysisWiring, EvaluateAndSweepAcceptCleanCandidateWithValidation)
 {
     const qec::RotatedSurfaceCode code(3);
     core::ArchitectureConfig arch;
     core::EvaluationOptions options;
     options.validate_artifacts = true;
+    options.certify_distance = true;
     options.max_shots = 1 << 12;
     options.target_logical_errors = 8;
 
@@ -413,6 +528,68 @@ TEST(AnalysisWiring, EvaluateAndSweepAcceptCleanCandidateWithValidation)
     ASSERT_TRUE(metrics[0].ok) << metrics[0].error;
     EXPECT_EQ(metrics[0].shots, serial.shots);
     EXPECT_EQ(metrics[0].logical_errors, serial.logical_errors);
+    EXPECT_EQ(runner.last_run_stats().validations, 2);
+    EXPECT_EQ(runner.last_run_stats().validation_failures, 0);
+    EXPECT_EQ(runner.last_run_stats().certifies, 1);
+    EXPECT_EQ(runner.last_run_stats().certify_failures, 0);
+}
+
+// Deleting a seam stabilizer round (surgery with rounds < d) silently
+// lowers the joint-parity observable's temporal distance; the certifier
+// catches it as sub-distance with a witness, identically in the serial
+// path and in the sweep engine at every pool width.
+TEST(AnalysisWiring, SeamRoundDeletionIsCaughtAsSubDistance)
+{
+    const auto code = std::make_shared<qec::MergedPatchCode>(
+        3, qec::SurgeryParity::kZZ);
+    core::ArchitectureConfig arch;
+    core::EvaluationOptions options;
+    options.workload = workloads::WorkloadKind::kSurgery;
+    options.rounds = 2;  // one seam stabilizer round deleted
+    options.certify_distance = true;
+    options.max_shots = 1 << 10;
+    options.target_logical_errors = 8;
+
+    const core::Metrics serial = core::Evaluate(*code, arch, options);
+    EXPECT_FALSE(serial.ok);
+    EXPECT_NE(serial.error.find(kRuleDemDistance), std::string::npos)
+        << serial.error;
+    EXPECT_NE(serial.error.find("witness mechanism set"),
+              std::string::npos)
+        << serial.error;
+
+    for (const int threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        core::SweepCandidate candidate;
+        candidate.code = code;
+        candidate.arch = arch;
+        candidate.options = options;
+        core::SweepRunnerOptions ropts;
+        ropts.num_threads = threads;
+        core::SweepRunner runner(ropts);
+        const auto metrics = runner.Run({candidate});
+        ASSERT_EQ(metrics.size(), 1u);
+        EXPECT_FALSE(metrics[0].ok);
+        EXPECT_EQ(metrics[0].error, serial.error);  // byte-identical
+        EXPECT_EQ(runner.last_run_stats().certifies, 1);
+        EXPECT_EQ(runner.last_run_stats().certify_failures, 1);
+    }
+}
+
+// TIQEC_VALIDATE parsing follows the TIQEC_THREADS discipline: unset
+// keeps the build default, a full integer parses (nonzero = on), and
+// garbage warns and keeps the default.
+TEST(AnalysisWiring, ValidateArtifactsEnvParser)
+{
+    EXPECT_TRUE(core::ParseValidateArtifactsEnv(nullptr, true));
+    EXPECT_FALSE(core::ParseValidateArtifactsEnv(nullptr, false));
+    EXPECT_TRUE(core::ParseValidateArtifactsEnv("1", false));
+    EXPECT_FALSE(core::ParseValidateArtifactsEnv("0", true));
+    EXPECT_TRUE(core::ParseValidateArtifactsEnv("2", false));
+    EXPECT_TRUE(core::ParseValidateArtifactsEnv("abc", true));
+    EXPECT_FALSE(core::ParseValidateArtifactsEnv("abc", false));
+    EXPECT_FALSE(core::ParseValidateArtifactsEnv("", false));
+    EXPECT_FALSE(core::ParseValidateArtifactsEnv("1x", false));
 }
 
 }  // namespace

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Standalone distance certification driver (DESIGN.md §6.5): request
+ * file in (same `key=value` line format as the sweep service), JSONL
+ * certification report out, JSON run summary on stdout.
+ *
+ *   tiqec_certify <request-file> <output-jsonl> \
+ *       [--store DIR] [--reference] [--max-weight W]
+ *
+ * For every request the tool builds the experiment + DEM exactly like
+ * `core::Evaluate` would — with `--store DIR` through the artifact
+ * store's key chain (loading what a previous sweep already built,
+ * computing and persisting on a miss) — then runs the static distance
+ * certifier and reports the per-observable effective distance and
+ * witness. `--reference` compiles fresh through the paper-faithful
+ * reference pipeline instead; it bypasses `--store` because store keys
+ * deliberately do not encode the pipeline choice.
+ *
+ * Exit status: 0 when every request certified at its expected distance;
+ * 2 on usage or I/O errors; 1 otherwise (the JSONL still carries every
+ * per-request diagnostic).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "analysis/distance_certifier.h"
+#include "common/atomic_file.h"
+#include "common/json.h"
+#include "common/text_format.h"
+#include "compiler/compiler.h"
+#include "core/pipeline.h"
+#include "core/toolflow.h"
+#include "store/artifact_store.h"
+#include "store/keys.h"
+#include "store/service.h"
+#include "workloads/experiment.h"
+
+namespace {
+
+int
+Usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <request-file> <output-jsonl> [--store DIR] "
+                 "[--reference] [--max-weight W]\n"
+                 "  <output-jsonl> may be '-' for stdout\n",
+                 argv0);
+    return 2;
+}
+
+struct CertifyConfig
+{
+    std::shared_ptr<const tiqec::store::ArtifactStore> store;
+    bool reference = false;
+    tiqec::analysis::DistanceCertifierOptions certifier;
+};
+
+/** Builds the request's sim artifacts the same way the sweep engine
+ *  does: through the store's key chain when a store is configured (fast
+ *  pipeline only), fresh otherwise. Returns false with a message when
+ *  any stage fails or a stored artifact is corrupt. */
+bool
+BuildArtifacts(const tiqec::core::SweepCandidate& c,
+               const CertifyConfig& config, int rounds,
+               tiqec::core::SimArtifacts* sim, std::string* error)
+{
+    using namespace tiqec;
+    const qec::StabilizerCode& code = *c.code;
+
+    core::CompileArtifacts arts;
+    store::StoreKey compile_key;
+    if (config.reference) {
+        // CompileCandidate does not expose the reference pipeline;
+        // replicate it here with `reference_pipeline = true`.
+        arts.graph = compiler::MakeDeviceFor(code, c.arch.topology,
+                                             c.arch.trap_capacity);
+        compiler::CompilerOptions copts;
+        copts.wise = c.arch.wiring == core::WiringKind::kWise;
+        if (copts.wise) {
+            copts.cooling_per_two_qubit_gate =
+                arts.timing.cooling_per_two_qubit_gate;
+        }
+        copts.reference_pipeline = true;
+        arts.compiled = compiler::CompileParityCheckRounds(
+            code, 1, arts.graph, arts.timing, copts);
+        arts.ok = arts.compiled.ok;
+        arts.error = arts.compiled.error;
+    } else if (config.store != nullptr) {
+        compile_key = store::CompileStoreKey(code, c.arch, 1, nullptr);
+        std::string err;
+        const store::LoadStatus status = config.store->LoadCompile(
+            compile_key, code, c.arch, 1, nullptr, &arts, &err);
+        if (status == store::LoadStatus::kCorrupt) {
+            *error = err;
+            return false;
+        }
+        if (status == store::LoadStatus::kMiss) {
+            arts = core::CompileCandidate(code, c.arch);
+            if (arts.ok) {
+                config.store->StoreCompile(compile_key, arts);
+            }
+        }
+    } else {
+        arts = core::CompileCandidate(code, c.arch);
+    }
+    if (!arts.ok) {
+        *error = arts.error;
+        return false;
+    }
+
+    noise::RoundNoiseProfile profile;
+    store::StoreKey noise_key;
+    bool have_profile = false;
+    if (!config.reference && config.store != nullptr) {
+        noise_key = store::NoiseStoreKey(compile_key,
+                                         c.arch.gate_improvement);
+        std::string err;
+        const store::LoadStatus status = config.store->LoadNoise(
+            noise_key, arts.compiled.qec_circuit.size(),
+            code.num_qubits(), &profile, &err);
+        if (status == store::LoadStatus::kCorrupt) {
+            *error = err;
+            return false;
+        }
+        have_profile = status == store::LoadStatus::kHit;
+    }
+    if (!have_profile) {
+        profile = core::AnnotateCandidate(code, c.arch, arts);
+        if (!config.reference && config.store != nullptr) {
+            config.store->StoreNoise(noise_key, profile);
+        }
+    }
+
+    if (!config.reference && config.store != nullptr) {
+        // Same basis normalisation as the sweep runner's sim key: only
+        // the memory workload reads the basis.
+        const int basis =
+            c.options.workload == workloads::WorkloadKind::kMemory
+                ? static_cast<int>(c.options.basis)
+                : 0;
+        const store::StoreKey sim_key = store::SimStoreKey(
+            noise_key, rounds, basis,
+            static_cast<int>(c.options.workload));
+        std::string err;
+        const store::LoadStatus status =
+            config.store->LoadSim(sim_key, sim, &err);
+        if (status == store::LoadStatus::kCorrupt) {
+            *error = err;
+            return false;
+        }
+        if (status == store::LoadStatus::kHit) {
+            return true;
+        }
+        *sim = core::BuildSimArtifacts(code, arts, profile, c.arch,
+                                       rounds, c.options.workload_spec());
+        config.store->StoreSim(sim_key, *sim);
+        return true;
+    }
+    *sim = core::BuildSimArtifacts(code, arts, profile, c.arch, rounds,
+                                   c.options.workload_spec());
+    return true;
+}
+
+/** Certifies one request into a report line; returns whether it
+ *  certified clean at the expected distance. */
+bool
+CertifyRequest(const std::string& line,
+               const tiqec::core::SweepCandidate& c,
+               const CertifyConfig& config, std::string* report_line)
+{
+    using namespace tiqec;
+    common::JsonRecord r;
+    r.Add("label", c.label);
+    r.Add("request", line);
+    r.Add("pipeline", config.reference ? "reference" : "fast");
+
+    const int expected = c.code->distance();
+    const int rounds =
+        c.options.rounds > 0 ? c.options.rounds : expected;
+    core::SimArtifacts sim;
+    std::string error;
+    bool built = false;
+    try {
+        built = BuildArtifacts(c, config, rounds, &sim, &error);
+    } catch (const std::exception& e) {
+        error = e.what();
+    }
+    if (!built) {
+        r.Add("ok", false);
+        r.Add("error", error);
+        *report_line = r.Object();
+        return false;
+    }
+
+    analysis::DistanceCertificate cert;
+    const std::vector<analysis::Diagnostic> diags = analysis::CheckDistance(
+        sim.dem, expected, config.certifier, &cert);
+    r.Add("ok", true);
+    r.Add("expected_distance", expected);
+    r.Add("rounds", rounds);
+    r.Add("num_detectors", sim.dem.num_detectors);
+    r.Add("num_observables", sim.dem.num_observables);
+    r.Add("num_mechanisms",
+          static_cast<std::int64_t>(cert.mechanisms.size()));
+    r.Add("dem_undecomposable", sim.dem.num_undecomposable);
+    r.Add("graph_like", cert.graph_like);
+    r.Add("searched_weight", cert.searched_weight);
+
+    std::vector<std::int64_t> distances;
+    std::vector<std::int64_t> exact;
+    std::int64_t effective = -1;
+    const analysis::ObservableDistance* min_obs = nullptr;
+    for (const analysis::ObservableDistance& od : cert.observables) {
+        distances.push_back(od.found ? od.distance : -1);
+        exact.push_back(od.exact ? 1 : 0);
+        if (od.found && (effective < 0 || od.distance < effective)) {
+            effective = od.distance;
+            min_obs = &od;
+        }
+    }
+    r.Add("per_observable_distance", distances);
+    r.Add("per_observable_exact", exact);
+    r.Add("effective_distance", effective);
+    if (min_obs != nullptr) {
+        r.Add("witness", analysis::FormatWitness(cert, min_obs->witness));
+    }
+    const bool certified = diags.empty();
+    r.Add("certified", certified);
+    if (!certified) {
+        r.Add("error", analysis::FormatDiagnostics(
+                           analysis::kCertifySubject, diags));
+    }
+    *report_line = r.Object();
+    return certified;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string request_path;
+    std::string output_path;
+    std::string store_dir;
+    CertifyConfig config;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+            store_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--reference") == 0) {
+            config.reference = true;
+        } else if (std::strcmp(argv[i], "--max-weight") == 0 &&
+                   i + 1 < argc) {
+            try {
+                config.certifier.max_search_weight =
+                    tiqec::text::ParseInt32(argv[i + 1], "--max-weight");
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return Usage(argv[0]);
+            }
+            ++i;
+        } else if (request_path.empty()) {
+            request_path = argv[i];
+        } else if (output_path.empty()) {
+            output_path = argv[i];
+        } else {
+            return Usage(argv[0]);
+        }
+    }
+    if (request_path.empty() || output_path.empty()) {
+        return Usage(argv[0]);
+    }
+
+    std::string request_text;
+    std::string error;
+    if (!tiqec::common::ReadFile(request_path, &request_text, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    if (!store_dir.empty() && !config.reference) {
+        config.store =
+            std::make_shared<tiqec::store::ArtifactStore>(store_dir);
+    }
+
+    int num_requests = 0;
+    int num_certified = 0;
+    std::string jsonl;
+    std::istringstream stream(request_text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        tiqec::text::StripCr(line);
+        const size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') {
+            continue;
+        }
+        ++num_requests;
+        tiqec::core::SweepCandidate candidate;
+        std::string parse_error;
+        std::string report;
+        if (!tiqec::store::ParseSweepRequest(line, &candidate,
+                                             &parse_error)) {
+            tiqec::common::JsonRecord r;
+            r.Add("label", "");
+            r.Add("request", line);
+            r.Add("ok", false);
+            r.Add("error", "request parse: " + parse_error);
+            report = r.Object();
+        } else if (CertifyRequest(line, candidate, config, &report)) {
+            ++num_certified;
+        }
+        jsonl += report;
+        jsonl += '\n';
+    }
+
+    if (output_path == "-") {
+        std::fputs(jsonl.c_str(), stdout);
+    } else if (!tiqec::common::AtomicWriteFile(output_path, jsonl,
+                                               &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+
+    tiqec::common::JsonRecord summary;
+    summary.Add("summary", true);
+    summary.Add("requests", num_requests);
+    summary.Add("certified", num_certified);
+    summary.Add("pipeline", config.reference ? "reference" : "fast");
+    if (config.store != nullptr) {
+        const tiqec::store::ArtifactStore::Counters counters =
+            config.store->counters();
+        summary.Add("store_hits", counters.hits);
+        summary.Add("store_misses", counters.misses);
+        summary.Add("store_corrupt", counters.corrupt);
+        summary.Add("store_writes", counters.writes);
+        summary.Add("store_validated", counters.validated);
+        summary.Add("store_root", config.store->root());
+    }
+    std::printf("%s\n", summary.Object().c_str());
+    return num_certified == num_requests ? 0 : 1;
+}
