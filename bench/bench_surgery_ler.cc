@@ -115,7 +115,7 @@ RowRecord(const Row& row, const core::Metrics& m)
     bench::JsonRecord r;
     r.Add("label", row.candidate.label);
     r.Add("workload",
-          workloads::WorkloadKindName(row.candidate.options.workload));
+          workloads::WorkloadKindName(row.candidate.options.workload.kind));
     r.Add("distance", row.distance);
     r.Add("gate_improvement", row.candidate.arch.gate_improvement);
     r.Add("rounds", row.candidate.options.rounds);

@@ -74,6 +74,17 @@ SimValidationOptionsFor(const qec::StabilizerCode& code,
     }
     std::sort(options.tracked_data_qubits.begin(),
               options.tracked_data_qubits.end());
+    if (spec.kind == workloads::WorkloadKind::kProgram &&
+        spec.program != nullptr) {
+        // The program executor builds over the fabric strip, not the
+        // primary phase code: track the whole strip and allowlist every
+        // seam column (a seam read out at a split whose records a later
+        // phase never telescopes stays legitimately unreferenced).
+        options.tracked_data_qubits = spec.program->fabric_data_qubits();
+        options.allowed_unreferenced_qubits =
+            spec.program->seam_data_qubits();
+        return options;
+    }
     if (spec.kind == workloads::WorkloadKind::kSurgery ||
         spec.kind == workloads::WorkloadKind::kStability) {
         const auto* merged = dynamic_cast<const qec::MergedPatchCode*>(&code);
@@ -125,6 +136,19 @@ ValidateSimArtifacts(const sim::NoisyCircuit& circuit,
         diagnostics.push_back({Severity::kError,
                                std::string(kRuleDemDetectorRange), "dem",
                                os.str()});
+    }
+    return diagnostics;
+}
+
+std::vector<Diagnostic>
+ValidateProgram(const workloads::LogicalProgram& program, int distance)
+{
+    std::vector<Diagnostic> diagnostics;
+    for (workloads::ProgramIssue& issue :
+         workloads::CheckProgram(program, distance)) {
+        diagnostics.push_back({Severity::kError, std::move(issue.rule),
+                               std::move(issue.location),
+                               std::move(issue.message)});
     }
     return diagnostics;
 }

@@ -25,6 +25,7 @@
 #include "sim/dem.h"
 #include "sim/noisy_circuit.h"
 #include "workloads/experiment.h"
+#include "workloads/program.h"
 
 namespace tiqec::analysis {
 
@@ -68,6 +69,14 @@ SimValidationOptions SimValidationOptionsFor(
 std::vector<Diagnostic> ValidateSimArtifacts(
     const sim::NoisyCircuit& circuit, const sim::DetectorErrorModel& dem,
     const SimValidationOptions& options = {});
+
+/** Runs the program.* structural rules over a logical program (patch
+ *  table, liveness, merge adjacency/bracketing, observable references,
+ *  determinism under ideal stabilizer flow, and — when `distance >= 0`
+ *  — distance legality), adapting `workloads::CheckProgram` findings
+ *  into registered diagnostics. */
+std::vector<Diagnostic> ValidateProgram(
+    const workloads::LogicalProgram& program, int distance = -1);
 
 }  // namespace tiqec::analysis
 

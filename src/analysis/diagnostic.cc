@@ -18,7 +18,7 @@ SeverityName(Severity severity)
 std::span<const std::string_view>
 AllRuleIds()
 {
-    static constexpr std::array<std::string_view, 21> kRules = {
+    static constexpr std::array<std::string_view, 28> kRules = {
         kRuleIonOverlap,
         kRuleTrapOverlap,
         kRuleSegmentOverlap,
@@ -40,6 +40,13 @@ AllRuleIds()
         kRuleDemDetectorCoverage,
         kRuleDemLogicalOperator,
         kRuleDemDistance,
+        kRuleProgramPatch,
+        kRuleProgramLiveness,
+        kRuleProgramAdjacency,
+        kRuleProgramMergeState,
+        kRuleProgramObservable,
+        kRuleProgramBasis,
+        kRuleProgramDistance,
     };
     return kRules;
 }

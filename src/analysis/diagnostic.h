@@ -83,6 +83,21 @@ inline constexpr std::string_view kRuleDemLogicalOperator =
 // DistanceCertifier (distance_certifier.h): effective fault distance.
 inline constexpr std::string_view kRuleDemDistance = "dem.distance";
 
+// Program validator (workloads/program.h structural checks, adapted by
+// analysis::ValidateProgram). The spellings are duplicated in
+// workloads/program.cc — workloads cannot depend on analysis — and the
+// mutation battery pins the two against each other.
+inline constexpr std::string_view kRuleProgramPatch = "program.patch";
+inline constexpr std::string_view kRuleProgramLiveness = "program.liveness";
+inline constexpr std::string_view kRuleProgramAdjacency =
+    "program.adjacency";
+inline constexpr std::string_view kRuleProgramMergeState =
+    "program.merge_state";
+inline constexpr std::string_view kRuleProgramObservable =
+    "program.observable";
+inline constexpr std::string_view kRuleProgramBasis = "program.basis";
+inline constexpr std::string_view kRuleProgramDistance = "program.distance";
+
 /** Every registered rule-id, grouped by validator. */
 std::span<const std::string_view> AllRuleIds();
 

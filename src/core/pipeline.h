@@ -29,6 +29,7 @@
 #include "sim/memory_experiment.h"
 #include "sim/noisy_circuit.h"
 #include "workloads/experiment.h"
+#include "workloads/program.h"
 
 namespace tiqec::core {
 
@@ -102,6 +103,46 @@ void FillCompileMetrics(const qec::StabilizerCode& code,
                         const CompileArtifacts& arts,
                         const noise::RoundNoiseProfile* profile,
                         int rounds, Metrics& metrics);
+
+/**
+ * Candidate-shape check shared verbatim by `Evaluate` and the sweep
+ * engine (the serial-vs-sweep byte-identical failure-text contract):
+ * returns a non-empty error for a program-workload spec with no bound
+ * program, or whose primary phase code is not `code`; empty otherwise.
+ */
+std::string CheckProgramCandidate(const qec::StabilizerCode& code,
+                                  const workloads::WorkloadSpec& spec);
+
+/**
+ * The distinct codes whose one-round compilations a candidate needs:
+ * the program's phase codes for a program workload (in
+ * `BoundProgram::phase_codes()` order, primary included), or just
+ * `code` itself for every other workload. Raw pointers into `spec` /
+ * the caller's code; no ownership.
+ */
+std::vector<const qec::StabilizerCode*> UnitCodesFor(
+    const qec::StabilizerCode& code, const workloads::WorkloadSpec& spec);
+
+/** One compiled+annotated phase of a program candidate, aligned with
+ *  `BoundProgram::phase_codes()`. */
+struct ProgramUnit
+{
+    const qec::StabilizerCode* code = nullptr;
+    const CompileArtifacts* arts = nullptr;
+    const noise::RoundNoiseProfile* profile = nullptr;
+};
+
+/**
+ * Build-sim stage for a program workload: stitches every compiled
+ * phase round into the program's global noisy circuit
+ * (`BoundProgram::Build`, DESIGN.md §5.4) and extracts its DEM. Each
+ * merge runs `rounds` merged rounds. `units` must align with
+ * `program.phase_codes()`.
+ */
+SimArtifacts BuildProgramSimArtifacts(const workloads::BoundProgram& program,
+                                      const std::vector<ProgramUnit>& units,
+                                      const ArchitectureConfig& arch,
+                                      int rounds);
 
 /** Wraps sampler totals into a `LerEstimate` (Wilson intervals for the
  *  any-observable and per-observable counts, per-round conversion) —

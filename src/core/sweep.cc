@@ -19,9 +19,12 @@ namespace tiqec::core {
 
 namespace {
 
-/** Everything the compile stage depends on. Code and device enter by
- *  object identity: two candidates share a compile iff they share the
- *  code object (and any device override). */
+/** Everything the compile stage depends on. The unit code and device
+ *  enter by object identity: two (candidate, unit) pairs share a
+ *  compile iff they share the unit-code object (and any device
+ *  override). For a program candidate the units are the program's
+ *  phase codes (`UnitCodesFor`); everything else has one unit, the
+ *  candidate's own code. */
 using CompileKey = std::tuple<const void*, const void*, int /*topology*/,
                               int /*capacity*/, int /*wiring*/,
                               int /*compile_rounds*/>;
@@ -31,27 +34,32 @@ using NoiseKey = std::tuple<CompileKey, double /*gate_improvement*/>;
 /** + the experiment shape. The workload joins `rounds` and `basis` in
  *  the key (not the compile/noise keys): a memory, a stability, and a
  *  surgery candidate on the same merged code and device share the
- *  compiled schedule and noise profile and differ only here. */
+ *  compiled schedule and noise profile and differ only here. The
+ *  leading NoiseKey is the candidate's *primary* unit; the trailing
+ *  pointer is the bound program's identity (null for every other
+ *  workload), so two candidates share a stitched program circuit iff
+ *  they share the program object. */
 using SimKey = std::tuple<NoiseKey, int /*rounds*/, int /*basis*/,
-                          int /*workload*/>;
+                          int /*workload*/, const void* /*program*/>;
 
 SimKey
-SimKeyOf(const NoiseKey& nk, const SweepCandidate& c, int rounds)
+SimKeyOf(const NoiseKey& primary_nk, const workloads::WorkloadSpec& spec,
+         int rounds)
 {
     // Only the memory workload reads the basis; normalising it out of
-    // the key for surgery/stability keeps basis-varying candidate lists
-    // sharing one experiment/DEM entry.
-    const int basis =
-        c.options.workload == workloads::WorkloadKind::kMemory
-            ? static_cast<int>(c.options.basis)
-            : 0;
-    return {nk, rounds, basis, static_cast<int>(c.options.workload)};
+    // the key for surgery/stability/program keeps basis-varying
+    // candidate lists sharing one experiment/DEM entry.
+    const int basis = spec.kind == workloads::WorkloadKind::kMemory
+                          ? static_cast<int>(spec.basis)
+                          : 0;
+    return {primary_nk, rounds, basis, static_cast<int>(spec.kind),
+            static_cast<const void*>(spec.program.get())};
 }
 
 CompileKey
-CompileKeyOf(const SweepCandidate& c)
+CompileKeyOf(const SweepCandidate& c, const qec::StabilizerCode* unit)
 {
-    return {static_cast<const void*>(c.code.get()),
+    return {static_cast<const void*>(unit),
             static_cast<const void*>(c.device.get()),
             static_cast<int>(c.arch.topology), c.arch.trap_capacity,
             static_cast<int>(c.arch.wiring), c.compile_rounds};
@@ -139,16 +147,36 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
 
     // Reject malformed candidates up front; everything else flows through
     // the staged cache. `invalid[i]` short-circuits the later phases.
+    // The program-shape check is `CheckProgramCandidate`, shared with the
+    // serial `Evaluate` so both paths fail with byte-identical text.
     std::vector<std::string> invalid(n);
+    std::vector<workloads::WorkloadSpec> specs(n);
+    std::vector<std::vector<const qec::StabilizerCode*>> units(n);
+    std::vector<size_t> primary(n, 0);
     for (size_t i = 0; i < n; ++i) {
         const SweepCandidate& c = candidates[i];
         if (!c.code) {
             invalid[i] = "candidate has no code";
-        } else if (c.compile_rounds < 1) {
+            continue;
+        }
+        if (c.compile_rounds < 1) {
             invalid[i] = "compile_rounds must be >= 1";
-        } else if (c.compile_rounds != 1 && !c.options.compile_only) {
+            continue;
+        }
+        if (c.compile_rounds != 1 && !c.options.compile_only) {
             invalid[i] = "multi-round compilation is compile-only (the "
                          "noise annotator requires a one-round schedule)";
+            continue;
+        }
+        specs[i] = c.options.workload_spec();
+        invalid[i] = CheckProgramCandidate(*c.code, specs[i]);
+        if (!invalid[i].empty()) {
+            continue;
+        }
+        units[i] = UnitCodesFor(*c.code, specs[i]);
+        if (specs[i].program != nullptr) {
+            primary[i] =
+                static_cast<size_t>(specs[i].program->primary_index());
         }
     }
 
@@ -157,11 +185,16 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
     // skips the compiler entirely, a corrupt artifact isolates the
     // candidate with the store's diagnostic (exactly like a compile
     // error), and a miss compiles and persists the successful bundle.
+    using UnitExemplar =
+        std::pair<const SweepCandidate*, const qec::StabilizerCode*>;
     std::map<CompileKey, std::shared_ptr<CompileArtifacts>> compile_cache;
     for (size_t i = 0; i < n; ++i) {
         if (invalid[i].empty()) {
-            compile_cache.try_emplace(CompileKeyOf(candidates[i]),
-                                      std::make_shared<CompileArtifacts>());
+            for (const qec::StabilizerCode* unit : units[i]) {
+                compile_cache.try_emplace(
+                    CompileKeyOf(candidates[i], unit),
+                    std::make_shared<CompileArtifacts>());
+            }
         }
     }
     // Content-addressed store keys, resolved once per unique compile
@@ -171,20 +204,22 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
     {
         std::vector<std::pair<const CompileKey*, CompileArtifacts*>> tasks;
         tasks.reserve(compile_cache.size());
-        std::map<CompileKey, const SweepCandidate*> exemplar;
+        std::map<CompileKey, UnitExemplar> exemplar;
         for (size_t i = 0; i < n; ++i) {
             if (invalid[i].empty()) {
-                exemplar.try_emplace(CompileKeyOf(candidates[i]),
-                                     &candidates[i]);
+                for (const qec::StabilizerCode* unit : units[i]) {
+                    exemplar.try_emplace(CompileKeyOf(candidates[i], unit),
+                                         UnitExemplar{&candidates[i], unit});
+                }
             }
         }
         if (astore != nullptr) {
-            for (const auto& [key, candidate] : exemplar) {
+            for (const auto& [key, ex] : exemplar) {
                 store_keys.try_emplace(
                     key, store::CompileStoreKey(
-                             *candidate->code, candidate->arch,
-                             candidate->compile_rounds,
-                             candidate->device.get()));
+                             *ex.second, ex.first->arch,
+                             ex.first->compile_rounds,
+                             ex.first->device.get()));
             }
         }
         for (auto& [key, arts] : compile_cache) {
@@ -193,14 +228,15 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         ParallelForIndex(
             threads, static_cast<std::int64_t>(tasks.size()),
             [&](std::int64_t t) {
-                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                const auto& [candidate, unit] = exemplar.at(*tasks[t].first);
+                const SweepCandidate& c = *candidate;
                 CompileArtifacts& arts = *tasks[t].second;
                 if (astore != nullptr) {
                     const store::StoreKey& skey =
                         store_keys.at(*tasks[t].first);
                     std::string err;
                     const store::LoadStatus status = astore->LoadCompile(
-                        skey, *c.code, c.arch, c.compile_rounds,
+                        skey, *unit, c.arch, c.compile_rounds,
                         c.device.get(), &arts, &err);
                     if (status == store::LoadStatus::kHit) {
                         return;
@@ -211,7 +247,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                         return;
                     }
                 }
-                arts = CompileCandidate(*c.code, c.arch, c.compile_rounds,
+                arts = CompileCandidate(*unit, c.arch, c.compile_rounds,
                                         c.device.get());
                 num_compiles.fetch_add(1, std::memory_order_relaxed);
                 if (astore != nullptr && arts.ok) {
@@ -232,10 +268,12 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         for (size_t i = 0; i < n; ++i) {
             const SweepCandidate& c = candidates[i];
             if (invalid[i].empty() && c.options.validate_artifacts) {
-                const CompileKey ck = CompileKeyOf(c);
-                if (compile_cache.at(ck)->ok) {
-                    compile_validation.try_emplace(ck);
-                    exemplar.try_emplace(ck, &c);
+                for (const qec::StabilizerCode* unit : units[i]) {
+                    const CompileKey ck = CompileKeyOf(c, unit);
+                    if (compile_cache.at(ck)->ok) {
+                        compile_validation.try_emplace(ck);
+                        exemplar.try_emplace(ck, &c);
+                    }
                 }
             }
         }
@@ -263,31 +301,55 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                 }
             });
     }
-    const auto compile_invalidated = [&](const SweepCandidate& c,
-                                         const CompileKey& ck) {
-        if (!c.options.validate_artifacts) {
-            return false;
+    // Per-candidate gates over every unit, in `UnitCodesFor` order — the
+    // same order the serial `Evaluate` walks its unit loops, so the first
+    // failing unit (and hence the reported error text) matches
+    // byte-for-byte. Single-unit candidates reduce to the old
+    // one-key checks.
+    const auto unit_compile_error = [&](size_t i) -> const std::string* {
+        const SweepCandidate& c = candidates[i];
+        for (const qec::StabilizerCode* unit : units[i]) {
+            const CompileArtifacts& arts =
+                *compile_cache.at(CompileKeyOf(c, unit));
+            if (!arts.ok) {
+                return &arts.error;
+            }
         }
-        const auto it = compile_validation.find(ck);
-        return it != compile_validation.end() && !it->second.empty();
+        return nullptr;
+    };
+    const auto unit_validation_error = [&](size_t i) -> const std::string* {
+        const SweepCandidate& c = candidates[i];
+        if (!c.options.validate_artifacts) {
+            return nullptr;
+        }
+        for (const qec::StabilizerCode* unit : units[i]) {
+            const auto it = compile_validation.find(CompileKeyOf(c, unit));
+            if (it != compile_validation.end() && !it->second.empty()) {
+                return &it->second;
+            }
+        }
+        return nullptr;
     };
 
-    // ---- Stage 2: annotate once per unique noise scenario.
+    // ---- Stage 2: annotate once per unique noise scenario (per unit).
     std::map<NoiseKey, NoiseEntry> noise_cache;
     {
-        std::map<NoiseKey, const SweepCandidate*> exemplar;
+        std::map<NoiseKey, UnitExemplar> exemplar;
         for (size_t i = 0; i < n; ++i) {
             const SweepCandidate& c = candidates[i];
             if (!invalid[i].empty() || c.compile_rounds != 1) {
                 continue;
             }
-            const CompileKey ck = CompileKeyOf(c);
-            if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
+            if (unit_compile_error(i) != nullptr ||
+                unit_validation_error(i) != nullptr) {
                 continue;
             }
-            const NoiseKey nk{ck, c.arch.gate_improvement};
-            noise_cache.try_emplace(nk);
-            exemplar.try_emplace(nk, &c);
+            for (const qec::StabilizerCode* unit : units[i]) {
+                const NoiseKey nk{CompileKeyOf(c, unit),
+                                  c.arch.gate_improvement};
+                noise_cache.try_emplace(nk);
+                exemplar.try_emplace(nk, UnitExemplar{&c, unit});
+            }
         }
         std::vector<std::pair<const NoiseKey*, NoiseEntry*>> tasks;
         tasks.reserve(noise_cache.size());
@@ -297,9 +359,10 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         ParallelForIndex(
             threads, static_cast<std::int64_t>(tasks.size()),
             [&](std::int64_t t) {
-                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                const auto& [candidate, unit] = exemplar.at(*tasks[t].first);
+                const SweepCandidate& c = *candidate;
                 NoiseEntry& entry = *tasks[t].second;
-                const CompileKey ck = CompileKeyOf(c);
+                const CompileKey ck = CompileKeyOf(c, unit);
                 const CompileArtifacts& comp = *compile_cache.at(ck);
                 store::StoreKey nkey;
                 if (astore != nullptr) {
@@ -308,7 +371,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                     std::string err;
                     const store::LoadStatus status = astore->LoadNoise(
                         nkey, comp.compiled.qec_circuit.size(),
-                        c.code->num_qubits(), &entry.profile, &err);
+                        unit->num_qubits(), &entry.profile, &err);
                     if (status == store::LoadStatus::kHit) {
                         entry.ok = true;
                         return;
@@ -319,7 +382,7 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                     }
                 }
                 try {
-                    entry.profile = AnnotateCandidate(*c.code, c.arch, comp);
+                    entry.profile = AnnotateCandidate(*unit, c.arch, comp);
                     num_annotates.fetch_add(1, std::memory_order_relaxed);
                     entry.ok = true;
                     if (astore != nullptr) {
@@ -330,28 +393,45 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                 }
             });
     }
+    const auto unit_noise_error = [&](size_t i) -> const std::string* {
+        const SweepCandidate& c = candidates[i];
+        for (const qec::StabilizerCode* unit : units[i]) {
+            const NoiseEntry& entry = noise_cache.at(
+                NoiseKey{CompileKeyOf(c, unit), c.arch.gate_improvement});
+            if (!entry.ok) {
+                return &entry.error;
+            }
+        }
+        return nullptr;
+    };
 
     // ---- Stage 3: experiment + DEM once per unique experiment shape.
+    // The primary unit's noise key leads the sim key; a program
+    // candidate additionally needs every phase unit's artifacts, which
+    // the exemplar's candidate index recovers.
+    const auto primary_nk_of = [&](size_t i) {
+        const SweepCandidate& c = candidates[i];
+        return NoiseKey{CompileKeyOf(c, units[i][primary[i]]),
+                        c.arch.gate_improvement};
+    };
     std::map<SimKey, SimEntry> sim_cache;
     {
-        std::map<SimKey, const SweepCandidate*> exemplar;
+        std::map<SimKey, size_t> exemplar;
         for (size_t i = 0; i < n; ++i) {
             const SweepCandidate& c = candidates[i];
             if (!invalid[i].empty() || c.options.compile_only ||
                 c.compile_rounds != 1) {
                 continue;
             }
-            const CompileKey ck = CompileKeyOf(c);
-            if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
+            if (unit_compile_error(i) != nullptr ||
+                unit_validation_error(i) != nullptr ||
+                unit_noise_error(i) != nullptr) {
                 continue;
             }
-            const NoiseKey nk{ck, c.arch.gate_improvement};
-            if (!noise_cache.at(nk).ok) {
-                continue;
-            }
-            const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
+            const SimKey sk =
+                SimKeyOf(primary_nk_of(i), specs[i], RoundsOf(c));
             sim_cache.try_emplace(sk);
-            exemplar.try_emplace(sk, &c);
+            exemplar.try_emplace(sk, i);
         }
         std::vector<std::pair<const SimKey*, SimEntry*>> tasks;
         tasks.reserve(sim_cache.size());
@@ -362,19 +442,25 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             threads, static_cast<std::int64_t>(tasks.size()),
             [&](std::int64_t t) {
                 const SimKey& sk = *tasks[t].first;
-                const SweepCandidate& c = *exemplar.at(sk);
+                const size_t i = exemplar.at(sk);
+                const SweepCandidate& c = candidates[i];
                 SimEntry& entry = *tasks[t].second;
-                const CompileKey ck = CompileKeyOf(c);
+                const CompileKey ck = CompileKeyOf(c, units[i][primary[i]]);
                 const NoiseKey nk{ck, c.arch.gate_improvement};
                 store::StoreKey skey;
                 if (astore != nullptr) {
                     // Rounds/basis/workload come off the (normalised)
                     // in-memory key so the store shares exactly what
-                    // the in-memory cache shares.
+                    // the in-memory cache shares; a program workload
+                    // contributes its canonical text (content identity,
+                    // where the in-memory key uses object identity).
                     skey = store::SimStoreKey(
                         store::NoiseStoreKey(store_keys.at(ck),
                                              c.arch.gate_improvement),
-                        std::get<1>(sk), std::get<2>(sk), std::get<3>(sk));
+                        std::get<1>(sk), std::get<2>(sk), std::get<3>(sk),
+                        specs[i].program != nullptr
+                            ? specs[i].program->canonical_text()
+                            : std::string());
                     std::string err;
                     const store::LoadStatus status =
                         astore->LoadSim(skey, &entry.arts, &err);
@@ -388,10 +474,26 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
                     }
                 }
                 try {
-                    entry.arts = BuildSimArtifacts(
-                        *c.code, *compile_cache.at(ck),
-                        noise_cache.at(nk).profile, c.arch, RoundsOf(c),
-                        c.options.workload_spec());
+                    if (specs[i].program != nullptr) {
+                        std::vector<ProgramUnit> punits;
+                        punits.reserve(units[i].size());
+                        for (const qec::StabilizerCode* unit : units[i]) {
+                            const CompileKey uck = CompileKeyOf(c, unit);
+                            punits.push_back(ProgramUnit{
+                                unit, compile_cache.at(uck).get(),
+                                &noise_cache
+                                     .at(NoiseKey{uck,
+                                                  c.arch.gate_improvement})
+                                     .profile});
+                        }
+                        entry.arts = BuildProgramSimArtifacts(
+                            *specs[i].program, punits, c.arch, RoundsOf(c));
+                    } else {
+                        entry.arts = BuildSimArtifacts(
+                            *c.code, *compile_cache.at(ck),
+                            noise_cache.at(nk).profile, c.arch, RoundsOf(c),
+                            specs[i]);
+                    }
                     num_sim_builds.fetch_add(1, std::memory_order_relaxed);
                     entry.ok = true;
                     if (astore != nullptr) {
@@ -410,25 +512,23 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
     // validation options are the key's options.
     std::map<SimKey, std::string> sim_validation;
     {
-        std::map<SimKey, const SweepCandidate*> exemplar;
+        std::map<SimKey, size_t> exemplar;
         for (size_t i = 0; i < n; ++i) {
             const SweepCandidate& c = candidates[i];
             if (!invalid[i].empty() || c.options.compile_only ||
                 c.compile_rounds != 1 || !c.options.validate_artifacts) {
                 continue;
             }
-            const CompileKey ck = CompileKeyOf(c);
-            if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
+            if (unit_compile_error(i) != nullptr ||
+                unit_validation_error(i) != nullptr ||
+                unit_noise_error(i) != nullptr) {
                 continue;
             }
-            const NoiseKey nk{ck, c.arch.gate_improvement};
-            if (!noise_cache.at(nk).ok) {
-                continue;
-            }
-            const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
+            const SimKey sk =
+                SimKeyOf(primary_nk_of(i), specs[i], RoundsOf(c));
             if (sim_cache.at(sk).ok) {
                 sim_validation.try_emplace(sk);
-                exemplar.try_emplace(sk, &c);
+                exemplar.try_emplace(sk, i);
             }
         }
         std::vector<std::pair<const SimKey*, std::string*>> tasks;
@@ -439,13 +539,14 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         ParallelForIndex(
             threads, static_cast<std::int64_t>(tasks.size()),
             [&](std::int64_t t) {
-                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                const size_t i = exemplar.at(*tasks[t].first);
+                const SweepCandidate& c = candidates[i];
                 const SimEntry& entry = sim_cache.at(*tasks[t].first);
                 const std::vector<analysis::Diagnostic> diags =
                     analysis::ValidateSimArtifacts(
                         entry.arts.experiment, entry.arts.dem,
-                        analysis::SimValidationOptionsFor(
-                            *c.code, c.options.workload_spec()));
+                        analysis::SimValidationOptionsFor(*c.code,
+                                                          specs[i]));
                 num_validations.fetch_add(1, std::memory_order_relaxed);
                 if (!diags.empty()) {
                     num_validation_failures.fetch_add(
@@ -470,25 +571,23 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
     // compile error, byte-identical to the serial Evaluate path.
     std::map<SimKey, std::string> sim_certification;
     {
-        std::map<SimKey, const SweepCandidate*> exemplar;
+        std::map<SimKey, size_t> exemplar;
         for (size_t i = 0; i < n; ++i) {
             const SweepCandidate& c = candidates[i];
             if (!invalid[i].empty() || c.options.compile_only ||
                 c.compile_rounds != 1 || !c.options.certify_distance) {
                 continue;
             }
-            const CompileKey ck = CompileKeyOf(c);
-            if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
+            if (unit_compile_error(i) != nullptr ||
+                unit_validation_error(i) != nullptr ||
+                unit_noise_error(i) != nullptr) {
                 continue;
             }
-            const NoiseKey nk{ck, c.arch.gate_improvement};
-            if (!noise_cache.at(nk).ok) {
-                continue;
-            }
-            const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
+            const SimKey sk =
+                SimKeyOf(primary_nk_of(i), specs[i], RoundsOf(c));
             if (sim_cache.at(sk).ok && !sim_invalidated(c, sk)) {
                 sim_certification.try_emplace(sk);
-                exemplar.try_emplace(sk, &c);
+                exemplar.try_emplace(sk, i);
             }
         }
         std::vector<std::pair<const SimKey*, std::string*>> tasks;
@@ -499,7 +598,8 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
         ParallelForIndex(
             threads, static_cast<std::int64_t>(tasks.size()),
             [&](std::int64_t t) {
-                const SweepCandidate& c = *exemplar.at(*tasks[t].first);
+                const SweepCandidate& c =
+                    candidates[exemplar.at(*tasks[t].first)];
                 const SimEntry& entry = sim_cache.at(*tasks[t].first);
                 const std::vector<analysis::Diagnostic> diags =
                     analysis::CheckDistance(entry.arts.dem,
@@ -535,15 +635,12 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             c.compile_rounds != 1 || c.options.max_shots <= 0) {
             continue;
         }
-        const CompileKey ck = CompileKeyOf(c);
-        if (!compile_cache.at(ck)->ok || compile_invalidated(c, ck)) {
+        if (unit_compile_error(i) != nullptr ||
+            unit_validation_error(i) != nullptr ||
+            unit_noise_error(i) != nullptr) {
             continue;
         }
-        const NoiseKey nk{ck, c.arch.gate_improvement};
-        if (!noise_cache.at(nk).ok) {
-            continue;
-        }
-        const SimKey sk = SimKeyOf(nk, c, RoundsOf(c));
+        const SimKey sk = SimKeyOf(primary_nk_of(i), specs[i], RoundsOf(c));
         const SimEntry& sim_entry = sim_cache.at(sk);
         if (!sim_entry.ok || sim_invalidated(c, sk) ||
             certify_failed(c, sk)) {
@@ -639,35 +736,37 @@ SweepRunner::RunDetailed(const std::vector<SweepCandidate>& candidates)
             out.compile = failed_stub(invalid[i]);
             continue;
         }
-        const CompileKey ck = CompileKeyOf(c);
-        out.compile = compile_cache.at(ck);
-        const CompileArtifacts& arts = *out.compile;
-        if (!arts.ok) {
-            metrics.error = arts.error;
+        // The candidate's reported compile artifacts are its *primary*
+        // unit's; failure texts follow the serial `Evaluate` unit-loop
+        // precedence (first failing unit per phase, compile before
+        // validation before noise).
+        const CompileKey pck = CompileKeyOf(c, units[i][primary[i]]);
+        out.compile = compile_cache.at(pck);
+        if (const std::string* err = unit_compile_error(i)) {
+            metrics.error = *err;
             continue;
         }
-        if (compile_invalidated(c, ck)) {
-            metrics.error = compile_validation.at(ck);
+        if (const std::string* err = unit_validation_error(i)) {
+            metrics.error = *err;
             continue;
         }
         const noise::RoundNoiseProfile* profile = nullptr;
         if (c.compile_rounds == 1) {
-            const NoiseEntry& noise_entry =
-                noise_cache.at(NoiseKey{ck, c.arch.gate_improvement});
-            if (!noise_entry.ok) {
-                metrics.error = noise_entry.error;
+            if (const std::string* err = unit_noise_error(i)) {
+                metrics.error = *err;
                 continue;
             }
-            profile = &noise_entry.profile;
+            profile = &noise_cache
+                           .at(NoiseKey{pck, c.arch.gate_improvement})
+                           .profile;
         }
-        FillCompileMetrics(*c.code, c.arch, arts, profile, RoundsOf(c),
-                           metrics);
+        FillCompileMetrics(*c.code, c.arch, *out.compile, profile,
+                           RoundsOf(c), metrics);
         if (c.options.compile_only) {
             metrics.ok = true;
             continue;
         }
-        const SimKey sk = SimKeyOf(NoiseKey{ck, c.arch.gate_improvement},
-                                   c, RoundsOf(c));
+        const SimKey sk = SimKeyOf(primary_nk_of(i), specs[i], RoundsOf(c));
         const SimEntry& sim_entry = sim_cache.at(sk);
         if (!sim_entry.ok) {
             metrics.error = sim_entry.error;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "analysis/analysis.h"
+#include "common/check.h"
 #include "compiler/compiler.h"
 #include "core/pipeline.h"
 #include "noise/annotator.h"
@@ -154,6 +155,67 @@ BuildSimArtifacts(const qec::StabilizerCode& code,
     return sim_arts;
 }
 
+std::string
+CheckProgramCandidate(const qec::StabilizerCode& code,
+                      const workloads::WorkloadSpec& spec)
+{
+    if (spec.kind != workloads::WorkloadKind::kProgram) {
+        return "";
+    }
+    if (spec.program == nullptr) {
+        return "program workload requires a bound program "
+               "(WorkloadSpec::Program)";
+    }
+    if (spec.program->primary_code() != &code) {
+        return "program workload: candidate code \"" + code.name() +
+               "\" is not the primary phase code \"" +
+               spec.program->primary_code()->name() + "\" of program '" +
+               spec.program->name() + "'";
+    }
+    return "";
+}
+
+std::vector<const qec::StabilizerCode*>
+UnitCodesFor(const qec::StabilizerCode& code,
+             const workloads::WorkloadSpec& spec)
+{
+    std::vector<const qec::StabilizerCode*> units;
+    if (spec.kind == workloads::WorkloadKind::kProgram &&
+        spec.program != nullptr) {
+        units.reserve(spec.program->phase_codes().size());
+        for (const auto& phase : spec.program->phase_codes()) {
+            units.push_back(phase.get());
+        }
+    } else {
+        units.push_back(&code);
+    }
+    return units;
+}
+
+SimArtifacts
+BuildProgramSimArtifacts(const workloads::BoundProgram& program,
+                         const std::vector<ProgramUnit>& units,
+                         const ArchitectureConfig& arch, int rounds)
+{
+    TIQEC_CHECK(units.size() == program.phase_codes().size(),
+                "program build-sim: " << units.size() << " units for "
+                                      << program.phase_codes().size()
+                                      << " phase codes");
+    std::vector<workloads::BoundProgram::PhaseCircuit> phases;
+    phases.reserve(units.size());
+    for (const ProgramUnit& unit : units) {
+        TIQEC_CHECK(unit.arts != nullptr && unit.arts->ok &&
+                        unit.profile != nullptr,
+                    "program build-sim: units require successful "
+                    "compile + annotate artifacts");
+        phases.push_back({&unit.arts->compiled.qec_circuit, unit.profile});
+    }
+    SimArtifacts sim_arts;
+    sim_arts.experiment = program.Build(phases, NoiseParamsFor(arch), rounds);
+    sim_arts.dem = sim::BuildDem(sim_arts.experiment);
+    return sim_arts;
+}
+
 void
 FillCompileMetrics(const qec::StabilizerCode& code,
                    const ArchitectureConfig& arch,
@@ -217,21 +279,42 @@ Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
          const EvaluationOptions& options)
 {
     Metrics metrics;
-    const CompileArtifacts arts = CompileCandidate(code, arch);
-    if (!arts.ok) {
-        metrics.error = arts.error;
-        return metrics;
+    const workloads::WorkloadSpec spec = options.workload_spec();
+    {
+        const std::string spec_error = CheckProgramCandidate(code, spec);
+        if (!spec_error.empty()) {
+            metrics.error = spec_error;
+            return metrics;
+        }
+    }
+    // A program candidate stitches several phase codes; every other
+    // workload is the single-unit special case of the same loop.
+    const std::vector<const qec::StabilizerCode*> units =
+        UnitCodesFor(code, spec);
+    const int primary =
+        spec.kind == workloads::WorkloadKind::kProgram
+            ? spec.program->primary_index()
+            : 0;
+    std::vector<CompileArtifacts> unit_arts;
+    unit_arts.reserve(units.size());
+    for (const qec::StabilizerCode* unit : units) {
+        unit_arts.push_back(CompileCandidate(*unit, arch));
+        if (!unit_arts.back().ok) {
+            metrics.error = unit_arts.back().error;
+            return metrics;
+        }
     }
     if (options.validate_artifacts) {
-        const std::vector<analysis::Diagnostic> diags =
-            analysis::ValidateCompiledArtifacts(
-                arts.compiled, arts.graph, arts.timing,
-                arch.wiring == WiringKind::kWise);
-        if (!diags.empty()) {
-            metrics.error =
-                analysis::FormatDiagnostics(analysis::kCompiledSubject,
-                                            diags);
-            return metrics;
+        for (const CompileArtifacts& arts : unit_arts) {
+            const std::vector<analysis::Diagnostic> diags =
+                analysis::ValidateCompiledArtifacts(
+                    arts.compiled, arts.graph, arts.timing,
+                    arch.wiring == WiringKind::kWise);
+            if (!diags.empty()) {
+                metrics.error = analysis::FormatDiagnostics(
+                    analysis::kCompiledSubject, diags);
+                return metrics;
+            }
         }
     }
     const int rounds = options.rounds > 0 ? options.rounds : code.distance();
@@ -240,22 +323,39 @@ Evaluate(const qec::StabilizerCode& code, const ArchitectureConfig& arch,
     // serial entry point isolates a broken candidate exactly as the
     // sweep engine does.
     try {
-        const noise::RoundNoiseProfile profile =
-            AnnotateCandidate(code, arch, arts);
-        FillCompileMetrics(code, arch, arts, &profile, rounds, metrics);
+        std::vector<noise::RoundNoiseProfile> profiles;
+        profiles.reserve(units.size());
+        for (size_t i = 0; i < units.size(); ++i) {
+            profiles.push_back(
+                AnnotateCandidate(*units[i], arch, unit_arts[i]));
+        }
+        FillCompileMetrics(code, arch, unit_arts[primary],
+                           &profiles[primary], rounds, metrics);
         if (options.compile_only) {
             metrics.ok = true;
             return metrics;
         }
 
-        const SimArtifacts sim_arts = BuildSimArtifacts(
-            code, arts, profile, arch, rounds, options.workload_spec());
+        SimArtifacts sim_arts;
+        if (spec.kind == workloads::WorkloadKind::kProgram) {
+            std::vector<ProgramUnit> program_units;
+            program_units.reserve(units.size());
+            for (size_t i = 0; i < units.size(); ++i) {
+                program_units.push_back(
+                    {units[i], &unit_arts[i], &profiles[i]});
+            }
+            sim_arts = BuildProgramSimArtifacts(*spec.program,
+                                                program_units, arch,
+                                                rounds);
+        } else {
+            sim_arts = BuildSimArtifacts(code, unit_arts[0], profiles[0],
+                                         arch, rounds, spec);
+        }
         if (options.validate_artifacts) {
             const std::vector<analysis::Diagnostic> diags =
                 analysis::ValidateSimArtifacts(
                     sim_arts.experiment, sim_arts.dem,
-                    analysis::SimValidationOptionsFor(
-                        code, options.workload_spec()));
+                    analysis::SimValidationOptionsFor(code, spec));
             if (!diags.empty()) {
                 metrics.error = analysis::FormatDiagnostics(
                     analysis::kSimSubject, diags);

@@ -55,9 +55,15 @@ struct EvaluationOptions
     /** Simulated workload (DESIGN.md §5). Memory is the paper's
      *  logical-identity benchmark; surgery and stability run the
      *  joint-parity measurement on a merged double patch and require
-     *  the candidate's code to be a `qec::MergedPatchCode`. */
-    workloads::WorkloadKind workload = workloads::WorkloadKind::kMemory;
-    /** Protected logical memory (memory workload only). */
+     *  the candidate's code to be a `qec::MergedPatchCode`; a program
+     *  workload carries a `workloads::BoundProgram` whose primary phase
+     *  code must be the candidate's code. A bare `WorkloadKind` assigns
+     *  here unchanged (the deprecated enum-era shim; DESIGN.md §5.4). */
+    workloads::WorkloadSpec workload = workloads::WorkloadKind::kMemory;
+    /** Protected logical memory (memory workload only).
+     *  @deprecated Enum-era shim: prefer `workload.basis`. A kZ default
+     *  here lets `workload.basis` win; setting this field still works
+     *  through `workload_spec()`. */
     sim::MemoryBasis basis = sim::MemoryBasis::kZ;
     /** Monte-Carlo worker threads; 0 means hardware concurrency. The
      *  result is bit-identical for every value (see DESIGN.md §3.4). */
@@ -88,10 +94,16 @@ struct EvaluationOptions
      *  to catch. */
     bool certify_distance = false;
 
-    /** The experiment shape these options select. */
+    /** The experiment shape these options select: the `workload` spec,
+     *  with the deprecated top-level `basis` field folded in when the
+     *  spec itself left the basis defaulted. */
     workloads::WorkloadSpec workload_spec() const
     {
-        return {.kind = workload, .basis = basis};
+        workloads::WorkloadSpec spec = workload;
+        if (spec.basis == sim::MemoryBasis::kZ) {
+            spec.basis = basis;
+        }
+        return spec;
     }
 };
 

@@ -168,13 +168,34 @@ NoiseStoreKey(const StoreKey& compile_key, double gate_improvement)
 }
 
 StoreKey
-SimStoreKey(const StoreKey& noise_key, int rounds, int basis, int workload)
+SimStoreKey(const StoreKey& noise_key, int rounds, int basis, int workload,
+            const std::string& program_canonical)
 {
     StoreKey key;
     key.kind = "sim";
     key.canonical = "sim|rounds=" + std::to_string(rounds) + "|basis=" +
                     std::to_string(basis) + "|workload=" +
                     std::to_string(workload) + "|" + noise_key.canonical;
+    if (!program_canonical.empty()) {
+        // Program workloads append the full canonical program text: the
+        // stitched circuit is a pure function of (phase units, rounds,
+        // program), and the text is the program's content identity.
+        // The store echoes the canonical key as a single header line,
+        // so embedded newlines are escaped injectively (`\` -> `\\`,
+        // LF -> `\n`). Non-program keys are byte-identical to the
+        // pre-program format.
+        key.canonical += "|program={";
+        for (const char c : program_canonical) {
+            if (c == '\\') {
+                key.canonical += "\\\\";
+            } else if (c == '\n') {
+                key.canonical += "\\n";
+            } else {
+                key.canonical += c;
+            }
+        }
+        key.canonical += "}";
+    }
     return key;
 }
 

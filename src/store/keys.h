@@ -76,9 +76,13 @@ StoreKey CompileStoreKey(const qec::StabilizerCode& code,
 StoreKey NoiseStoreKey(const StoreKey& compile_key, double gate_improvement);
 
 /** Sim-stage key: noise key + experiment shape (rounds, basis as
- *  normalised by the sweep runner, workload). */
+ *  normalised by the sweep runner, workload). A program workload
+ *  additionally passes the program's canonical text
+ *  (`workloads::BoundProgram::canonical_text()`), appended as
+ *  `|program={...}`; the default empty string keeps every non-program
+ *  key byte-identical to the historical format. */
 StoreKey SimStoreKey(const StoreKey& noise_key, int rounds, int basis,
-                     int workload);
+                     int workload, const std::string& program_canonical = "");
 
 }  // namespace tiqec::store
 

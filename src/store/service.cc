@@ -7,66 +7,11 @@
 
 #include "common/json.h"
 #include "common/text_format.h"
-#include "qec/code.h"
-#include "workloads/experiment.h"
+#include "core/request.h"
 
 namespace tiqec::store {
 
 namespace {
-
-qccd::TopologyKind
-ParseTopology(const std::string& value)
-{
-    if (value == "linear") {
-        return qccd::TopologyKind::kLinear;
-    }
-    if (value == "grid") {
-        return qccd::TopologyKind::kGrid;
-    }
-    if (value == "switch") {
-        return qccd::TopologyKind::kSwitch;
-    }
-    throw std::invalid_argument("unknown topology '" + value +
-                                "' (linear|grid|switch)");
-}
-
-core::WiringKind
-ParseWiring(const std::string& value)
-{
-    if (value == "standard") {
-        return core::WiringKind::kStandard;
-    }
-    if (value == "wise") {
-        return core::WiringKind::kWise;
-    }
-    throw std::invalid_argument("unknown wiring '" + value +
-                                "' (standard|wise)");
-}
-
-sim::MemoryBasis
-ParseBasis(const std::string& value)
-{
-    if (value == "z") {
-        return sim::MemoryBasis::kZ;
-    }
-    if (value == "x") {
-        return sim::MemoryBasis::kX;
-    }
-    throw std::invalid_argument("unknown basis '" + value + "' (z|x)");
-}
-
-bool
-ParseBool01(const std::string& value, const std::string& key)
-{
-    if (value == "0") {
-        return false;
-    }
-    if (value == "1") {
-        return true;
-    }
-    throw std::invalid_argument(key + " must be 0 or 1, got '" + value +
-                                "'");
-}
 
 /** Flattens one outcome into a result line. Every field is a pure
  *  deterministic function of the request (the engine's bit-identity
@@ -111,82 +56,7 @@ bool
 ParseSweepRequest(const std::string& line, core::SweepCandidate* out,
                   std::string* error)
 {
-    core::SweepCandidate c;
-    std::string family;
-    int distance = 0;
-    try {
-        std::istringstream tokens(line);
-        std::string token;
-        while (tokens >> token) {
-            const size_t eq = token.find('=');
-            if (eq == std::string::npos || eq == 0) {
-                throw std::invalid_argument("token '" + token +
-                                            "' is not key=value");
-            }
-            const std::string key = token.substr(0, eq);
-            const std::string value = token.substr(eq + 1);
-            if (key == "family") {
-                family = value;
-            } else if (key == "distance") {
-                distance = text::ParseInt32(value, "distance");
-            } else if (key == "topology") {
-                c.arch.topology = ParseTopology(value);
-            } else if (key == "capacity") {
-                c.arch.trap_capacity =
-                    text::ParseInt32(value, "capacity");
-            } else if (key == "wiring") {
-                c.arch.wiring = ParseWiring(value);
-            } else if (key == "improvement") {
-                c.arch.gate_improvement =
-                    text::ParseDouble(value, "improvement");
-            } else if (key == "rounds") {
-                c.options.rounds = text::ParseInt32(value, "rounds");
-            } else if (key == "compile_rounds") {
-                c.compile_rounds =
-                    text::ParseInt32(value, "compile_rounds");
-            } else if (key == "shots") {
-                c.options.max_shots = text::ParseInt64(value, "shots");
-            } else if (key == "target_errors") {
-                c.options.target_logical_errors =
-                    text::ParseInt64(value, "target_errors");
-            } else if (key == "seed") {
-                c.options.seed = static_cast<std::uint64_t>(
-                    text::ParseInt64(value, "seed"));
-            } else if (key == "basis") {
-                c.options.basis = ParseBasis(value);
-            } else if (key == "workload") {
-                c.options.workload = workloads::ParseWorkloadKind(value);
-            } else if (key == "compile_only") {
-                c.options.compile_only = ParseBool01(value, key);
-            } else if (key == "validate") {
-                c.options.validate_artifacts = ParseBool01(value, key);
-            } else if (key == "certify") {
-                c.options.certify_distance = ParseBool01(value, key);
-            } else if (key == "label") {
-                c.label = value;
-            } else {
-                throw std::invalid_argument("unknown key '" + key + "'");
-            }
-        }
-        if (family.empty()) {
-            throw std::invalid_argument("missing required key 'family'");
-        }
-        if (distance <= 0) {
-            throw std::invalid_argument(
-                "missing or non-positive required key 'distance'");
-        }
-        c.code = qec::MakeCode(family, distance);
-    } catch (const std::exception& e) {
-        if (error != nullptr) {
-            *error = e.what();
-        }
-        return false;
-    }
-    if (c.label.empty()) {
-        c.label = family + "_d" + std::to_string(distance);
-    }
-    *out = std::move(c);
-    return true;
+    return core::ParseRequestCandidate(line, out, error);
 }
 
 SweepServiceResult

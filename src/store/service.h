@@ -13,16 +13,13 @@
  * by whitespace; blank lines and `#` comments are skipped:
  *
  *   family=rotated distance=3 capacity=2 shots=4096 seed=7 label=a
+ *   workload=program program=cnot distance=3 certify=1
  *
- * Keys: family (required; qec::MakeCode name), distance (required),
- * topology (linear|grid|switch), capacity, wiring (standard|wise),
- * improvement, rounds, compile_rounds, shots, target_errors, seed,
- * basis (z|x), workload (memory|stability|surgery), compile_only (0|1),
- * validate (0|1; artifact validation regardless of build default),
- * certify (0|1; static distance certification, analysis/
- * distance_certifier.h), label. Unknown keys are an error. A malformed line isolates that
- * request (its result line carries ok=false and the parse error); the
- * rest of the batch proceeds.
+ * The line grammar (keys, numeric discipline, error format) is defined
+ * once in `core::ParseRequestLine` (core/request.h) and shared with the
+ * `tiqec_certify` driver; see there for the key list. A malformed line
+ * isolates that request (its result line carries ok=false and the parse
+ * error); the rest of the batch proceeds.
  */
 #ifndef TIQEC_STORE_SERVICE_H
 #define TIQEC_STORE_SERVICE_H
@@ -58,7 +55,10 @@ struct SweepServiceResult
 };
 
 /** Parses one request line into a sweep candidate. Returns false with a
- *  message on malformed input; `*out` is untouched on failure. */
+ *  message on malformed input; `*out` is untouched on failure.
+ *  @deprecated Thin shim over `core::ParseRequestCandidate`
+ *  (core/request.h), kept for source compatibility; new callers should
+ *  use the core parser directly. */
 bool ParseSweepRequest(const std::string& line, core::SweepCandidate* out,
                       std::string* error);
 

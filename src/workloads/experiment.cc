@@ -15,6 +15,7 @@ WorkloadKindName(WorkloadKind kind)
       case WorkloadKind::kMemory: return "memory";
       case WorkloadKind::kStability: return "stability";
       case WorkloadKind::kSurgery: return "surgery";
+      case WorkloadKind::kProgram: return "program";
     }
     return "?";
 }
@@ -31,9 +32,12 @@ ParseWorkloadKind(const std::string& name)
     if (name == "surgery") {
         return WorkloadKind::kSurgery;
     }
+    if (name == "program") {
+        return WorkloadKind::kProgram;
+    }
     throw std::invalid_argument(
         "unknown workload: \"" + name +
-        "\" (expected memory, stability, or surgery)");
+        "\" (expected memory, stability, surgery, or program)");
 }
 
 std::unique_ptr<Experiment>
@@ -41,6 +45,11 @@ MakeExperiment(const qec::StabilizerCode& code, const WorkloadSpec& spec)
 {
     if (spec.kind == WorkloadKind::kMemory) {
         return std::make_unique<MemoryExperiment>(code, spec.basis);
+    }
+    if (spec.kind == WorkloadKind::kProgram) {
+        throw std::invalid_argument(
+            "program workload has no single-code experiment; build it "
+            "via workloads::BoundProgram (core::BuildProgramSimArtifacts)");
     }
     const auto* merged = dynamic_cast<const qec::MergedPatchCode*>(&code);
     if (merged == nullptr) {

@@ -40,17 +40,22 @@
 
 namespace tiqec::workloads {
 
+class BoundProgram;
+
 /** Which logical workload a candidate simulates. */
 enum class WorkloadKind : std::uint8_t
 {
     kMemory,
     kStability,
     kSurgery,
+    /** A bound logical program (workloads/program.h): a multi-patch
+     *  lattice-surgery sequence stitched from compiled phase rounds. */
+    kProgram,
 };
 
 std::string WorkloadKindName(WorkloadKind kind);
 
-/** Parses "memory" | "stability" | "surgery" (throws
+/** Parses "memory" | "stability" | "surgery" | "program" (throws
  *  std::invalid_argument on anything else). */
 WorkloadKind ParseWorkloadKind(const std::string& name);
 
@@ -59,13 +64,44 @@ WorkloadKind ParseWorkloadKind(const std::string& name);
  * workload-specific parameters. Memory reads `basis`; surgery and
  * stability take their orientation from the code itself (they require a
  * `qec::MergedPatchCode`, whose `parity()` fixes the measured joint
- * parity).
+ * parity); a program workload carries the bound program whose phases
+ * the pipeline compiles and stitches (the candidate's `code` must be
+ * the program's primary phase code).
+ *
+ * This is the single workload-selection surface consumed uniformly by
+ * `core::Evaluate`, `core::BuildSimArtifacts`, and `core::SweepRunner`
+ * (the old bare-enum path on `EvaluationOptions` remains as a thin
+ * deprecated shim; see the DESIGN.md §5.4 migration note). A bare
+ * `WorkloadKind` converts implicitly, and `spec == WorkloadKind::k...`
+ * comparisons keep working, so enum-era call sites compile unchanged.
  */
 struct WorkloadSpec
 {
     WorkloadKind kind = WorkloadKind::kMemory;
     /** Protected logical memory (memory workload only). */
     sim::MemoryBasis basis = sim::MemoryBasis::kZ;
+    /** The bound program (program workload only). */
+    std::shared_ptr<const BoundProgram> program;
+
+    WorkloadSpec() = default;
+    WorkloadSpec(WorkloadKind kind) : kind(kind) {}  // NOLINT(implicit)
+    WorkloadSpec(WorkloadKind kind, sim::MemoryBasis basis)
+        : kind(kind), basis(basis)
+    {
+    }
+
+    /** Spec for a bound program workload. */
+    static WorkloadSpec Program(std::shared_ptr<const BoundProgram> bound)
+    {
+        WorkloadSpec spec(WorkloadKind::kProgram);
+        spec.program = std::move(bound);
+        return spec;
+    }
+
+    friend bool operator==(const WorkloadSpec& spec, WorkloadKind kind)
+    {
+        return spec.kind == kind;
+    }
 };
 
 /** Observable layout of the surgery experiment. */

@@ -23,6 +23,7 @@
 #include "qccd/primitives.h"
 #include "qec/code.h"
 #include "qec/surgery.h"
+#include "workloads/program.h"
 
 namespace tiqec::analysis {
 namespace {
@@ -57,8 +58,8 @@ Clean()
         f->profile = core::AnnotateCandidate(f->code, f->arch, f->compile);
         f->sim = core::BuildSimArtifacts(
             f->code, f->compile, f->profile, f->arch, f->rounds,
-            {.kind = workloads::WorkloadKind::kMemory,
-             .basis = sim::MemoryBasis::kZ});
+            workloads::WorkloadSpec(workloads::WorkloadKind::kMemory,
+                                    sim::MemoryBasis::kZ));
         return f;
     }();
     return *fixture;
@@ -330,6 +331,59 @@ MutationBattery()
         m.edges[0].obs_mask |= 1u << m.num_observables;
         return ValidateDem(m);
     }});
+    // -- program.* -----------------------------------------------------
+    // Structural validation of the logical-program IR
+    // (workloads/program.h) through `analysis::ValidateProgram`: one
+    // targeted corruption per registered rule.
+    battery.push_back({kRuleProgramPatch, [] {
+        // Duplicate patch name in the fabric declaration.
+        const workloads::LogicalProgram p = workloads::ParseProgram(
+            "program p\npatches a a\nobservable o merge:0\n");
+        return ValidateProgram(p);
+    }});
+    battery.push_back({kRuleProgramLiveness, [] {
+        // Re-preparing a patch that is already live.
+        const workloads::LogicalProgram p = workloads::ParseProgram(
+            "program p\npatches a\nprepare a z\nprepare a z\nidle 1\n"
+            "measure a z\nobservable o measure:a\n");
+        return ValidateProgram(p);
+    }});
+    battery.push_back({kRuleProgramAdjacency, [] {
+        // Merging fabric positions 0 and 2 skips the patch between them.
+        const workloads::LogicalProgram p = workloads::ParseProgram(
+            "program p\npatches a b c\nprepare a z\nprepare c z\n"
+            "merge a c zz\nsplit\nmeasure a z\nmeasure c z\n"
+            "observable o merge:0\n");
+        return ValidateProgram(p);
+    }});
+    battery.push_back({kRuleProgramMergeState, [] {
+        // Split with no open merge.
+        const workloads::LogicalProgram p = workloads::ParseProgram(
+            "program p\npatches a\nprepare a z\nsplit\nidle 1\n"
+            "measure a z\nobservable o measure:a\n");
+        return ValidateProgram(p);
+    }});
+    battery.push_back({kRuleProgramObservable, [] {
+        // Observable term referencing a merge index past the last merge.
+        workloads::LogicalProgram p =
+            workloads::CanonicalProgram("single_merge");
+        p.observables[0].terms[0].index = 7;
+        return ValidateProgram(p);
+    }});
+    battery.push_back({kRuleProgramBasis, [] {
+        // X readout of a Z-prepared idle patch: the observable depends
+        // on a random measurement outcome (symplectic tableau check).
+        const workloads::LogicalProgram p = workloads::ParseProgram(
+            "program p\npatches a\nprepare a z\nidle 1\nmeasure a x\n"
+            "observable o measure:a\n");
+        return ValidateProgram(p);
+    }});
+    battery.push_back({kRuleProgramDistance, [] {
+        // Even code distance cannot host the surgery fabric.
+        return ValidateProgram(
+            workloads::CanonicalProgram("single_merge"), /*distance=*/4);
+    }});
+
     battery.push_back({kRuleDemDistance, [] {
         // A parallel boundary edge with flipped observable action gives
         // the logical operator a weight-2 shortcut through one detector.
@@ -413,8 +467,8 @@ TEST(AnalysisClean, BothPipelinesAtD3AndD5ValidateAndCertifyAllWorkloads)
                 for (const workloads::WorkloadKind kind : fc.workloads) {
                     SCOPED_TRACE("workload=" +
                                  std::to_string(static_cast<int>(kind)));
-                    const workloads::WorkloadSpec spec{
-                        .kind = kind, .basis = sim::MemoryBasis::kZ};
+                    const workloads::WorkloadSpec spec(
+                        kind, sim::MemoryBasis::kZ);
                     const auto sim = core::BuildSimArtifacts(
                         *code, arts, profile, arch, distance, spec);
                     const auto sim_diags = ValidateSimArtifacts(

@@ -134,8 +134,8 @@ TEST(CompilerGoldenTest, ValidatorsAcceptBothPipelinesThroughD9)
         const auto profile = core::AnnotateCandidate(code, arch, arts);
         const auto sim = core::BuildSimArtifacts(
             code, arts, profile, arch, g.distance,
-            {.kind = workloads::WorkloadKind::kMemory,
-             .basis = sim::MemoryBasis::kZ});
+            workloads::WorkloadSpec(workloads::WorkloadKind::kMemory,
+                                    sim::MemoryBasis::kZ));
         const auto sim_diags =
             analysis::ValidateSimArtifacts(sim.experiment, sim.dem);
         EXPECT_TRUE(sim_diags.empty()) << analysis::FormatDiagnostics(

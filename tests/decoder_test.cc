@@ -287,8 +287,8 @@ TEST(CorrelatedDecodeTest, RecoversMechanismActionsOnCompiledSurgeryDem)
     params.gate_improvement = 1.0;
     const auto profile =
         noise::AnnotateRound(code, graph, result, params, timing);
-    workloads::WorkloadSpec spec{.kind = workloads::WorkloadKind::kSurgery,
-                                 .basis = sim::MemoryBasis::kZ};
+    workloads::WorkloadSpec spec(workloads::WorkloadKind::kSurgery,
+                                 sim::MemoryBasis::kZ);
     const sim::NoisyCircuit circuit = workloads::BuildExperiment(
         code, result.qec_circuit, profile, params, 3, spec);
     const DetectorErrorModel dem = sim::BuildDem(circuit);

@@ -46,8 +46,8 @@ BuildSurgery(int distance, double improvement)
     params.gate_improvement = improvement;
     const auto profile =
         noise::AnnotateRound(code, graph, result, params, timing);
-    workloads::WorkloadSpec spec{.kind = workloads::WorkloadKind::kSurgery,
-                                 .basis = sim::MemoryBasis::kZ};
+    workloads::WorkloadSpec spec(workloads::WorkloadKind::kSurgery,
+                                 sim::MemoryBasis::kZ);
     out.circuit = workloads::BuildExperiment(code, result.qec_circuit,
                                              profile, params, distance, spec);
     out.dem = sim::BuildDem(out.circuit);

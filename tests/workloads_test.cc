@@ -225,19 +225,19 @@ TEST(WorkloadSpecTest, SurgeryRequiresAMergedPatchCode)
 {
     const qec::RotatedSurfaceCode plain(3);
     EXPECT_THROW(
-        MakeExperiment(plain, {.kind = WorkloadKind::kSurgery}),
+        MakeExperiment(plain, WorkloadSpec(WorkloadKind::kSurgery)),
         std::invalid_argument);
     EXPECT_THROW(
-        MakeExperiment(plain, {.kind = WorkloadKind::kStability}),
+        MakeExperiment(plain, WorkloadSpec(WorkloadKind::kStability)),
         std::invalid_argument);
     // Memory runs on anything, including the merged patch.
     const qec::MergedPatchCode merged(3, qec::SurgeryParity::kXX);
     EXPECT_EQ(MakeExperiment(merged, {})->name(), "memory_z");
     EXPECT_EQ(
-        MakeExperiment(merged, {.kind = WorkloadKind::kSurgery})->name(),
+        MakeExperiment(merged, WorkloadSpec(WorkloadKind::kSurgery))->name(),
         "surgery_xx");
     EXPECT_EQ(
-        MakeExperiment(merged, {.kind = WorkloadKind::kStability})
+        MakeExperiment(merged, WorkloadSpec(WorkloadKind::kStability))
             ->num_observables(),
         1);
 }
@@ -263,7 +263,7 @@ TEST(MemoryInterfaceTest, InstructionStreamMatchesBuildMemory)
             code, arts.compiled.qec_circuit, profile, params, 3, basis);
         const sim::NoisyCircuit via_interface = BuildExperiment(
             code, arts.compiled.qec_circuit, profile, params, 3,
-            {.kind = WorkloadKind::kMemory, .basis = basis});
+            WorkloadSpec(WorkloadKind::kMemory, basis));
         ASSERT_EQ(via_interface.instructions().size(),
                   direct.instructions().size());
         for (size_t i = 0; i < direct.instructions().size(); ++i) {
@@ -347,7 +347,7 @@ TEST(SurgeryExperimentTest, PinnedDemStatsAtD3AndD5)
         ASSERT_TRUE(arts.ok) << arts.error;
         const auto profile = core::AnnotateCandidate(code, arch, arts);
         const auto sim_arts = core::BuildSimArtifacts(
-            code, arts, profile, arch, pin.d, {.kind = pin.kind});
+            code, arts, profile, arch, pin.d, WorkloadSpec(pin.kind));
         const sim::DetectorErrorModel& dem = sim_arts.dem;
         EXPECT_EQ(dem.num_detectors, pin.detectors);
         EXPECT_EQ(dem.num_observables, pin.observables);
@@ -379,7 +379,7 @@ TEST(SurgeryExperimentTest, DetectorAndObservableLayout)
     ASSERT_TRUE(arts.ok) << arts.error;
     const auto profile = core::AnnotateCandidate(code, arch, arts);
     const auto experiment = MakeExperiment(
-        code, {.kind = WorkloadKind::kSurgery});
+        code, WorkloadSpec(WorkloadKind::kSurgery));
     const sim::NoisyCircuit circuit =
         experiment->Build(arts.compiled.qec_circuit, profile,
                           core::NoiseParamsFor(arch), d);

@@ -35,11 +35,12 @@
 #include "common/text_format.h"
 #include "compiler/compiler.h"
 #include "core/pipeline.h"
+#include "core/request.h"
 #include "core/toolflow.h"
 #include "store/artifact_store.h"
 #include "store/keys.h"
-#include "store/service.h"
 #include "workloads/experiment.h"
+#include "workloads/program.h"
 
 namespace {
 
@@ -63,8 +64,10 @@ struct CertifyConfig
 
 /** Builds the request's sim artifacts the same way the sweep engine
  *  does: through the store's key chain when a store is configured (fast
- *  pipeline only), fresh otherwise. Returns false with a message when
- *  any stage fails or a stored artifact is corrupt. */
+ *  pipeline only), fresh otherwise. A program workload compiles and
+ *  annotates every phase unit (`core::UnitCodesFor`) and stitches them
+ *  via `core::BuildProgramSimArtifacts`. Returns false with a message
+ *  when any stage fails or a stored artifact is corrupt. */
 bool
 BuildArtifacts(const tiqec::core::SweepCandidate& c,
                const CertifyConfig& config, int rounds,
@@ -72,81 +75,118 @@ BuildArtifacts(const tiqec::core::SweepCandidate& c,
 {
     using namespace tiqec;
     const qec::StabilizerCode& code = *c.code;
-
-    core::CompileArtifacts arts;
-    store::StoreKey compile_key;
-    if (config.reference) {
-        // CompileCandidate does not expose the reference pipeline;
-        // replicate it here with `reference_pipeline = true`.
-        arts.graph = compiler::MakeDeviceFor(code, c.arch.topology,
-                                             c.arch.trap_capacity);
-        compiler::CompilerOptions copts;
-        copts.wise = c.arch.wiring == core::WiringKind::kWise;
-        if (copts.wise) {
-            copts.cooling_per_two_qubit_gate =
-                arts.timing.cooling_per_two_qubit_gate;
-        }
-        copts.reference_pipeline = true;
-        arts.compiled = compiler::CompileParityCheckRounds(
-            code, 1, arts.graph, arts.timing, copts);
-        arts.ok = arts.compiled.ok;
-        arts.error = arts.compiled.error;
-    } else if (config.store != nullptr) {
-        compile_key = store::CompileStoreKey(code, c.arch, 1, nullptr);
-        std::string err;
-        const store::LoadStatus status = config.store->LoadCompile(
-            compile_key, code, c.arch, 1, nullptr, &arts, &err);
-        if (status == store::LoadStatus::kCorrupt) {
+    const workloads::WorkloadSpec spec = c.options.workload_spec();
+    {
+        const std::string err = core::CheckProgramCandidate(code, spec);
+        if (!err.empty()) {
             *error = err;
             return false;
         }
-        if (status == store::LoadStatus::kMiss) {
-            arts = core::CompileCandidate(code, c.arch);
-            if (arts.ok) {
-                config.store->StoreCompile(compile_key, arts);
+    }
+    const std::vector<const qec::StabilizerCode*> units =
+        core::UnitCodesFor(code, spec);
+    const size_t primary =
+        spec.program != nullptr
+            ? static_cast<size_t>(spec.program->primary_index())
+            : 0;
+
+    std::vector<core::CompileArtifacts> arts(units.size());
+    std::vector<store::StoreKey> compile_keys(units.size());
+    for (size_t u = 0; u < units.size(); ++u) {
+        const qec::StabilizerCode& unit = *units[u];
+        if (config.reference) {
+            // CompileCandidate does not expose the reference pipeline;
+            // replicate it here with `reference_pipeline = true`.
+            arts[u].graph = compiler::MakeDeviceFor(unit, c.arch.topology,
+                                                    c.arch.trap_capacity);
+            compiler::CompilerOptions copts;
+            copts.wise = c.arch.wiring == core::WiringKind::kWise;
+            if (copts.wise) {
+                copts.cooling_per_two_qubit_gate =
+                    arts[u].timing.cooling_per_two_qubit_gate;
+            }
+            copts.reference_pipeline = true;
+            arts[u].compiled = compiler::CompileParityCheckRounds(
+                unit, 1, arts[u].graph, arts[u].timing, copts);
+            arts[u].ok = arts[u].compiled.ok;
+            arts[u].error = arts[u].compiled.error;
+        } else if (config.store != nullptr) {
+            compile_keys[u] =
+                store::CompileStoreKey(unit, c.arch, 1, nullptr);
+            std::string err;
+            const store::LoadStatus status = config.store->LoadCompile(
+                compile_keys[u], unit, c.arch, 1, nullptr, &arts[u], &err);
+            if (status == store::LoadStatus::kCorrupt) {
+                *error = err;
+                return false;
+            }
+            if (status == store::LoadStatus::kMiss) {
+                arts[u] = core::CompileCandidate(unit, c.arch);
+                if (arts[u].ok) {
+                    config.store->StoreCompile(compile_keys[u], arts[u]);
+                }
+            }
+        } else {
+            arts[u] = core::CompileCandidate(unit, c.arch);
+        }
+        if (!arts[u].ok) {
+            *error = arts[u].error;
+            return false;
+        }
+    }
+
+    std::vector<noise::RoundNoiseProfile> profiles(units.size());
+    std::vector<store::StoreKey> noise_keys(units.size());
+    for (size_t u = 0; u < units.size(); ++u) {
+        bool have_profile = false;
+        if (!config.reference && config.store != nullptr) {
+            noise_keys[u] = store::NoiseStoreKey(compile_keys[u],
+                                                 c.arch.gate_improvement);
+            std::string err;
+            const store::LoadStatus status = config.store->LoadNoise(
+                noise_keys[u], arts[u].compiled.qec_circuit.size(),
+                units[u]->num_qubits(), &profiles[u], &err);
+            if (status == store::LoadStatus::kCorrupt) {
+                *error = err;
+                return false;
+            }
+            have_profile = status == store::LoadStatus::kHit;
+        }
+        if (!have_profile) {
+            profiles[u] =
+                core::AnnotateCandidate(*units[u], c.arch, arts[u]);
+            if (!config.reference && config.store != nullptr) {
+                config.store->StoreNoise(noise_keys[u], profiles[u]);
             }
         }
-    } else {
-        arts = core::CompileCandidate(code, c.arch);
-    }
-    if (!arts.ok) {
-        *error = arts.error;
-        return false;
     }
 
-    noise::RoundNoiseProfile profile;
-    store::StoreKey noise_key;
-    bool have_profile = false;
-    if (!config.reference && config.store != nullptr) {
-        noise_key = store::NoiseStoreKey(compile_key,
-                                         c.arch.gate_improvement);
-        std::string err;
-        const store::LoadStatus status = config.store->LoadNoise(
-            noise_key, arts.compiled.qec_circuit.size(),
-            code.num_qubits(), &profile, &err);
-        if (status == store::LoadStatus::kCorrupt) {
-            *error = err;
-            return false;
+    const auto build = [&]() {
+        if (spec.program != nullptr) {
+            std::vector<core::ProgramUnit> punits;
+            punits.reserve(units.size());
+            for (size_t u = 0; u < units.size(); ++u) {
+                punits.push_back(
+                    core::ProgramUnit{units[u], &arts[u], &profiles[u]});
+            }
+            return core::BuildProgramSimArtifacts(*spec.program, punits,
+                                                  c.arch, rounds);
         }
-        have_profile = status == store::LoadStatus::kHit;
-    }
-    if (!have_profile) {
-        profile = core::AnnotateCandidate(code, c.arch, arts);
-        if (!config.reference && config.store != nullptr) {
-            config.store->StoreNoise(noise_key, profile);
-        }
-    }
-
+        return core::BuildSimArtifacts(code, arts[primary],
+                                       profiles[primary], c.arch, rounds,
+                                       spec);
+    };
     if (!config.reference && config.store != nullptr) {
         // Same basis normalisation as the sweep runner's sim key: only
         // the memory workload reads the basis.
-        const int basis =
-            c.options.workload == workloads::WorkloadKind::kMemory
-                ? static_cast<int>(c.options.basis)
-                : 0;
+        const int basis = spec.kind == workloads::WorkloadKind::kMemory
+                              ? static_cast<int>(spec.basis)
+                              : 0;
         const store::StoreKey sim_key = store::SimStoreKey(
-            noise_key, rounds, basis,
-            static_cast<int>(c.options.workload));
+            noise_keys[primary], rounds, basis,
+            static_cast<int>(spec.kind),
+            spec.program != nullptr ? spec.program->canonical_text()
+                                    : std::string());
         std::string err;
         const store::LoadStatus status =
             config.store->LoadSim(sim_key, sim, &err);
@@ -157,13 +197,11 @@ BuildArtifacts(const tiqec::core::SweepCandidate& c,
         if (status == store::LoadStatus::kHit) {
             return true;
         }
-        *sim = core::BuildSimArtifacts(code, arts, profile, c.arch,
-                                       rounds, c.options.workload_spec());
+        *sim = build();
         config.store->StoreSim(sim_key, *sim);
         return true;
     }
-    *sim = core::BuildSimArtifacts(code, arts, profile, c.arch, rounds,
-                                   c.options.workload_spec());
+    *sim = build();
     return true;
 }
 
@@ -302,8 +340,8 @@ main(int argc, char** argv)
         tiqec::core::SweepCandidate candidate;
         std::string parse_error;
         std::string report;
-        if (!tiqec::store::ParseSweepRequest(line, &candidate,
-                                             &parse_error)) {
+        if (!tiqec::core::ParseRequestCandidate(line, &candidate,
+                                                &parse_error)) {
             tiqec::common::JsonRecord r;
             r.Add("label", "");
             r.Add("request", line);
